@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers: every bench prints its paper-style table and
+archives it under ``benchmarks/results/``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Print a rendered experiment table and save it to results/."""
+
+    def _archive(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _archive

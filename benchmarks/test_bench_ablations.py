@@ -1,0 +1,43 @@
+"""Benchmarks: ablations of the DESIGN.md-called-out design decisions."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_bench_tree_shape(benchmark, archive):
+    rows = benchmark(ablations.tree_shape_ablation)
+    archive("ablation_tree_shape", ablations.format_rows(rows, "Ablation: reduction-tree arity (500k x 192)"))
+    assert all(r.gflops > 0 for r in rows)
+
+
+def test_bench_transpose(benchmark, archive):
+    rows = benchmark(ablations.transpose_ablation)
+    archive("ablation_transpose", ablations.format_rows(rows, "Ablation: transpose preprocessing (500k x 192)"))
+    on, off = rows
+    assert on.gflops > off.gflops
+
+
+def test_bench_panel_width(benchmark, archive):
+    rows = benchmark(ablations.panel_width_ablation)
+    archive("ablation_panel_width", ablations.format_rows(rows, "Ablation: panel width (500k x 192)"))
+    assert len(rows) == 3
+
+
+def test_bench_strategy_in_caqr(benchmark, archive):
+    rows = benchmark(ablations.strategy_ablation)
+    archive("ablation_strategy", ablations.format_rows(rows, "Ablation: reduction strategy inside full CAQR (500k x 192)"))
+    by = {r.label.split()[-1]: r.gflops for r in rows}
+    assert by["regfile_transpose"] == max(by.values())
+
+
+def test_bench_hybrid_vs_gpu_only(benchmark, archive):
+    rows = benchmark(ablations.hybrid_panel_ablation)
+    archive(
+        "ablation_hybrid",
+        ablations.format_rows(rows, "Ablation: GPU-only vs CPU-panel hybrid (Section III options)"),
+    )
+    gpu_only = [r for r in rows if r.label.startswith("GPU-only")]
+    hybrid = [r for r in rows if r.label.startswith("hybrid")]
+    for g, h in zip(gpu_only, hybrid):
+        assert g.gflops > h.gflops

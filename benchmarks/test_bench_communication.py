@@ -1,0 +1,12 @@
+"""Benchmark: the communication study (words moved vs the lower bound)."""
+
+from __future__ import annotations
+
+from repro.experiments import communication
+
+
+def test_bench_communication(benchmark, archive):
+    rows = benchmark(communication.run)
+    archive("communication", communication.format_results(rows))
+    skinny = [r for r in rows if r.m // r.n >= 100]
+    assert all(r.blas2_vs_caqr > 8.0 for r in skinny)

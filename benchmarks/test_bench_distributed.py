@@ -1,0 +1,13 @@
+"""Benchmark: distributed TSQR vs Householder communication study."""
+
+from __future__ import annotations
+
+from repro.experiments import distributed_study
+
+
+def test_bench_distributed(benchmark, archive):
+    rows = benchmark(distributed_study.run)
+    archive("distributed", distributed_study.format_results(rows))
+    for r in rows:
+        assert r.hh_messages == 2 * r.n * r.tsqr_messages
+        assert min(r.network_speedups.values()) > 10.0

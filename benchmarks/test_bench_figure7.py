@@ -1,0 +1,12 @@
+"""Benchmark: Figure 7 block-size sweep and the autotuned optimum."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7_sweep(benchmark, archive):
+    result = benchmark(figure7.run)
+    archive("figure7", figure7.format_results(result, top=20))
+    e = result.entry(128, 16)
+    assert e is not None and e.gflops >= 0.95 * result.best.gflops

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 8 speedup grid and the crossover frontier."""
+
+from __future__ import annotations
+
+from repro.experiments import figure8
+
+
+def test_bench_figure8_grid(benchmark, archive):
+    result = benchmark(figure8.run)
+    archive("figure8", figure8.format_results(result))
+    s = result.max_speedups()
+    assert s["vs_magma"] > 8.0 and s["vs_mkl"] > 8.0
+    frontier = result.crossover_frontier()
+    assert frontier[8192] is not None

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 9 — GFLOPS vs width at height 8192, crossover ~4000."""
+
+from __future__ import annotations
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9_width_sweep(benchmark, archive):
+    result = benchmark(figure9.run)
+    archive("figure9", figure9.format_results(result))
+    x = result.crossover_width()
+    assert x is not None and 2500 <= x <= 6000

@@ -1,0 +1,14 @@
+"""Benchmark: hardware-projection study."""
+
+from __future__ import annotations
+
+from repro.experiments import projection
+
+
+def test_bench_projection(benchmark, archive):
+    rows = benchmark(projection.run)
+    archive("projection", projection.format_results(rows))
+    base = rows[0]
+    for r in rows[1:]:
+        # Compute-scaled devices widen CAQR's tall-skinny advantage.
+        assert r.speedup_vs_best_lib > base.speedup_vs_best_lib

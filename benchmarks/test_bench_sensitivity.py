@@ -1,0 +1,25 @@
+"""Benchmarks: hardware-sensitivity sweeps of the performance model."""
+
+from __future__ import annotations
+
+from repro.experiments import sensitivity
+
+
+def test_bench_dram_bandwidth(benchmark, archive):
+    rows = benchmark(sensitivity.dram_bandwidth_sweep)
+    archive("sensitivity_dram_bw", sensitivity.format_sweep(rows, "DRAM bandwidth scale (500k x 192)"))
+    g = {r.value: r for r in rows}
+    assert g[2.0].caqr_gflops / g[1.0].caqr_gflops < 1.10  # compute-bound
+    assert g[2.0].baseline_gflops / g[1.0].baseline_gflops > 1.8  # bw-bound
+
+
+def test_bench_pcie_latency(benchmark, archive):
+    rows = benchmark(sensitivity.pcie_latency_sweep)
+    archive("sensitivity_pcie", sensitivity.format_sweep(rows, "PCIe latency (1k x 192)"))
+    assert rows[-1].baseline_gflops < rows[0].baseline_gflops
+
+
+def test_bench_launch_overhead(benchmark, archive):
+    rows = benchmark(sensitivity.launch_overhead_sweep)
+    archive("sensitivity_launch", sensitivity.format_sweep(rows, "Kernel launch overhead (1k vs 1M x 192)"))
+    assert rows[-1].caqr_gflops < rows[0].caqr_gflops

@@ -1,0 +1,13 @@
+"""Benchmark: the stability study (orthogonality vs conditioning)."""
+
+from __future__ import annotations
+
+from repro.experiments import stability
+
+
+def test_bench_stability(benchmark, archive):
+    rows = benchmark(stability.run)
+    archive("stability", stability.format_results(rows))
+    worst = rows[-1]
+    assert worst.errors["tsqr"] < 1e-12
+    assert worst.errors["cgs"] > 1.0 or worst.errors["cgs"] == float("inf")

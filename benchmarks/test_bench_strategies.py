@@ -1,0 +1,19 @@
+"""Benchmark: Section IV-E strategy table (55/168/194/388 GFLOPS).
+
+Regenerates the kernel-tuning narrative: the four reduction strategies of
+the matvec + rank-1 core on 128x16 blocks, against the paper's reported
+numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import strategies_table
+
+
+def test_bench_strategies_table(benchmark, archive):
+    rows = benchmark(strategies_table.run)
+    archive("strategies_table", strategies_table.format_results(rows))
+    vals = [r.model_gflops for r in rows]
+    assert vals == sorted(vals)
+    for r in rows:
+        assert 0.7 <= r.ratio <= 1.3

@@ -1,0 +1,25 @@
+"""Benchmark: structured vs dense stacked-triangle elimination ablation."""
+
+from __future__ import annotations
+
+from repro.caqr_gpu import simulate_caqr
+from repro.kernels.config import REFERENCE_CONFIG
+
+
+def run_pair(m=500_000, n=192):
+    dense = simulate_caqr(m, n)
+    struct = simulate_caqr(m, n, REFERENCE_CONFIG.with_(structured_tree=True))
+    return dense, struct
+
+
+def test_bench_structured_tree(benchmark, archive):
+    dense, struct = benchmark(run_pair)
+    lines = [
+        "Ablation: dense vs structured tree elimination (500k x 192)",
+        f"  dense      : {dense.gflops:7.1f} GFLOPS ({dense.seconds * 1e3:7.1f} ms)",
+        f"  structured : {struct.gflops:7.1f} GFLOPS ({struct.seconds * 1e3:7.1f} ms)",
+        f"  tree-kernel time: {sum(v for k, v in dense.breakdown().items() if 'tree' in k) * 1e3:.1f}"
+        f" -> {sum(v for k, v in struct.breakdown().items() if 'tree' in k) * 1e3:.1f} ms",
+    ]
+    archive("ablation_structured_tree", "\n".join(lines))
+    assert struct.seconds < dense.seconds

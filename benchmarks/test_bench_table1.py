@@ -1,0 +1,15 @@
+"""Benchmark: Table I — very tall-skinny SGEQRF (1k..1M x 192)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, archive):
+    rows = benchmark(table1.run)
+    archive("table1", table1.format_results(rows))
+    last = next(r for r in rows if r.height == 1_000_000)
+    assert last.caqr / last.magma > 10.0  # paper: up to 17x vs GPU libraries
+    for r in rows:
+        paper = table1.PAPER_TABLE1[r.height]
+        assert 0.6 * paper[0] <= r.caqr <= 1.4 * paper[0]

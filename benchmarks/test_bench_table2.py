@@ -1,0 +1,13 @@
+"""Benchmark: Table II — Robust PCA iterations/second on the video matrix."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, archive):
+    rows = benchmark(table2.run)
+    archive("table2", table2.format_results(rows))
+    s = table2.speedups(rows)
+    assert 2.0 <= s["caqr_vs_blas2"] <= 4.5  # paper: ~3x
+    assert 15.0 <= s["caqr_vs_mkl"] <= 45.0  # paper: ~30x

@@ -1,0 +1,56 @@
+"""Communication-avoiding GMRES on a 2-D Poisson problem.
+
+The s-step Krylov pipeline end to end: matrix-powers basis blocks
+(Newton-shifted for conditioning), TSQR panel orthogonalization, and the
+projected least-squares solve — compared against classical MGS-Arnoldi
+GMRES on the same problem.
+
+Run:  python examples/ca_gmres_solver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.krylov import (
+    arnoldi,
+    basis_condition,
+    ca_gmres,
+    gmres,
+    laplacian_2d,
+    monomial_basis,
+    newton_basis,
+)
+
+
+def main() -> None:
+    nx = ny = 32
+    op = laplacian_2d(nx, ny)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(op.n)
+    print(f"solving a {op.n} x {op.n} Poisson system ({op.name})")
+
+    # Why the Newton basis: monomial s-step bases collapse.
+    s = 10
+    pre = arnoldi(op, b, s)
+    shifts = np.linalg.eigvals(pre.H[:s, :s]).real
+    c_mono = basis_condition(monomial_basis(op, b, s))
+    c_newt = basis_condition(newton_basis(op, b, s, shifts))
+    print(f"s={s} basis condition: monomial {c_mono:.2e}  vs  Newton {c_newt:.2e}")
+
+    # Classical GMRES vs CA-GMRES with the same basis size.
+    for m_basis in (30, 60, 90):
+        g = gmres(op, b, m=m_basis)
+        cg = ca_gmres(op, b, s=6, n_blocks=m_basis // 6)
+        print(
+            f"  basis {m_basis:3d}: GMRES rel.res {g.relative_residual:9.2e}   "
+            f"CA-GMRES rel.res {cg.relative_residual:9.2e}"
+        )
+
+    cg = ca_gmres(op, b, s=6, n_blocks=25, tol=1e-8)
+    print(f"\nCA-GMRES, 150-dim basis: rel.res {cg.relative_residual:.2e}, "
+          f"converged={cg.converged}, matvecs={cg.n_matvecs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Linear least squares with tall-skinny QR — the intro's headline use case.
+
+"Least squares matrices may have thousands of rows representing
+observations, and only a few tens or hundreds of columns representing the
+number of parameters."  This example fits a model to 100,000 noisy
+observations of 24 parameters via TSQR and CAQR and cross-checks against
+the normal equations' known failure mode.
+
+Run:  python examples/least_squares.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import lstsq_caqr, lstsq_tsqr
+from repro.core.cholesky_qr import cholesky_qr
+from repro.core.triangular import SingularTriangularError, solve_upper
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    m, n = 100_000, 24
+
+    # A realistic regression design: correlated features, mild conditioning.
+    basis = rng.standard_normal((m, n))
+    mix = np.eye(n) + 0.4 * rng.standard_normal((n, n))
+    A = basis @ mix
+    x_true = rng.standard_normal(n)
+    b = A @ x_true + 0.01 * rng.standard_normal(m)
+
+    x_tsqr = lstsq_tsqr(A, b, block_rows=512)
+    x_caqr = lstsq_caqr(A, b, panel_width=8, block_rows=64)
+    print("TSQR  coefficient error:", np.linalg.norm(x_tsqr - x_true))
+    print("CAQR  coefficient error:", np.linalg.norm(x_caqr - x_true))
+    print("solvers agree:", np.allclose(x_tsqr, x_caqr, atol=1e-8))
+
+    # Why QR and not the normal equations / Cholesky QR: squaring the
+    # condition number.  Build an ill-conditioned design and watch
+    # Cholesky QR break down while TSQR sails through.
+    U, _, Vt = np.linalg.svd(rng.standard_normal((5_000, 12)), full_matrices=False)
+    s = np.logspace(0, -9, 12)  # cond = 1e9
+    A_ill = (U * s) @ Vt
+    b_ill = A_ill @ np.ones(12)
+    x = lstsq_tsqr(A_ill, b_ill)
+    print("\nill-conditioned (cond=1e9) TSQR residual:", np.linalg.norm(A_ill @ x - b_ill))
+    try:
+        Q, R = cholesky_qr(A_ill)
+        xc = solve_upper(R, Q.T @ b_ill)
+        print("Cholesky QR residual:", np.linalg.norm(A_ill @ xc - b_ill))
+    except SingularTriangularError as e:
+        print("Cholesky QR broke down, as theory predicts:", e)
+
+
+if __name__ == "__main__":
+    main()

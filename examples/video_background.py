@@ -1,0 +1,65 @@
+"""Stationary-video background subtraction with Robust PCA (Section VI).
+
+Generates a synthetic surveillance clip (the ViSOR substitution: static
+background, moving pedestrian-like blobs), decomposes it with
+l1-regularized nuclear-norm minimization where the per-iteration SVD runs
+through this library's QR-based tall-skinny SVD, and reports recovery
+quality plus the modeled Table II throughput of the three engines.
+
+Run:  python examples/video_background.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rpca import (
+    RPCAIterationModel,
+    foreground_f1,
+    generate_video,
+    subtract_background,
+)
+
+
+def ascii_frame(img: np.ndarray, width: int = 48) -> str:
+    """Render a grayscale frame as ASCII art (for terminal inspection)."""
+    h, w = img.shape
+    step = max(1, w // width)
+    ramp = " .:-=+*#%@"
+    lo, hi = img.min(), img.max()
+    span = (hi - lo) or 1.0
+    rows = []
+    for y in range(0, h, 2 * step):
+        row = ""
+        for x in range(0, w, step):
+            v = (img[y, x] - lo) / span
+            row += ramp[min(int(v * (len(ramp) - 1)), len(ramp) - 1)]
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    # A scaled-down ViSOR-like clip (full size is 288 x 384 x 100 frames).
+    video = generate_video(height=48, width=64, n_frames=50, n_objects=3, noise_std=0.005, seed=42)
+    print(f"video matrix: {video.M.shape[0]} x {video.M.shape[1]} (pixels x frames)")
+
+    result = subtract_background(video, tol=1e-6, max_iter=200)
+    print(f"RPCA converged in {result.result.n_iterations} iterations")
+    print(f"background relative error: {result.background_error:.4f}")
+    print(f"recovered background rank: {result.result.final_rank}")
+    print(f"foreground support F1:     {foreground_f1(result.result.S, video.S):.3f}")
+
+    t = video.n_frames // 2
+    print("\n--- observed frame ---")
+    print(ascii_frame(video.frame(t)))
+    print("--- recovered foreground (the walkers) ---")
+    print(ascii_frame(np.abs(result.foreground[t])))
+
+    print("\nModeled Table II throughput on the full 110,592 x 100 problem:")
+    for engine in ("mkl_svd", "blas2_qr", "caqr"):
+        ips = RPCAIterationModel(engine=engine).iterations_per_second()
+        print(f"  {engine:9s}: {ips:6.2f} iterations/second ({500 / ips:6.1f} s for a 500-iteration run)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs in offline environments without `wheel`.
+
+All real metadata lives in pyproject.toml; `pip install -e . --no-use-pep517
+--no-build-isolation` (or a plain modern `pip install -e .` when wheel is
+available) both work.
+"""
+from setuptools import setup
+
+setup()

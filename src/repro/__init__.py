@@ -1,0 +1,105 @@
+"""repro — reproduction of "Communication-Avoiding QR Decomposition for GPUs".
+
+Anderson, Ballard, Demmel, Keutzer — IPDPS 2011.
+
+Subpackages
+-----------
+``repro.core``
+    From-scratch numerics: Householder QR (packed/blocked), TSQR over
+    configurable reduction trees, CAQR on a block grid, Givens /
+    Gram-Schmidt / Cholesky-QR comparisons, one-sided Jacobi SVD,
+    tall-skinny SVD via QR, QR-based least squares.
+``repro.gpusim``
+    Execution-driven GPU simulator (Fermi C2050 / GTX480 device models,
+    roofline + wave-scheduling launch timing, PCIe link, timelines).
+``repro.kernels``
+    The paper's four GPU kernels with real math and analytic launch
+    costs, plus the Section IV-E reduction-strategy micro-models.
+``repro.caqr_gpu``
+    The Figure-4 host driver: CAQR as a simulated kernel-launch stream.
+``repro.baselines``
+    MAGMA / CULA / MKL / BLAS2-GPU performance models.
+``repro.tuning``
+    Block-size autotuner (Figure 7).
+``repro.rpca``
+    Robust PCA for video background subtraction (Section VI).
+``repro.krylov``
+    s-step Krylov methods (matrix-powers bases, TSQR-orthogonalized
+    Arnoldi, CA-GMRES) — the intro's most extreme tall-skinny workload.
+``repro.dispatch``
+    Model-driven QR engine selection (the Section V-C autotuning
+    framework suggestion).
+``repro.experiments``
+    One module per table/figure of the evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import tsqr_qr, caqr_qr
+>>> A = np.random.default_rng(0).standard_normal((100_000, 64))
+>>> Q, R = tsqr_qr(A)                      # numerics
+>>> from repro import simulate_caqr
+>>> simulate_caqr(1_000_000, 192).gflops   # modeled C2050 performance
+"""
+
+from .caqr_gpu import (
+    CAQRGpuResult,
+    caqr_gflops,
+    caqr_gpu_factor,
+    enumerate_caqr_launches,
+    simulate_caqr,
+    simulate_form_q,
+)
+from .core import (
+    CAQRFactors,
+    TSQRFactors,
+    blocked_qr,
+    caqr,
+    caqr_qr,
+    cholesky_qr,
+    factorization_error,
+    jacobi_svd,
+    lstsq_caqr,
+    lstsq_tsqr,
+    orthogonality_error,
+    qr_flops,
+    tall_skinny_svd,
+    tsqr,
+    tsqr_qr,
+)
+from .dispatch import QRDispatcher
+from .gpusim import C2050, GTX480, DeviceSpec
+from .kernels import REFERENCE_CONFIG, KernelConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAQRGpuResult",
+    "caqr_gflops",
+    "caqr_gpu_factor",
+    "enumerate_caqr_launches",
+    "simulate_caqr",
+    "simulate_form_q",
+    "CAQRFactors",
+    "TSQRFactors",
+    "blocked_qr",
+    "caqr",
+    "caqr_qr",
+    "cholesky_qr",
+    "factorization_error",
+    "jacobi_svd",
+    "lstsq_caqr",
+    "lstsq_tsqr",
+    "orthogonality_error",
+    "qr_flops",
+    "tall_skinny_svd",
+    "tsqr",
+    "tsqr_qr",
+    "QRDispatcher",
+    "C2050",
+    "GTX480",
+    "DeviceSpec",
+    "REFERENCE_CONFIG",
+    "KernelConfig",
+    "__version__",
+]

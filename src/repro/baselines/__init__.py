@@ -1,0 +1,29 @@
+"""Baseline QR implementations the paper compares against.
+
+Performance models of MAGMA 1.0 (hybrid CPU-panel + GPU-gemm with
+look-ahead), CULA 2.x (same family without overlap), multicore MKL
+(blocked Householder on the CPU), the paper's own bandwidth-bound
+tall-skinny BLAS2 GPU QR, and the multicore MKL SVD.  All report time
+against the standard SGEQRF flop count, like the paper.
+"""
+
+from .blas2_gpu import BLAS2GPUQR
+from .blocked_gpu import CULAQR, HybridBlockedQR, MAGMAQR, gemm_rate_gflops
+from .hybrid_scheduled import ScheduledHybridQR
+from .cpu import CPUPanelModel, MKLQR, MKLSVD, cpu_panel_time, mkl_qr_gflops
+from .result import BaselineResult
+
+__all__ = [
+    "BLAS2GPUQR",
+    "CULAQR",
+    "HybridBlockedQR",
+    "MAGMAQR",
+    "gemm_rate_gflops",
+    "ScheduledHybridQR",
+    "CPUPanelModel",
+    "MKLQR",
+    "MKLSVD",
+    "cpu_panel_time",
+    "mkl_qr_gflops",
+    "BaselineResult",
+]

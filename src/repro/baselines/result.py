@@ -1,0 +1,35 @@
+"""Common result type for the baseline QR performance models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.householder import qr_flops
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Modeled execution of one baseline QR factorization."""
+
+    name: str
+    m: int
+    n: int
+    seconds: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def standard_flops(self) -> float:
+        return qr_flops(self.m, self.n)
+
+    @property
+    def gflops(self) -> float:
+        """SGEQRF GFLOP/s — the paper's reporting convention."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.standard_flops / self.seconds / 1e9
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.seconds += seconds
+        self.breakdown[phase] = self.breakdown.get(phase, 0.0) + seconds

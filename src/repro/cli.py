@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate any table or figure from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure9 --widths 64,512,4096
+    python -m repro table2
+    python -m repro strategies
+    python -m repro figure7
+    python -m repro figure8
+    python -m repro ablations
+    python -m repro sensitivity
+    python -m repro dispatch --m 8192 --n 192
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of 'Communication-Avoiding QR Decomposition for GPUs' (IPDPS 2011).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("strategies", help="Section IV-E strategy table (55/168/194/388)")
+    sub.add_parser("figure7", help="block-size sweep + autotuned pick")
+    sub.add_parser("figure8", help="speedup grid + crossover frontier")
+
+    f9 = sub.add_parser("figure9", help="GFLOPS vs width at height 8192")
+    f9.add_argument("--widths", type=str, default=None, help="comma-separated widths")
+
+    t1 = sub.add_parser("table1", help="very tall-skinny GFLOPS (1k..1M x 192)")
+    t1.add_argument("--heights", type=str, default=None, help="comma-separated heights")
+
+    sub.add_parser("table2", help="Robust PCA iterations/second")
+    sub.add_parser("ablations", help="tree/transpose/panel/hybrid/strategy ablations")
+    sub.add_parser("sensitivity", help="bandwidth / PCIe-latency / launch-overhead sweeps")
+    sub.add_parser("communication", help="DRAM words vs the communication lower bound")
+    sub.add_parser("stability", help="orthogonality vs condition number, all algorithms")
+    sub.add_parser("projection", help="headline results on projected future devices")
+    sub.add_parser("distributed", help="distributed TSQR vs Householder message counts")
+
+    d = sub.add_parser("dispatch", help="model-driven engine choice for one shape")
+    d.add_argument("--m", type=int, required=True)
+    d.add_argument("--n", type=int, required=True)
+
+    e = sub.add_parser("export", help="write CSVs of every table/figure")
+    e.add_argument("--out", type=str, default="exports")
+    return p
+
+
+def _ints(csv: str | None) -> tuple[int, ...] | None:
+    if csv is None:
+        return None
+    return tuple(int(x) for x in csv.split(",") if x)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imports deferred so `--help` stays instant.
+    from repro.experiments import (
+        ablations,
+        ascii_chart,
+        communication,
+        distributed_study,
+        figure7,
+        projection,
+        figure8,
+        figure9,
+        sensitivity,
+        stability,
+        strategies_table,
+        table1,
+        table2,
+    )
+
+    out = []
+    if args.command == "strategies":
+        out.append(strategies_table.format_results(strategies_table.run()))
+    elif args.command == "figure7":
+        out.append(figure7.format_results(figure7.run(), top=15))
+    elif args.command == "figure8":
+        out.append(figure8.format_results(figure8.run()))
+    elif args.command == "figure9":
+        widths = _ints(args.widths)
+        result = figure9.run(widths=widths) if widths else figure9.run()
+        out.append(figure9.format_results(result))
+        out.append(
+            ascii_chart(
+                [r.width for r in result.rows],
+                {
+                    "CAQR": [r.caqr for r in result.rows],
+                    "MAGMA": [r.magma for r in result.rows],
+                    "CULA": [r.cula for r in result.rows],
+                    "MKL": [r.mkl for r in result.rows],
+                },
+                title="Figure 9 (GFLOPS vs width, log-x)",
+                logx=True,
+            )
+        )
+    elif args.command == "table1":
+        heights = _ints(args.heights)
+        rows = table1.run(heights=heights) if heights else table1.run()
+        out.append(table1.format_results(rows))
+    elif args.command == "table2":
+        out.append(table2.format_results(table2.run()))
+    elif args.command == "ablations":
+        out.append(ablations.format_rows(ablations.tree_shape_ablation(), "Tree arity (500k x 192)"))
+        out.append(ablations.format_rows(ablations.transpose_ablation(), "Transpose preprocessing (500k x 192)"))
+        out.append(ablations.format_rows(ablations.panel_width_ablation(), "Panel width (500k x 192)"))
+        out.append(ablations.format_rows(ablations.strategy_ablation(), "Strategy inside CAQR (500k x 192)"))
+        out.append(ablations.format_rows(ablations.hybrid_panel_ablation(), "GPU-only vs hybrid panel"))
+    elif args.command == "sensitivity":
+        out.append(sensitivity.format_sweep(sensitivity.dram_bandwidth_sweep(), "DRAM bandwidth scale (500k x 192)"))
+        out.append(sensitivity.format_sweep(sensitivity.pcie_latency_sweep(), "PCIe latency (100k x 192)"))
+        out.append(sensitivity.format_sweep(sensitivity.launch_overhead_sweep(), "Kernel launch overhead (1k x 192 vs 1M x 192)"))
+    elif args.command == "communication":
+        out.append(communication.format_results(communication.run()))
+    elif args.command == "stability":
+        out.append(stability.format_results(stability.run()))
+    elif args.command == "projection":
+        out.append(projection.format_results(projection.run()))
+    elif args.command == "distributed":
+        out.append(distributed_study.format_results(distributed_study.run()))
+    elif args.command == "dispatch":
+        from repro.dispatch import QRDispatcher
+
+        preds = QRDispatcher().predict(args.m, args.n)
+        lines = [f"engine predictions for {args.m} x {args.n}:"]
+        for p_ in preds:
+            lines.append(f"  {p_.engine:8s} {p_.seconds * 1e3:10.2f} ms  {p_.gflops:8.1f} GFLOPS")
+        lines.append(f"choice: {preds[0].engine}")
+        out.append("\n".join(lines))
+    elif args.command == "export":
+        from repro.experiments.export import export_all
+
+        paths = export_all(args.out)
+        out.append("wrote:\n" + "\n".join(f"  {p}" for p in paths))
+    print("\n\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Blocked (BLAS3) Householder QR — the algorithm of Figure 1.
+
+This is the classical "blocked Householder" algorithm used by LAPACK,
+MAGMA and CULA (Section II-A of the paper): a BLAS2 panel factorization
+(``geqr2``), formation of the triangular ``T`` factor (``larft``), and a
+BLAS3 trailing-matrix update (``larfb``).  We implement it from scratch so
+the library baselines in :mod:`repro.baselines` simulate exactly this
+algorithm, and so its numerics can be compared against CAQR's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import as_float_array, working_dtype
+from .householder import extract_v, geqr2
+
+__all__ = ["larft", "larfb", "geqrf", "ormqr", "orgqr", "blocked_qr"]
+
+
+def larft(V: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Form the upper-triangular block reflector factor T (LAPACK ``slarft``).
+
+    ``Q = I - V T V^T`` where ``V`` is the ``m x k`` unit-lower-trapezoidal
+    matrix of Householder vectors ("forward", "columnwise" storage).
+    The paper's Figure 1 calls this "a triangular matrix T formed from the
+    inner products of the columns in the panel".
+    """
+    m, k = V.shape
+    if len(tau) != k:
+        raise ValueError("tau length must match number of reflectors")
+    T = np.zeros((k, k), dtype=working_dtype(V))
+    for i in range(k):
+        if tau[i] == 0.0:
+            continue
+        T[i, i] = tau[i]
+        if i > 0:
+            # T[:i, i] = -tau_i * T[:i, :i] @ (V[:, :i]^T v_i)
+            w = V[:, :i].T @ V[:, i]
+            T[:i, i] = -tau[i] * (T[:i, :i] @ w)
+    return T
+
+
+def larfb(
+    V: np.ndarray,
+    T: np.ndarray,
+    C: np.ndarray,
+    transpose: bool = True,
+) -> np.ndarray:
+    """Apply a block reflector ``Q = I - V T V^T`` to C from the left, in place.
+
+    With ``transpose=True`` applies ``Q^T = I - V T^T V^T``.  This is the
+    BLAS3 trailing-matrix update of Figure 1: three matrix-matrix products.
+    """
+    W = V.T @ C  # k x n
+    W = (T.T if transpose else T) @ W
+    C -= V @ W
+    return C
+
+
+def geqrf(A: np.ndarray, nb: int = 32) -> tuple[np.ndarray, np.ndarray]:
+    """Blocked Householder QR (LAPACK ``sgeqrf``).
+
+    Returns packed ``(VR, tau)`` in the same format as
+    :func:`repro.core.householder.geqr2`.  ``nb`` is the panel width; each
+    panel is factored with BLAS2 ``geqr2`` and the trailing matrix updated
+    with one BLAS3 ``larfb`` — exactly the structure whose panel phase the
+    paper identifies as bandwidth-bound for tall-skinny matrices.
+    """
+    A = as_float_array(A, copy=True)
+    m, n = A.shape
+    k = min(m, n)
+    if nb < 1:
+        raise ValueError("panel width nb must be >= 1")
+    tau = np.zeros(k, dtype=A.dtype)
+    for j in range(0, k, nb):
+        jb = min(nb, k - j)
+        panel, ptau = geqr2(A[j:, j : j + jb])
+        A[j:, j : j + jb] = panel
+        tau[j : j + jb] = ptau
+        if j + jb < n:
+            V = extract_v(panel)
+            T = larft(V, ptau)
+            larfb(V, T, A[j:, j + jb :], transpose=True)
+    return A, tau
+
+
+def ormqr(
+    VR: np.ndarray,
+    tau: np.ndarray,
+    C: np.ndarray,
+    transpose: bool = False,
+    nb: int = 32,
+) -> np.ndarray:
+    """Apply Q or Q^T from a ``geqrf`` factorization to C, in place (``sormqr``)."""
+    m, n = VR.shape
+    k = len(tau)
+    if C.shape[0] != m:
+        raise ValueError("row mismatch between VR and C")
+    starts = list(range(0, k, nb))
+    if not transpose:
+        starts.reverse()
+    for j in starts:
+        jb = min(nb, k - j)
+        V = extract_v(VR[j:, j : j + jb])
+        T = larft(V, tau[j : j + jb])
+        larfb(V, T, C[j:, :], transpose=transpose)
+    return C
+
+
+def orgqr(VR: np.ndarray, tau: np.ndarray, n_cols: int | None = None, nb: int = 32) -> np.ndarray:
+    """Form the explicit thin Q from a ``geqrf`` factorization (``sorgqr``)."""
+    m, n = VR.shape
+    k = min(m, n)
+    if n_cols is None:
+        n_cols = k
+    Q = np.zeros((m, n_cols), dtype=working_dtype(VR))
+    np.fill_diagonal(Q, 1.0)
+    return ormqr(VR, tau, Q, transpose=False, nb=nb)
+
+
+def blocked_qr(A: np.ndarray, nb: int = 32) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: return explicit thin ``(Q, R)`` via blocked Householder."""
+    A = as_float_array(A)
+    m, n = A.shape
+    k = min(m, n)
+    VR, tau = geqrf(A, nb=nb)
+    R = np.triu(VR[:k, :])
+    Q = orgqr(VR, tau, n_cols=k, nb=nb)
+    return Q, R

@@ -1,0 +1,148 @@
+"""Communication-Avoiding QR (CAQR) for general matrices — Section II-C.
+
+The matrix is divided into a grid of small blocks.  Each column panel is
+factored with TSQR, and the trailing matrix is updated by applying the
+panel's implicit Q^T: the level-0 factors horizontally across whole block
+rows (the ``apply_qt_h`` kernel) and the tree factors to the distributed
+row pieces they touch (the ``apply_qt_tree`` kernel).  After each panel
+the grid is "redrawn lower by a number of rows equal to the panel width"
+(Section II-C), reflecting that the trailing matrix shrinks in both
+dimensions.
+
+This module is the numerics; :mod:`repro.caqr_gpu` drives the same
+algorithm through the GPU simulator with per-kernel launch costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dtypes import as_float_array, working_dtype
+from .tsqr import TSQRFactors, tsqr
+
+__all__ = ["PanelFactor", "CAQRFactors", "caqr", "caqr_qr"]
+
+
+@dataclass
+class PanelFactor:
+    """TSQR factors of one column panel, with its global position."""
+
+    col_start: int
+    col_stop: int
+    row_start: int
+    factors: TSQRFactors
+
+
+@dataclass
+class CAQRFactors:
+    """Implicit Q and explicit R of a CAQR factorization."""
+
+    m: int
+    n: int
+    panel_width: int
+    block_rows: int
+    tree_shape: str
+    panels: list[PanelFactor]
+    R: np.ndarray  # min(m, n) x n upper trapezoidal
+
+    def apply_qt(self, B: np.ndarray) -> np.ndarray:
+        """Compute ``Q^T B`` in place (B must have ``m`` rows)."""
+        B = as_float_array(B)
+        if B.shape[0] != self.m:
+            raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
+        for p in self.panels:
+            p.factors.apply_qt(B[p.row_start :, :])
+        return B
+
+    def apply_q(self, B: np.ndarray) -> np.ndarray:
+        """Compute ``Q B`` in place (B must have ``m`` rows)."""
+        B = as_float_array(B)
+        if B.shape[0] != self.m:
+            raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
+        for p in reversed(self.panels):
+            p.factors.apply_q(B[p.row_start :, :])
+        return B
+
+    def form_q(self) -> np.ndarray:
+        """Form the explicit thin ``m x min(m, n)`` orthonormal Q (SORGQR)."""
+        k = min(self.m, self.n)
+        Q = np.zeros((self.m, k), dtype=working_dtype(self.R))
+        np.fill_diagonal(Q, 1.0)
+        return self.apply_q(Q)
+
+
+def caqr(
+    A: np.ndarray,
+    panel_width: int = 16,
+    block_rows: int = 64,
+    tree_shape: str = "quad",
+    structured: bool = False,
+) -> CAQRFactors:
+    """Factor a matrix with CAQR (Figure 3 / the host pseudocode of Figure 4).
+
+    Args:
+        A: ``m x n`` matrix.
+        panel_width: width of each column panel (the paper's reference GPU
+            configuration uses 16, matching the 64x16 block).
+        block_rows: height of the level-0 row blocks within each panel.
+        tree_shape: TSQR reduction-tree shape (paper: quad-tree on the GPU).
+        structured: use the sparsity-exploiting stacked-triangle
+            elimination at tree nodes (see :mod:`repro.core.structured`).
+
+    Returns:
+        :class:`CAQRFactors` with the implicit Q (per-panel TSQR factors)
+        and the explicit upper-trapezoidal R.
+    """
+    A = as_float_array(A)
+    if A.ndim != 2:
+        raise ValueError("A must be 2-D")
+    if panel_width < 1:
+        raise ValueError("panel_width must be positive")
+    m, n = A.shape
+    k = min(m, n)
+    W = A.copy()
+    panels: list[PanelFactor] = []
+    for col_start in range(0, k, panel_width):
+        pw = min(panel_width, k - col_start)
+        row_start = col_start  # grid redrawn lower by the panel width
+        panel_view = W[row_start:, col_start : col_start + pw]
+        f = tsqr(panel_view, block_rows=block_rows, tree_shape=tree_shape, structured=structured)
+        # The trailing matrix update: apply Q^T of the panel across the
+        # remaining columns (apply_qt_h + apply_qt_tree in the GPU code).
+        trailing = W[row_start:, col_start + pw :]
+        if trailing.size:
+            f.apply_qt(trailing)
+        # Record the panel's R back into the working matrix so the final
+        # R can be read off the top k rows.
+        rh = f.R.shape[0]
+        W[row_start : row_start + rh, col_start : col_start + pw] = f.R
+        W[row_start + rh :, col_start : col_start + pw] = 0.0
+        panels.append(
+            PanelFactor(col_start=col_start, col_stop=col_start + pw, row_start=row_start, factors=f)
+        )
+    R = np.triu(W[:k, :])
+    return CAQRFactors(
+        m=m,
+        n=n,
+        panel_width=panel_width,
+        block_rows=block_rows,
+        tree_shape=tree_shape,
+        panels=panels,
+        R=R,
+    )
+
+
+def caqr_qr(
+    A: np.ndarray,
+    panel_width: int = 16,
+    block_rows: int = 64,
+    tree_shape: str = "quad",
+    structured: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: explicit thin ``(Q, R)`` via CAQR."""
+    f = caqr(
+        A, panel_width=panel_width, block_rows=block_rows, tree_shape=tree_shape, structured=structured
+    )
+    return f.form_q(), f.R

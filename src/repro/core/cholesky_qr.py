@@ -1,0 +1,46 @@
+"""Cholesky QR and CholeskyQR2 — the fast-but-unstable alternative.
+
+Section II: "Cholesky QR and the Gram-Schmidt process are not as
+numerically stable, so most general-purpose software for QR uses either
+Givens rotations or Householder reflectors."  We implement Cholesky QR so
+the stability comparison is demonstrable: its orthogonality error grows
+with ``cond(A)^2`` while TSQR's stays at machine precision, and it fails
+outright (Cholesky breakdown) near ``cond(A) ~ 1/sqrt(eps)``.
+
+CholeskyQR2 (a single reorthogonalization pass) is also provided as the
+modern partial fix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .triangular import cholesky, solve_lower
+
+__all__ = ["cholesky_qr", "cholesky_qr2"]
+
+
+def cholesky_qr(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """QR via ``A^T A = R^T R``; ``Q = A R^{-1}``.
+
+    Communication-optimal (one pass over A) but squares the condition
+    number.  Raises :class:`repro.core.triangular.SingularTriangularError`
+    when the Gram matrix is not numerically positive definite.
+    """
+    A = np.asarray(A, dtype=float)
+    m, n = A.shape
+    if m < n:
+        raise ValueError("cholesky_qr requires m >= n")
+    G = A.T @ A
+    L = cholesky(G)
+    R = L.T
+    # Q = A R^{-1}  <=>  R^T Q^T = A^T  <=>  solve L X = A^T, Q = X^T.
+    Q = solve_lower(L, A.T).T
+    return Q, R
+
+
+def cholesky_qr2(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CholeskyQR2: run Cholesky QR twice and merge the R factors."""
+    Q1, R1 = cholesky_qr(A)
+    Q, R2 = cholesky_qr(Q1)
+    return Q, R2 @ R1

@@ -1,0 +1,35 @@
+"""Floating-point dtype handling for the core numerics.
+
+The paper computes in single precision throughout ("Everything here is
+done using single-precision, which is adequate for our video
+application", Section IV).  The core routines therefore preserve
+``float32`` inputs end to end, while defaulting everything else
+(float64, integers, lists) to double precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["working_dtype", "as_float_array", "eps_for"]
+
+
+def working_dtype(*arrays: np.ndarray) -> np.dtype:
+    """float32 iff every input is float32; float64 otherwise."""
+    if arrays and all(np.asarray(a).dtype == np.float32 for a in arrays):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def as_float_array(A, copy: bool = False) -> np.ndarray:
+    """Coerce to the working float dtype, preserving float32 inputs."""
+    A = np.asarray(A)
+    dt = working_dtype(A)
+    if copy:
+        return np.array(A, dtype=dt, copy=True)
+    return A if A.dtype == dt else A.astype(dt)
+
+
+def eps_for(A: np.ndarray) -> float:
+    """Machine epsilon of the array's working precision."""
+    return float(np.finfo(working_dtype(np.asarray(A))).eps)

@@ -1,0 +1,78 @@
+"""Givens-rotation QR — the other stable QR approach of Section II.
+
+Each subdiagonal entry is annihilated by a 2x2 plane rotation.  Givens QR
+is the basis of the structured eliminations TSQR *could* exploit when
+factoring stacked triangles; we provide both a dense column sweep and a
+structured two-triangle elimination used in tests to cross-check the
+dense ``factor_tree`` math.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["givens_coeffs", "apply_givens", "givens_qr", "eliminate_stacked_triangles"]
+
+
+def givens_coeffs(a: float, b: float) -> tuple[float, float]:
+    """Compute ``(c, s)`` with ``[[c, s], [-s, c]] @ [a, b] = [r, 0]``.
+
+    Uses the hypot-style stable formulation (no overflow for large a, b).
+    """
+    if b == 0.0:
+        return 1.0, 0.0
+    if a == 0.0:
+        return 0.0, 1.0
+    r = float(np.hypot(a, b))
+    return a / r, b / r
+
+
+def apply_givens(M: np.ndarray, i: int, k: int, c: float, s: float) -> None:
+    """Left-multiply rows ``i`` and ``k`` of M by the rotation, in place."""
+    ri = c * M[i] + s * M[k]
+    rk = -s * M[i] + c * M[k]
+    M[i] = ri
+    M[k] = rk
+
+
+def givens_qr(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense QR via Givens rotations; returns explicit thin ``(Q, R)``."""
+    A = np.asarray(A, dtype=float)
+    m, n = A.shape
+    R = A.astype(float, copy=True)
+    k = min(m, n)
+    QT = np.eye(m)
+    for j in range(k):
+        for i in range(m - 1, j, -1):
+            if R[i, j] == 0.0:
+                continue
+            c, s = givens_coeffs(R[j, j], R[i, j])
+            apply_givens(R, j, i, c, s)
+            apply_givens(QT, j, i, c, s)
+            R[i, j] = 0.0
+    return QT[:k].T, np.triu(R[:k])
+
+
+def eliminate_stacked_triangles(R_top: np.ndarray, R_bot: np.ndarray) -> tuple[np.ndarray, list]:
+    """Eliminate ``[R_top; R_bot]`` (two n x n upper triangles) with Givens.
+
+    Exploits the sparsity pattern Figure 2(c) alludes to ("possibly
+    exploiting the sparsity pattern"): entry (n + i, j) only requires
+    rotations against row j, and rows below the diagonal of each triangle
+    are already zero.  Returns the merged R and the rotation list
+    ``(row_top, row_bot, c, s)`` sufficient to reapply the transformation.
+    """
+    n = R_top.shape[0]
+    if R_top.shape != (n, n) or R_bot.shape != (n, n):
+        raise ValueError("both factors must be square n x n triangles")
+    M = np.vstack([np.triu(R_top), np.triu(R_bot)]).astype(float)
+    rots = []
+    for j in range(n):
+        for i in range(n, n + j + 1):
+            if M[i, j] == 0.0:
+                continue
+            c, s = givens_coeffs(M[j, j], M[i, j])
+            apply_givens(M, j, i, c, s)
+            M[i, j] = 0.0
+            rots.append((j, i, c, s))
+    return np.triu(M[:n]), rots

@@ -1,0 +1,190 @@
+"""Householder reflector primitives, built from scratch on NumPy.
+
+These routines follow the LAPACK conventions (``slarfg``/``sgeqr2``/
+``sorg2r``/``sorm2r``) so that the packed factor format is interchangeable
+with what a GPU kernel would store in place of the input block: the upper
+triangle holds R, the strict lower triangle holds the Householder vectors
+with an implicit unit diagonal, and a separate ``tau`` array holds the
+scalar reflector coefficients.
+
+The paper's ``factor`` kernel (Section IV-D.1) is exactly ``geqr2`` applied
+to one small block in fast memory; ``apply_qt_h`` is ``orm2r`` applied
+blockwise.  Everything here is the BLAS2 (matrix-vector) formulation; the
+blocked BLAS3 formulation lives in :mod:`repro.core.blocked`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import as_float_array, working_dtype
+
+__all__ = [
+    "house",
+    "apply_reflector",
+    "geqr2",
+    "extract_r",
+    "extract_v",
+    "org2r",
+    "orm2r",
+    "qr_flops",
+    "geqr2_flops",
+]
+
+
+def house(x: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Compute a Householder reflector for a vector.
+
+    Returns ``(v, tau, beta)`` with ``v[0] == 1`` such that
+    ``(I - tau * v v^T) x = beta * e_1`` and ``H = I - tau v v^T`` is
+    orthogonal.  Follows ``slarfg``: ``beta = -sign(x[0]) * ||x||`` so the
+    transformation is numerically stable (no cancellation in ``x[0] - beta``).
+
+    For a zero (or length-1 already-reduced) vector, ``tau = 0`` and the
+    reflector is the identity.
+    """
+    x = as_float_array(x)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("house() expects a non-empty 1-D vector")
+    v = x.copy()
+    alpha = float(v[0])
+    if v.size == 1:
+        return np.ones(1, dtype=v.dtype), 0.0, float(alpha)
+    sigma = float(np.dot(v[1:], v[1:]))
+    if sigma == 0.0:
+        # Already of the form alpha*e_1: identity reflector.
+        v[0] = 1.0
+        return v, 0.0, float(alpha)
+    norm_x = float(np.sqrt(alpha * alpha + sigma))
+    beta = -np.copysign(norm_x, alpha)
+    v0 = alpha - beta
+    v[1:] /= v0
+    v[0] = 1.0
+    tau = (beta - alpha) / beta
+    return v, float(tau), float(beta)
+
+
+def apply_reflector(v: np.ndarray, tau: float, C: np.ndarray) -> np.ndarray:
+    """Apply ``H = I - tau v v^T`` from the left, in place: ``C <- H C``.
+
+    This is the matvec + rank-1 update pair that Section IV-E identifies as
+    the core computation of every kernel (Figure 5): ``w = C^T v`` followed
+    by ``C -= tau * v w^T``.
+    """
+    if tau == 0.0:
+        return C
+    w = C.T @ v  # matrix-vector product, Figure 5(a)
+    C -= tau * np.outer(v, w)  # rank-1 update, Figure 5(b)
+    return C
+
+
+def geqr2(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unblocked Householder QR of a small block (LAPACK ``sgeqr2``).
+
+    Returns ``(VR, tau)`` where ``VR`` is ``A`` overwritten with R in the
+    upper triangle and the Householder vectors below the diagonal (unit
+    diagonal implicit), and ``tau`` has length ``min(m, n)``.
+
+    This is the computation performed in fast memory by the paper's
+    ``factor`` kernel.
+    """
+    A = as_float_array(A, copy=True)
+    m, n = A.shape
+    k = min(m, n)
+    tau = np.zeros(k, dtype=A.dtype)
+    for j in range(k):
+        v, t, beta = house(A[j:, j])
+        tau[j] = t
+        if j + 1 < n:
+            apply_reflector(v, t, A[j:, j + 1 :])
+        A[j, j] = beta
+        A[j + 1 :, j] = v[1:]
+    return A, tau
+
+
+def extract_r(VR: np.ndarray, square: bool = True) -> np.ndarray:
+    """Extract the R factor from the packed ``geqr2`` output.
+
+    With ``square=True`` returns the leading ``min(m, n) x n`` upper
+    trapezoid (the part TSQR passes up the reduction tree); otherwise the
+    full ``m x n`` upper triangle.
+    """
+    m, n = VR.shape
+    R = np.triu(VR)
+    if square:
+        return R[: min(m, n), :]
+    return R
+
+
+def extract_v(VR: np.ndarray) -> np.ndarray:
+    """Extract the Householder vectors as a unit-lower-trapezoidal matrix."""
+    m, n = VR.shape
+    k = min(m, n)
+    V = np.tril(VR[:, :k], -1)
+    np.fill_diagonal(V, 1.0)
+    return V
+
+
+def orm2r(
+    VR: np.ndarray,
+    tau: np.ndarray,
+    C: np.ndarray,
+    transpose: bool = False,
+) -> np.ndarray:
+    """Apply Q (or Q^T) from a packed ``geqr2`` factorization to C, in place.
+
+    ``Q = H_0 H_1 ... H_{k-1}``; applying ``Q^T`` walks the reflectors
+    forward, applying ``Q`` walks them backward (LAPACK ``sorm2r``, side
+    'L').  ``C`` must have the same number of rows as ``VR``.
+    """
+    m, n = VR.shape
+    if C.shape[0] != m:
+        raise ValueError(f"row mismatch: VR has {m} rows, C has {C.shape[0]}")
+    k = len(tau)
+    order = range(k) if transpose else range(k - 1, -1, -1)
+    for j in order:
+        v = np.empty(m - j, dtype=VR.dtype)
+        v[0] = 1.0
+        v[1:] = VR[j + 1 :, j]
+        apply_reflector(v, tau[j], C[j:, :])
+    return C
+
+
+def org2r(VR: np.ndarray, tau: np.ndarray, n_cols: int | None = None) -> np.ndarray:
+    """Form the explicit (thin) Q factor from packed form (LAPACK ``sorg2r``).
+
+    Returns the ``m x n_cols`` orthonormal matrix (default ``n_cols =
+    min(m, n)``) — the SORGQR-equivalent the paper notes is "just as
+    efficient as factoring the matrix".
+    """
+    m, n = VR.shape
+    k = min(m, n)
+    if n_cols is None:
+        n_cols = k
+    Q = np.zeros((m, n_cols), dtype=working_dtype(VR))
+    np.fill_diagonal(Q, 1.0)
+    return orm2r(VR, tau, Q, transpose=False)
+
+
+def qr_flops(m: int, n: int) -> float:
+    """Standard flop count of a Householder QR factorization (SGEQRF).
+
+    ``2mn^2 - 2n^3/3`` for ``m >= n`` — the count used by the paper (and by
+    LAPACK) to convert runtimes into GFLOPS regardless of the extra
+    arithmetic an algorithm like CAQR performs.
+    """
+    m, n = float(m), float(n)
+    if m >= n:
+        return 2.0 * m * n * n - 2.0 * n**3 / 3.0
+    # Wide case: factor the leading m x m part and update the rest.
+    return 2.0 * n * m * m - 2.0 * m**3 / 3.0
+
+
+def geqr2_flops(m: int, n: int) -> float:
+    """Flops actually performed by unblocked QR of an ``m x n`` block.
+
+    Identical leading term to :func:`qr_flops`; kept separate so kernel
+    cost models can distinguish "useful" flops from the SGEQRF accounting
+    convention.
+    """
+    return qr_flops(m, n)

@@ -1,0 +1,107 @@
+"""Column-pivoted (rank-revealing) Householder QR — LAPACK ``sgeqp3``-style.
+
+``A P = Q R`` with R's diagonal non-increasing in magnitude, so the
+numerical rank can be read off the diagonal.  Used by the library for
+rank detection (e.g. validating the Robust PCA background rank) and as
+the reference rank-revealing factorization in tests.
+
+Implementation: classical column pivoting with Hammarling-style partial
+column-norm downdating (recompute when cancellation makes the running
+norm untrustworthy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dtypes import as_float_array, eps_for
+from .householder import apply_reflector, house
+
+__all__ = ["PivotedQR", "qr_pivoted", "numerical_rank"]
+
+
+@dataclass
+class PivotedQR:
+    """Result of a column-pivoted QR factorization."""
+
+    Q: np.ndarray  # m x k thin orthonormal factor
+    R: np.ndarray  # k x n upper trapezoidal, |diag| non-increasing
+    piv: np.ndarray  # column permutation: A[:, piv] = Q R
+
+    def rank(self, rtol: float | None = None) -> int:
+        """Numerical rank: diagonal entries above ``rtol * |R[0, 0]|``."""
+        d = np.abs(np.diag(self.R))
+        if d.size == 0 or d[0] == 0.0:
+            return 0
+        if rtol is None:
+            rtol = max(self.Q.shape[0], self.R.shape[1]) * eps_for(self.R)
+        return int(np.sum(d > rtol * d[0]))
+
+    def permutation_matrix(self) -> np.ndarray:
+        n = self.piv.size
+        P = np.zeros((n, n))
+        P[self.piv, np.arange(n)] = 1.0
+        return P
+
+
+def qr_pivoted(A: np.ndarray) -> PivotedQR:
+    """Factor ``A P = Q R`` with greedy column pivoting.
+
+    At each step the column of largest remaining norm is swapped to the
+    front; partial norms are downdated and recomputed on cancellation
+    (the standard ``sgeqp3`` safeguard).
+    """
+    A = as_float_array(A, copy=True)
+    if A.ndim != 2:
+        raise ValueError("A must be 2-D")
+    m, n = A.shape
+    k = min(m, n)
+    piv = np.arange(n)
+    Q = np.eye(m, dtype=A.dtype)
+    norms = np.linalg.norm(A, axis=0)
+    ref_norms = norms.copy()
+    eps = eps_for(A)
+    for j in range(k):
+        # Pivot: bring the heaviest remaining column to position j.
+        p = j + int(np.argmax(norms[j:]))
+        if p != j:
+            A[:, [j, p]] = A[:, [p, j]]
+            piv[[j, p]] = piv[[p, j]]
+            norms[[j, p]] = norms[[p, j]]
+            ref_norms[[j, p]] = ref_norms[[p, j]]
+        if norms[j] == 0.0:
+            break
+        v, tau, beta = house(A[j:, j])
+        if j + 1 < n:
+            apply_reflector(v, tau, A[j:, j + 1 :])
+        A[j, j] = beta
+        A[j + 1 :, j] = 0.0
+        # Accumulate Q explicitly: Q <- Q H_j (small-matrix usage).
+        Qsub = Q[:, j:]
+        w = Qsub @ v
+        Q[:, j:] = Qsub - tau * np.outer(w, v)
+        # Downdate the running column norms (Hammarling).
+        if j + 1 < n:
+            row = A[j, j + 1 :]
+            with np.errstate(invalid="ignore"):
+                t = 1.0 - (np.abs(row) / np.where(norms[j + 1 :] == 0, 1.0, norms[j + 1 :])) ** 2
+            t = np.maximum(t, 0.0)
+            new = norms[j + 1 :] * np.sqrt(t)
+            # Recompute columns whose downdated norm lost too much accuracy.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                unsafe = t * (norms[j + 1 :] / np.where(ref_norms[j + 1 :] == 0, 1.0, ref_norms[j + 1 :])) ** 2 <= 100.0 * eps
+            if np.any(unsafe):
+                idx = np.nonzero(unsafe)[0] + j + 1
+                new_idx = np.linalg.norm(A[j + 1 :, idx], axis=0)
+                new[idx - (j + 1)] = new_idx
+                ref_norms[idx] = new_idx
+            norms[j + 1 :] = new
+    R = np.triu(A[:k, :])
+    return PivotedQR(Q=Q[:, :k], R=R, piv=piv)
+
+
+def numerical_rank(A: np.ndarray, rtol: float | None = None) -> int:
+    """Numerical rank via column-pivoted QR."""
+    return qr_pivoted(A).rank(rtol=rtol)

@@ -1,0 +1,76 @@
+"""Randomized partial SVD with a TSQR range finder.
+
+The Robust PCA iteration only needs the singular values above the
+threshold, yet Section VI computes a full thin SVD each time.  A
+randomized range finder (Halko-Martinsson-Tropp) needs exactly one
+tall-skinny QR — this library's specialty — of the sampled matrix
+``A Omega``: a natural extension the paper's machinery makes cheap, and
+the basis of the rank-adaptive SVT in :mod:`repro.rpca`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .jacobi_svd import jacobi_svd
+from .tsqr import tsqr_qr
+
+__all__ = ["randomized_range_finder", "randomized_svd"]
+
+
+def randomized_range_finder(
+    A: np.ndarray,
+    k: int,
+    oversample: int = 8,
+    power_iters: int = 1,
+    rng: np.random.Generator | None = None,
+    block_rows: int = 256,
+) -> np.ndarray:
+    """Orthonormal basis approximately spanning A's leading k-range.
+
+    ``Q = tsqr_qr(A @ Omega)`` with Gaussian ``Omega`` and optional
+    power iterations (each one re-orthogonalized through TSQR for
+    stability).
+    """
+    A = np.asarray(A, dtype=float)
+    m, n = A.shape
+    if k < 1:
+        raise ValueError("target rank k must be >= 1")
+    ell = min(k + oversample, n)
+    rng = rng or np.random.default_rng(0)
+    Y = A @ rng.standard_normal((n, ell))
+    Q, _ = tsqr_qr(Y, block_rows=block_rows)
+    for _ in range(power_iters):
+        Z = A.T @ Q
+        Zq, _ = np.linalg.qr(Z) if n < block_rows else tsqr_qr(Z, block_rows=block_rows)
+        Y = A @ Zq
+        Q, _ = tsqr_qr(Y, block_rows=block_rows)
+    return Q
+
+
+def randomized_svd(
+    A: np.ndarray,
+    k: int,
+    oversample: int = 8,
+    power_iters: int = 1,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Approximate rank-k thin SVD ``A ~= U diag(s) V^T``.
+
+    Returns factors truncated to ``k`` columns.  Accuracy follows the HMT
+    bounds: near-exact when A's spectrum decays past rank k (exactly the
+    Robust PCA situation, where L is low-rank by construction).
+    """
+    A = np.asarray(A, dtype=float)
+    m, n = A.shape
+    if m < n:
+        U, s, Vt = randomized_svd(A.T, k, oversample, power_iters, rng)
+        return Vt.T, s, U.T
+    Q = randomized_range_finder(A, k, oversample, power_iters, rng)
+    B = Q.T @ A  # ell x n, small
+    Ub, s, Vt = jacobi_svd(B.T)  # jacobi wants tall: factor B^T
+    # B = (Vt.T * s) @ Ub.T  =>  B's left vectors are Vt.T's columns.
+    U_small, s, Vt_small = Vt.T, s, Ub.T
+    U = Q @ U_small
+    k = min(k, s.size)
+    return U[:, :k], s[:k], Vt_small[:k]

@@ -1,0 +1,141 @@
+"""Reduction-tree schedules for TSQR (Section II-B / IV-C).
+
+TSQR eliminates the per-block R factors with a reduction tree whose shape
+is an architecture choice: the paper uses a **quad-tree** on the GPU
+(because a 64x16 block holds 64/16 = 4 stacked 16x16 R triangles), while
+prior multicore work used a **binomial** tree and sequential (cache
+blocked) TSQR corresponds to a **flat** tree.
+
+A schedule is a list of levels; each level is a list of *groups*; each
+group is a tuple of surviving block indices whose R factors are stacked
+and factored together.  The first index of a group survives to the next
+level.  The schedule is pure bookkeeping — the same schedules drive both
+the NumPy execution path and the GPU simulator's launch-cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TreeSchedule", "build_tree", "TREE_SHAPES"]
+
+TREE_SHAPES = ("binary", "quad", "binomial", "flat")
+
+
+@dataclass(frozen=True)
+class TreeSchedule:
+    """A reduction-tree elimination schedule over ``n_blocks`` row blocks.
+
+    Attributes:
+        n_blocks: number of level-0 row blocks in the panel.
+        shape: one of :data:`TREE_SHAPES` (or ``"arity:k"``).
+        levels: ``levels[l]`` is the list of groups eliminated at level l.
+            Every group has >= 2 members except that a lone trailing block
+            may ride along to the next level ungrouped.
+    """
+
+    n_blocks: int
+    shape: str
+    levels: tuple[tuple[tuple[int, ...], ...], ...] = field(default=())
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def n_groups(self) -> int:
+        """Total number of stacked-R factorizations performed by the tree."""
+        return sum(len(level) for level in self.levels)
+
+    def survivors(self) -> list[int]:
+        """Indices alive after the last level (length 1 when n_blocks >= 1)."""
+        alive = list(range(self.n_blocks))
+        for level in self.levels:
+            eliminated = {i for group in level for i in group[1:]}
+            alive = [i for i in alive if i not in eliminated]
+        return alive
+
+    def validate(self) -> None:
+        """Check the schedule eliminates every block exactly once."""
+        alive = list(range(self.n_blocks))
+        for level in self.levels:
+            alive_set = set(alive)
+            seen: set[int] = set()
+            for group in level:
+                if len(group) < 2:
+                    raise ValueError(f"group {group} has fewer than 2 members")
+                for i in group:
+                    if i not in alive_set:
+                        raise ValueError(f"block {i} not alive at this level")
+                    if i in seen:
+                        raise ValueError(f"block {i} appears in two groups")
+                    seen.add(i)
+            eliminated = {i for group in level for i in group[1:]}
+            alive = [i for i in alive if i not in eliminated]
+        if len(alive) != min(1, self.n_blocks):
+            raise ValueError(f"schedule leaves {len(alive)} survivors: {alive}")
+
+
+def _chunked_levels(n_blocks: int, arity: int) -> list[tuple[tuple[int, ...], ...]]:
+    """Group consecutive survivors in chunks of ``arity`` until one remains."""
+    levels: list[tuple[tuple[int, ...], ...]] = []
+    alive = list(range(n_blocks))
+    while len(alive) > 1:
+        groups = []
+        nxt = []
+        for start in range(0, len(alive), arity):
+            chunk = tuple(alive[start : start + arity])
+            if len(chunk) == 1:
+                nxt.append(chunk[0])  # lone block rides along
+            else:
+                groups.append(chunk)
+                nxt.append(chunk[0])
+        if not groups:  # only possible if arity < 2
+            raise ValueError("arity must be >= 2")
+        levels.append(tuple(groups))
+        alive = nxt
+    return levels
+
+
+def _binomial_levels(n_blocks: int) -> list[tuple[tuple[int, ...], ...]]:
+    """Stride-doubling pairwise elimination: (i, i+s) at stride s = 1,2,4,..."""
+    levels: list[tuple[tuple[int, ...], ...]] = []
+    stride = 1
+    while stride < n_blocks:
+        groups = []
+        for i in range(0, n_blocks, 2 * stride):
+            j = i + stride
+            if j < n_blocks:
+                groups.append((i, j))
+        levels.append(tuple(groups))
+        stride *= 2
+    return levels
+
+
+def build_tree(n_blocks: int, shape: str = "quad") -> TreeSchedule:
+    """Build a :class:`TreeSchedule` of the requested shape.
+
+    ``shape`` is ``"binary"`` (arity 2), ``"quad"`` (arity 4, the paper's
+    GPU choice), ``"binomial"`` (stride-doubling pairs, the multicore
+    choice), ``"flat"`` (single group per level containing everything —
+    sequential TSQR), or ``"arity:k"`` for any k >= 2.
+    """
+    if n_blocks < 0:
+        raise ValueError("n_blocks must be non-negative")
+    if n_blocks <= 1:
+        return TreeSchedule(n_blocks=n_blocks, shape=shape, levels=())
+    if shape == "binary":
+        levels = _chunked_levels(n_blocks, 2)
+    elif shape == "quad":
+        levels = _chunked_levels(n_blocks, 4)
+    elif shape == "binomial":
+        levels = _binomial_levels(n_blocks)
+    elif shape == "flat":
+        levels = [((tuple(range(n_blocks)),))]
+    elif shape.startswith("arity:"):
+        levels = _chunked_levels(n_blocks, int(shape.split(":", 1)[1]))
+    else:
+        raise ValueError(f"unknown tree shape {shape!r}; choose from {TREE_SHAPES}")
+    sched = TreeSchedule(n_blocks=n_blocks, shape=shape, levels=tuple(levels))
+    sched.validate()
+    return sched

@@ -1,0 +1,79 @@
+"""Triangular solves and Cholesky, built from scratch.
+
+Substrate routines needed by Cholesky QR (Section II's stability
+comparison) and the QR-based least-squares solver.  Vectorized row/column
+sweeps over NumPy — no calls into ``numpy.linalg``/``scipy.linalg``
+factorizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["solve_upper", "solve_lower", "cholesky", "SingularTriangularError"]
+
+
+class SingularTriangularError(ValueError):
+    """Raised when a triangular solve or Cholesky hits a zero/negative pivot."""
+
+
+def solve_upper(R: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``R X = B`` for upper-triangular R by back substitution."""
+    R = np.asarray(R, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n = R.shape[0]
+    if R.shape[1] != n:
+        raise ValueError("R must be square")
+    squeeze = B.ndim == 1
+    X = B.reshape(n, -1).astype(float, copy=True)
+    for i in range(n - 1, -1, -1):
+        if R[i, i] == 0.0:
+            raise SingularTriangularError(f"zero pivot at row {i}")
+        X[i] -= R[i, i + 1 :] @ X[i + 1 :]
+        X[i] /= R[i, i]
+    return X.ravel() if squeeze else X
+
+
+def solve_lower(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``L X = B`` for lower-triangular L by forward substitution."""
+    L = np.asarray(L, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n = L.shape[0]
+    if L.shape[1] != n:
+        raise ValueError("L must be square")
+    squeeze = B.ndim == 1
+    X = B.reshape(n, -1).astype(float, copy=True)
+    for i in range(n):
+        if L[i, i] == 0.0:
+            raise SingularTriangularError(f"zero pivot at row {i}")
+        X[i] -= L[i, :i] @ X[:i]
+        X[i] /= L[i, i]
+    return X.ravel() if squeeze else X
+
+
+def cholesky(A: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of a symmetric positive-definite matrix.
+
+    Outer-product (right-looking) form with a vectorized trailing update.
+    Raises :class:`SingularTriangularError` if A is not numerically
+    positive definite — which is precisely how Cholesky QR fails on
+    ill-conditioned matrices (cond(A^T A) = cond(A)^2).
+    """
+    A = np.array(A, dtype=float, copy=True)
+    n = A.shape[0]
+    if A.shape[1] != n:
+        raise ValueError("A must be square")
+    L = np.zeros_like(A)
+    for j in range(n):
+        d = A[j, j]
+        if d <= 0.0 or not np.isfinite(d):
+            raise SingularTriangularError(f"non-positive pivot {d!r} at column {j}")
+        d = np.sqrt(d)
+        L[j, j] = d
+        if j + 1 < n:
+            col = A[j + 1 :, j] / d
+            L[j + 1 :, j] = col
+            A[j + 1 :, j + 1 :] -= np.outer(col, col)
+            A[j + 1 :, j] = 0.0
+        A[j, j] = 0.0
+    return L

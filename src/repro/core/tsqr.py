@@ -1,0 +1,286 @@
+"""Tall-Skinny QR (TSQR) — Section II-B of the paper.
+
+The tall matrix is divided vertically into small row blocks; each block is
+factored independently (the paper's ``factor`` kernel), and the resulting
+R factors are eliminated up a reduction tree (the ``factor_tree`` kernel).
+The Q factor is left *implicit* as the collection of per-block and
+per-tree-node Householder factors (the "series of small Us" of Figure 2),
+from which Q or Q^T can be applied, or the explicit thin Q formed.
+
+This module is the pure-numerics implementation; the GPU-simulated
+execution (launch costs, timing) reuses these factor objects through
+:mod:`repro.caqr_gpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dtypes import as_float_array, working_dtype
+from .householder import geqr2, orm2r
+from repro.smallblas.batched import batched_apply_blocked, batched_geqr2
+from .structured import StructuredStackFactor, structured_stack_qr
+from .tree import TreeSchedule, build_tree
+
+__all__ = ["row_blocks", "TSQRFactors", "tsqr", "tsqr_qr"]
+
+
+def row_blocks(m: int, block_rows: int) -> list[tuple[int, int]]:
+    """Partition ``m`` rows into contiguous blocks of height ``block_rows``.
+
+    The last block may be shorter.  ``block_rows`` is the paper's block
+    height (64 in the reference configuration, so that the tree reduction
+    "ends when the panel height becomes less than 64").
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    if block_rows < 1:
+        raise ValueError("block_rows must be positive")
+    return [(i, min(i + block_rows, m)) for i in range(0, m, block_rows)]
+
+
+@dataclass
+class _LevelZeroFactor:
+    """Packed Householder factor of one level-0 row block."""
+
+    rows: tuple[int, int]  # [start, stop) within the panel
+    VR: np.ndarray
+    tau: np.ndarray
+
+    @property
+    def r_height(self) -> int:
+        """Rows of the upper-trapezoidal R this block passes up the tree."""
+        return min(self.VR.shape[0], self.VR.shape[1])
+
+
+@dataclass
+class _TreeFactor:
+    """Householder factor of one stacked-R elimination group.
+
+    Either a dense packed ``(VR, tau)`` (the ``factor_tree`` kernel's
+    layout) or a sparsity-exploiting :class:`StructuredStackFactor`
+    (Figure 2(c)'s optional optimization).
+    """
+
+    group: tuple[int, ...]  # member level-0 block indices (first survives)
+    heights: tuple[int, ...]  # R rows contributed by each member
+    VR: np.ndarray | None = None
+    tau: np.ndarray | None = None
+    structured: StructuredStackFactor | None = None
+
+    def apply_qt_stack(self, stacked: np.ndarray) -> np.ndarray:
+        if self.structured is not None:
+            return self.structured.apply_qt(stacked)
+        return orm2r(self.VR, self.tau, stacked, transpose=True)
+
+    def apply_q_stack(self, stacked: np.ndarray) -> np.ndarray:
+        if self.structured is not None:
+            return self.structured.apply_q(stacked)
+        return orm2r(self.VR, self.tau, stacked, transpose=False)
+
+
+@dataclass
+class TSQRFactors:
+    """Implicit Q of a TSQR factorization.
+
+    Supports applying Q/Q^T to any conformal matrix (this is exactly the
+    paper's trailing-matrix update: ``apply_qt_h`` for the level-0 factors
+    and ``apply_qt_tree`` for the tree factors) and forming the explicit
+    thin Q (the SORGQR-equivalent).
+    """
+
+    m: int
+    n: int
+    blocks: list[_LevelZeroFactor]
+    tree: TreeSchedule
+    tree_factors: list[list[_TreeFactor]]  # one list per tree level
+    R: np.ndarray  # final min(m, n) x n upper-triangular factor
+
+    # -- internal helpers -------------------------------------------------
+
+    def _uniform_prefix(self) -> tuple[int, int]:
+        """(count, height) of the leading run of equal-height blocks."""
+        if not self.blocks:
+            return 0, 0
+        h = self.blocks[0].rows[1] - self.blocks[0].rows[0]
+        count = 0
+        for blk in self.blocks:
+            if blk.rows[1] - blk.rows[0] != h:
+                break
+            count += 1
+        return count, h
+
+    def _apply_level0(self, B: np.ndarray, transpose: bool) -> None:
+        """Level-0 application, batched over the uniform block prefix."""
+        count, h = self._uniform_prefix()
+        if count > 1:
+            VRs = np.stack([self.blocks[i].VR for i in range(count)])
+            taus = np.stack([self.blocks[i].tau for i in range(count)])
+            seg = B[: count * h]
+            stacked = np.ascontiguousarray(seg).reshape(count, h, B.shape[1])
+            if stacked.dtype != VRs.dtype:
+                VRs = VRs.astype(stacked.dtype)
+                taus = taus.astype(stacked.dtype)
+            batched_apply_blocked(VRs, taus, stacked, transpose=transpose)
+            seg[:] = stacked.reshape(count * h, B.shape[1])
+        else:
+            count = 0
+        for blk in self.blocks[count:]:
+            s, e = blk.rows
+            orm2r(blk.VR, blk.tau, B[s:e], transpose=transpose)
+
+    def _gather(self, B: np.ndarray, tf: _TreeFactor) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        """Collect the distributed row pieces a tree factor touches.
+
+        This mirrors ``apply_qt_tree``: "collect the distributed components
+        of the trailing matrix to be updated" (Section IV-D.4).
+        """
+        pieces = []
+        ranges = []
+        for idx, h in zip(tf.group, tf.heights):
+            start = self.blocks[idx].rows[0]
+            ranges.append((start, start + h))
+            pieces.append(B[start : start + h])
+        return np.vstack(pieces), ranges
+
+    @staticmethod
+    def _scatter(B: np.ndarray, stacked: np.ndarray, ranges: list[tuple[int, int]]) -> None:
+        pos = 0
+        for start, stop in ranges:
+            h = stop - start
+            B[start:stop] = stacked[pos : pos + h]
+            pos += h
+
+    # -- public API --------------------------------------------------------
+
+    def apply_qt(self, B: np.ndarray) -> np.ndarray:
+        """Compute ``Q^T B`` in place (B must have ``m`` rows)."""
+        B = as_float_array(B)
+        if B.shape[0] != self.m:
+            raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
+        # Level 0: independent per-block applications (apply_qt_h).
+        self._apply_level0(B, transpose=True)
+        # Tree levels, bottom-up (apply_qt_tree).
+        for level_factors in self.tree_factors:
+            for tf in level_factors:
+                stacked, ranges = self._gather(B, tf)
+                tf.apply_qt_stack(stacked)
+                self._scatter(B, stacked, ranges)
+        return B
+
+    def apply_q(self, B: np.ndarray) -> np.ndarray:
+        """Compute ``Q B`` in place (B must have ``m`` rows)."""
+        B = as_float_array(B)
+        if B.shape[0] != self.m:
+            raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
+        for level_factors in reversed(self.tree_factors):
+            for tf in level_factors:
+                stacked, ranges = self._gather(B, tf)
+                tf.apply_q_stack(stacked)
+                self._scatter(B, stacked, ranges)
+        self._apply_level0(B, transpose=False)
+        return B
+
+    def form_q(self) -> np.ndarray:
+        """Form the explicit thin ``m x min(m, n)`` orthonormal Q."""
+        k = min(self.m, self.n)
+        Q = np.zeros((self.m, k), dtype=working_dtype(self.R))
+        np.fill_diagonal(Q, 1.0)
+        return self.apply_q(Q)
+
+
+def tsqr(
+    A: np.ndarray,
+    block_rows: int = 64,
+    tree_shape: str = "quad",
+    structured: bool = False,
+) -> TSQRFactors:
+    """Factor a tall-skinny matrix with TSQR (Figure 2).
+
+    Args:
+        A: ``m x n`` matrix (any aspect ratio is accepted; TSQR pays off
+            for ``m >> n``).
+        block_rows: height of the level-0 row blocks.
+        tree_shape: reduction-tree shape (see :mod:`repro.core.tree`).
+        structured: eliminate the stacked Rs with the sparsity-exploiting
+            structured QR (~3x fewer tree flops) instead of the dense
+            ``factor_tree`` layout.
+
+    Returns:
+        A :class:`TSQRFactors` holding the implicit Q and the final R.
+    """
+    A = as_float_array(A)
+    if A.ndim != 2:
+        raise ValueError("A must be 2-D")
+    m, n = A.shape
+    # TSQR requires the block height to be at least the panel width so every
+    # level-0 R is a full n x n triangle and the final R lands contiguously
+    # in the first block (the paper always has block height 64 >= width 16).
+    block_rows = max(block_rows, n)
+    ranges = row_blocks(m, block_rows)
+    tree = build_tree(len(ranges), tree_shape)
+
+    # Level 0: factor every row block independently.  Full-height blocks
+    # are factored through the batched kernel (one "thread block" per
+    # small QR, vectorized across the batch — Section I's many-small-QRs
+    # observation); only a ragged last block falls back to the scalar path.
+    blocks = []
+    current_r: dict[int, np.ndarray] = {}
+    n_full = sum(1 for (s, e) in ranges if e - s == block_rows)
+    if n_full > 1 and m >= block_rows:
+        stack = np.ascontiguousarray(A[: n_full * block_rows]).reshape(n_full, block_rows, n)
+        VRb, taub = batched_geqr2(stack)
+    else:
+        n_full = 0
+        VRb = taub = None
+    for i, (s, e) in enumerate(ranges):
+        if i < n_full:
+            VR, tau = VRb[i], taub[i]
+        else:
+            VR, tau = geqr2(A[s:e])
+        blk = _LevelZeroFactor(rows=(s, e), VR=VR, tau=tau)
+        blocks.append(blk)
+        current_r[i] = np.triu(VR[: blk.r_height, :])
+
+    # Tree reduction: stack surviving Rs and factor the stacks.
+    tree_factors: list[list[_TreeFactor]] = []
+    for level in tree.levels:
+        level_factors = []
+        for group in level:
+            heights = tuple(current_r[i].shape[0] for i in group)
+            if structured:
+                sf = structured_stack_qr([current_r[i] for i in group])
+                tf = _TreeFactor(group=group, heights=heights, structured=sf)
+                new_r = sf.R
+            else:
+                stacked = np.vstack([current_r[i] for i in group])
+                VR, tau = geqr2(stacked)
+                tf = _TreeFactor(group=group, heights=heights, VR=VR, tau=tau)
+                new_r = np.triu(VR[: min(stacked.shape[0], n), :])
+            level_factors.append(tf)
+            survivor = group[0]
+            current_r[survivor] = new_r
+            for dead in group[1:]:
+                del current_r[dead]
+        tree_factors.append(level_factors)
+
+    (survivor_idx,) = list(current_r)
+    R = current_r[survivor_idx]
+    # Pad R to min(m, n) rows in the degenerate case of very short matrices.
+    k = min(m, n)
+    if R.shape[0] < k:
+        R = np.vstack([R, np.zeros((k - R.shape[0], n), dtype=R.dtype)])
+    return TSQRFactors(m=m, n=n, blocks=blocks, tree=tree, tree_factors=tree_factors, R=R[:k])
+
+
+def tsqr_qr(
+    A: np.ndarray,
+    block_rows: int = 64,
+    tree_shape: str = "quad",
+    structured: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: explicit thin ``(Q, R)`` via TSQR."""
+    f = tsqr(A, block_rows=block_rows, tree_shape=tree_shape, structured=structured)
+    return f.form_q(), f.R

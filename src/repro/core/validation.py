@@ -1,0 +1,80 @@
+"""Numerical-quality metrics for QR factorizations.
+
+The paper motivates Householder-based CAQR over Cholesky QR and
+Gram-Schmidt on stability grounds (Section II).  These metrics make those
+comparisons quantitative: orthogonality of Q, backward error of the
+factorization, and triangularity of R.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "orthogonality_error",
+    "factorization_error",
+    "triangularity_error",
+    "sign_canonical",
+    "is_factorization_accurate",
+]
+
+
+def orthogonality_error(Q: np.ndarray) -> float:
+    """``||Q^T Q - I||_F`` — the loss-of-orthogonality measure."""
+    Q = np.asarray(Q, dtype=float)
+    k = Q.shape[1]
+    return float(np.linalg.norm(Q.T @ Q - np.eye(k)))
+
+
+def factorization_error(A: np.ndarray, Q: np.ndarray, R: np.ndarray) -> float:
+    """Relative backward error ``||A - Q R||_F / ||A||_F`` (0 for A == 0)."""
+    A = np.asarray(A, dtype=float)
+    denom = np.linalg.norm(A)
+    if denom == 0.0:
+        return float(np.linalg.norm(Q @ R))
+    return float(np.linalg.norm(A - Q @ R) / denom)
+
+
+def triangularity_error(R: np.ndarray) -> float:
+    """Frobenius norm of the strictly-lower-triangular part of R."""
+    R = np.asarray(R, dtype=float)
+    return float(np.linalg.norm(np.tril(R, -1)))
+
+
+def sign_canonical(Q: np.ndarray, R: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flip signs so R has a non-negative diagonal.
+
+    QR is unique only up to the signs of R's diagonal; different algorithms
+    (and LAPACK vs TSQR trees) legitimately disagree.  Canonicalizing lets
+    tests compare R factors directly.
+    """
+    R = np.array(R, dtype=float, copy=True)
+    Q = np.array(Q, dtype=float, copy=True)
+    k = min(R.shape)
+    signs = np.sign(np.diag(R)[:k])
+    signs[signs == 0] = 1.0
+    R[:k, :] *= signs[:, None]
+    Q[:, :k] *= signs[None, :]
+    return Q, R
+
+
+def is_factorization_accurate(
+    A: np.ndarray,
+    Q: np.ndarray,
+    R: np.ndarray,
+    factor: float = 100.0,
+) -> bool:
+    """Check QR quality against the Householder backward-error bound.
+
+    Householder-based QR guarantees errors of order ``c(m, n) * eps``; we
+    use a generous ``factor * eps * sqrt(m * n)`` threshold suitable for
+    random test matrices.
+    """
+    A = np.asarray(A, dtype=float)
+    m, n = A.shape
+    tol = factor * np.finfo(float).eps * max(np.sqrt(m * n), 1.0)
+    return (
+        orthogonality_error(Q) <= tol * max(1.0, np.sqrt(n))
+        and factorization_error(A, Q, R) <= tol
+        and triangularity_error(R) == 0.0
+    )

@@ -1,0 +1,134 @@
+"""Model-driven QR algorithm selection.
+
+Section V-C: "The crossover point, where CAQR becomes slower than the
+best GPU libraries, is around 4000 columns wide.  This suggests an
+autotuning framework for QR where a different algorithm may be chosen
+depending on the matrix size."  This module builds that framework: the
+calibrated performance models predict every engine's runtime for the
+requested shape, the dispatcher picks the winner, and — for the engines
+implemented numerically in this library — actually runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .baselines import CULAQR, MAGMAQR, MKLQR
+from .caqr_gpu import simulate_caqr
+from .core.blocked import blocked_qr
+from .core.caqr import caqr_qr
+from .gpusim.device import C2050, DeviceSpec
+from .kernels.config import REFERENCE_CONFIG, KernelConfig
+
+__all__ = ["EnginePrediction", "DispatchedQR", "QRDispatcher"]
+
+
+@dataclass(frozen=True)
+class EnginePrediction:
+    """Modeled runtime of one engine for one matrix shape."""
+
+    engine: str
+    seconds: float
+    gflops: float
+
+
+@dataclass
+class DispatchedQR:
+    """Outcome of a dispatched factorization."""
+
+    engine: str
+    Q: np.ndarray
+    R: np.ndarray
+    predictions: list[EnginePrediction] = field(default_factory=list)
+
+
+class QRDispatcher:
+    """Choose (and run) the fastest QR engine for a matrix shape.
+
+    Engines:
+
+    * ``"caqr"`` — this library's GPU CAQR (numerics:
+      :func:`repro.core.caqr.caqr_qr`).
+    * ``"blocked"`` — blocked Householder, modeled as the best hybrid
+      library (MAGMA-style; numerics: :func:`repro.core.blocked.blocked_qr`).
+    * ``"mkl"`` — multicore CPU QR (numerics: blocked Householder too —
+      the algorithm is the same, only the platform model differs).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = C2050,
+        config: KernelConfig = REFERENCE_CONFIG,
+        include_cpu: bool = True,
+    ) -> None:
+        self.device = device
+        self.config = config
+        self.include_cpu = include_cpu
+        self._magma = MAGMAQR(gpu=device)
+        self._cula = CULAQR(gpu=device)
+        self._mkl = MKLQR()
+
+    def predict(self, m: int, n: int) -> list[EnginePrediction]:
+        """Modeled runtimes, fastest first."""
+        if m < 1 or n < 1:
+            raise ValueError("matrix dimensions must be positive")
+        preds = []
+        r = simulate_caqr(m, n, self.config, self.device)
+        preds.append(EnginePrediction("caqr", r.seconds, r.gflops))
+        best_hybrid = min(
+            (self._magma.simulate(m, n), self._cula.simulate(m, n)), key=lambda b: b.seconds
+        )
+        preds.append(EnginePrediction("blocked", best_hybrid.seconds, best_hybrid.gflops))
+        if self.include_cpu:
+            b = self._mkl.simulate(m, n)
+            preds.append(EnginePrediction("mkl", b.seconds, b.gflops))
+        return sorted(preds, key=lambda p: p.seconds)
+
+    def choose(self, m: int, n: int) -> EnginePrediction:
+        """The fastest engine for this shape under the models."""
+        return self.predict(m, n)[0]
+
+    def crossover_width(self, m: int, max_width: int | None = None) -> int | None:
+        """Smallest width (by doubling + bisection) where CAQR stops winning."""
+        max_width = max_width or m
+        lo, hi = 1, None
+        w = 64
+        while w <= max_width:
+            if self.choose(m, w).engine != "caqr":
+                hi = w
+                break
+            lo = w
+            w *= 2
+        if hi is None:
+            return None
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.choose(m, mid).engine != "caqr":
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def qr(self, A: np.ndarray) -> DispatchedQR:
+        """Pick the engine for ``A``'s shape and run the factorization."""
+        A = np.asarray(A)
+        if A.ndim != 2:
+            raise ValueError("A must be 2-D")
+        m, n = A.shape
+        preds = self.predict(m, n)
+        engine = preds[0].engine
+        if engine == "caqr":
+            Q, R = caqr_qr(
+                A,
+                panel_width=self.config.panel_width,
+                block_rows=self.config.block_rows,
+                tree_shape=self.config.tree_shape,
+                structured=self.config.structured_tree,
+            )
+        else:
+            # Blocked Householder is the algorithm behind both the hybrid
+            # GPU libraries and MKL; numerically they coincide.
+            Q, R = blocked_qr(A, nb=64)
+        return DispatchedQR(engine=engine, Q=Q, R=R, predictions=preds)

@@ -1,0 +1,26 @@
+"""Distributed-memory TSQR over a simulated message-passing fabric.
+
+The setting TSQR was invented for (the paper's Section I citations):
+P processors, horizontal matrix slices, R factors combined up a
+binomial tree with one message per level — versus Theta(n log P)
+messages for column-by-column Householder.  Communication is counted
+exactly and charged an alpha-beta cost.
+"""
+
+from .comm import CommStats, FakeComm, simulated_network_seconds
+from .tsqr import (
+    DistributedTSQRResult,
+    distributed_tsqr,
+    householder_message_count,
+    tsqr_message_lower_bound,
+)
+
+__all__ = [
+    "CommStats",
+    "FakeComm",
+    "simulated_network_seconds",
+    "DistributedTSQRResult",
+    "distributed_tsqr",
+    "householder_message_count",
+    "tsqr_message_lower_bound",
+]

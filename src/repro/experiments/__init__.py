@@ -1,0 +1,56 @@
+"""Experiment drivers — one module per table/figure of the evaluation.
+
+==================  ========================================================
+module              reproduces
+==================  ========================================================
+strategies_table    Section IV-E: 55/168/194/388 GFLOPS strategy list
+figure7             Figure 7: block-size sweep + autotuned pick (128x16)
+figure8             Figure 8: speedup grid and crossover frontier
+figure9             Figure 9: GFLOPS vs width at height 8192 (~4000 cross)
+table1              Table I: very tall-skinny GFLOPS (1k..1M x 192)
+table2              Table II: Robust PCA iterations/second
+ablations           tree shape, transpose, panel width, hybrid vs GPU-only
+sensitivity         DRAM-bw / PCIe-latency / launch-overhead sweeps
+communication       DRAM words vs the Omega(mn^2/sqrt(M)) lower bound
+stability           loss of orthogonality vs condition number
+projection          headline results on flops-outpace-bandwidth devices
+distributed_study   TSQR vs Householder messages on P simulated ranks
+==================  ========================================================
+"""
+
+from . import (
+    ablations,
+    communication,
+    distributed_study,
+    export,
+    figure7,
+    figure8,
+    figure9,
+    projection,
+    sensitivity,
+    stability,
+    strategies_table,
+    table1,
+    table2,
+)
+from .ascii_chart import ascii_chart
+from .report import format_size, format_table
+
+__all__ = [
+    "ablations",
+    "communication",
+    "distributed_study",
+    "export",
+    "projection",
+    "sensitivity",
+    "stability",
+    "figure7",
+    "figure8",
+    "figure9",
+    "strategies_table",
+    "table1",
+    "table2",
+    "ascii_chart",
+    "format_size",
+    "format_table",
+]

@@ -1,0 +1,56 @@
+"""Terminal line charts for the figures (no plotting dependency offline).
+
+Renders multiple series over a shared x-axis as an ASCII grid — enough
+to see the Figure-9 crossover in a terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 20,
+    title: str | None = None,
+    logx: bool = False,
+) -> str:
+    """Render ``series`` (name -> y values over ``x``) as ASCII art."""
+    import math
+
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [math.log10(v) for v in x] if logx else list(map(float, x))
+    if len(set(len(s) for s in series.values()) | {len(xs)}) != 1:
+        raise ValueError("all series must match the x length")
+    ymax = max(max(s) for s in series.values())
+    ymin = min(min(s) for s in series.values())
+    span_y = (ymax - ymin) or 1.0
+    xmin, xmax = min(xs), max(xs)
+    span_x = (xmax - xmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(xs, ys):
+            col = int(round((xv - xmin) / span_x * (width - 1)))
+            row = height - 1 - int(round((yv - ymin) / span_y * (height - 1)))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        yv = ymax - i * span_y / (height - 1)
+        lines.append(f"{yv:10.1f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lo = f"{x[0]:g}"
+    hi = f"{x[-1]:g}"
+    lines.append(" " * 12 + lo + " " * max(1, width - len(lo) - len(hi)) + hi)
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

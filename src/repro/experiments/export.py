@@ -1,0 +1,83 @@
+"""CSV export of every table and figure (for external plotting).
+
+The benchmark harness archives human-readable tables; this module emits
+machine-readable CSV so the figures can be re-plotted with any tool.
+``export_all`` writes one file per artifact into a directory.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from . import figure9, strategies_table, table1, table2
+
+__all__ = ["export_figure9", "export_table1", "export_table2", "export_strategies", "export_all"]
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(header)
+        w.writerows(rows)
+    return path
+
+
+def export_strategies(directory: str | Path) -> Path:
+    rows = strategies_table.run()
+    return _write(
+        Path(directory) / "strategies.csv",
+        ["strategy", "model_gflops", "paper_gflops"],
+        [[r.strategy, r.model_gflops, r.paper_gflops] for r in rows],
+    )
+
+
+def export_figure9(directory: str | Path, widths: tuple[int, ...] | None = None) -> Path:
+    result = figure9.run(widths=widths) if widths else figure9.run()
+    return _write(
+        Path(directory) / "figure9.csv",
+        ["width", "caqr_gflops", "magma_gflops", "cula_gflops", "mkl_gflops"],
+        [[r.width, r.caqr, r.magma, r.cula, r.mkl] for r in result.rows],
+    )
+
+
+def export_table1(directory: str | Path) -> Path:
+    rows = table1.run()
+    return _write(
+        Path(directory) / "table1.csv",
+        [
+            "height",
+            "caqr_gflops",
+            "magma_gflops",
+            "cula_gflops",
+            "mkl_gflops",
+            "paper_caqr",
+            "paper_magma",
+            "paper_cula",
+            "paper_mkl",
+        ],
+        [
+            [r.height, r.caqr, r.magma, r.cula, r.mkl, *table1.PAPER_TABLE1[r.height]]
+            for r in rows
+        ],
+    )
+
+
+def export_table2(directory: str | Path) -> Path:
+    rows = table2.run()
+    return _write(
+        Path(directory) / "table2.csv",
+        ["engine", "model_iterations_per_second", "paper_iterations_per_second"],
+        [[r.engine, r.iterations_per_second, r.paper_iterations_per_second] for r in rows],
+    )
+
+
+def export_all(directory: str | Path) -> list[Path]:
+    """Write every artifact's CSV; returns the paths written."""
+    return [
+        export_strategies(directory),
+        export_figure9(directory),
+        export_table1(directory),
+        export_table2(directory),
+    ]

@@ -1,0 +1,54 @@
+"""Figure 7: apply_qt_h performance across block sizes, and the autotuned pick.
+
+The paper's chart shows single-precision GFLOPS for a grid of block
+shapes, with the best overall performance at 128x16 (388 GFLOPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import C2050, DeviceSpec
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+from repro.tuning.autotune import SweepEntry, autotune
+
+from .report import format_table
+
+__all__ = ["Figure7Result", "run", "format_results", "PAPER_BEST"]
+
+#: The paper's tuning outcome: 128x16 blocks at 388 GFLOPS.
+PAPER_BEST = {"height": 128, "width": 16, "gflops": 388.0}
+
+
+@dataclass
+class Figure7Result:
+    entries: list[SweepEntry]
+    best: SweepEntry
+    tuned_config: KernelConfig
+
+    def entry(self, height: int, width: int) -> SweepEntry | None:
+        for e in self.entries:
+            if e.height == height and e.width == width:
+                return e
+        return None
+
+
+def run(cfg: KernelConfig = REFERENCE_CONFIG, dev: DeviceSpec = C2050) -> Figure7Result:
+    tuned, entries = autotune(cfg, dev)
+    return Figure7Result(entries=entries, best=entries[0], tuned_config=tuned)
+
+
+def format_results(result: Figure7Result, top: int = 12) -> str:
+    rows = [(e.height, e.width, e.gflops) for e in result.entries[:top]]
+    table = format_table(
+        ["height", "width", "GFLOPS"],
+        rows,
+        title="Figure 7: apply_qt_h block-size sweep (top entries, C2050)",
+        float_fmt="{:.1f}",
+    )
+    ref = result.entry(PAPER_BEST["height"], PAPER_BEST["width"])
+    ref_line = (
+        f"\npaper best: 128 x 16 at {PAPER_BEST['gflops']:.0f} GFLOPS; "
+        f"model at 128 x 16: {ref.gflops:.1f} GFLOPS" if ref else ""
+    )
+    return table + ref_line

@@ -1,0 +1,106 @@
+"""Figure 8: CAQR speedup vs SGEQRF of each library across matrix shapes.
+
+The paper's scatter spans skinny-to-square sizes; the dashed line marks
+the crossover "to the right of which the libraries outperform our QR".
+This experiment evaluates the speedup of CAQR over each library on a
+height x width grid and locates the crossover frontier per height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import CULAQR, MAGMAQR, MKLQR
+from repro.caqr_gpu import simulate_caqr
+from repro.gpusim.device import C2050, DeviceSpec
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+
+from .report import format_size, format_table
+
+__all__ = ["Figure8Point", "Figure8Result", "run", "format_results", "DEFAULT_GRID"]
+
+DEFAULT_GRID = {
+    "heights": (8192, 65_536, 524_288),
+    "widths": (64, 192, 512, 1024, 2048, 4096, 8192),
+}
+
+
+@dataclass(frozen=True)
+class Figure8Point:
+    height: int
+    width: int
+    caqr_gflops: float
+    speedup_vs_magma: float
+    speedup_vs_cula: float
+    speedup_vs_mkl: float
+
+    @property
+    def speedup_vs_best(self) -> float:
+        return min(self.speedup_vs_magma, self.speedup_vs_cula, self.speedup_vs_mkl)
+
+
+@dataclass
+class Figure8Result:
+    points: list[Figure8Point]
+
+    def crossover_frontier(self) -> dict[int, float | None]:
+        """Per height: first width where some library beats CAQR."""
+        frontier: dict[int, float | None] = {}
+        heights = sorted({p.height for p in self.points})
+        for h in heights:
+            row = sorted((p for p in self.points if p.height == h), key=lambda p: p.width)
+            frontier[h] = None
+            for p in row:
+                if p.width <= h and p.speedup_vs_best < 1.0:
+                    frontier[h] = float(p.width)
+                    break
+        return frontier
+
+    def max_speedups(self) -> dict[str, float]:
+        tall = [p for p in self.points if p.width <= p.height]
+        return {
+            "vs_magma": max(p.speedup_vs_magma for p in tall),
+            "vs_cula": max(p.speedup_vs_cula for p in tall),
+            "vs_mkl": max(p.speedup_vs_mkl for p in tall),
+        }
+
+
+def run(
+    heights: tuple[int, ...] = DEFAULT_GRID["heights"],
+    widths: tuple[int, ...] = DEFAULT_GRID["widths"],
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+) -> Figure8Result:
+    magma, cula, mkl = MAGMAQR(gpu=dev), CULAQR(gpu=dev), MKLQR()
+    points = []
+    for h in heights:
+        for w in widths:
+            if w > h:
+                continue  # the paper's grid stays at or left of square
+            c = simulate_caqr(h, w, cfg, dev).gflops
+            points.append(
+                Figure8Point(
+                    height=h,
+                    width=w,
+                    caqr_gflops=c,
+                    speedup_vs_magma=c / magma.simulate(h, w).gflops,
+                    speedup_vs_cula=c / cula.simulate(h, w).gflops,
+                    speedup_vs_mkl=c / mkl.simulate(h, w).gflops,
+                )
+            )
+    return Figure8Result(points=points)
+
+
+def format_results(result: Figure8Result) -> str:
+    table = format_table(
+        ["size", "CAQR GF", "vs MAGMA", "vs CULA", "vs MKL"],
+        [
+            (format_size(p.height, p.width), p.caqr_gflops, p.speedup_vs_magma, p.speedup_vs_cula, p.speedup_vs_mkl)
+            for p in result.points
+        ],
+        title="Figure 8: CAQR speedup vs SGEQRF of each library",
+        float_fmt="{:.2f}",
+    )
+    frontier = result.crossover_frontier()
+    lines = [f"  height {h}: crossover at width {w if w else '> grid'}" for h, w in frontier.items()]
+    return table + "\ncrossover frontier (dashed line):\n" + "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Figure 9: SGEQRF GFLOPS vs matrix width at height 8192.
+
+"The crossover point, where CAQR becomes slower than the best GPU
+libraries, is around 4000 columns wide.  This suggests an autotuning
+framework for QR where a different algorithm may be chosen depending on
+the matrix size."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import CULAQR, MAGMAQR, MKLQR
+from repro.caqr_gpu import simulate_caqr
+from repro.gpusim.device import C2050, DeviceSpec
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+
+from .report import format_table
+
+__all__ = ["Figure9Row", "Figure9Result", "run", "format_results", "DEFAULT_WIDTHS", "HEIGHT"]
+
+HEIGHT = 8192
+DEFAULT_WIDTHS = (64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144, 8192)
+
+
+@dataclass(frozen=True)
+class Figure9Row:
+    width: int
+    caqr: float
+    magma: float
+    cula: float
+    mkl: float
+
+    @property
+    def best_library(self) -> float:
+        return max(self.magma, self.cula, self.mkl)
+
+
+@dataclass
+class Figure9Result:
+    height: int
+    rows: list[Figure9Row]
+
+    def crossover_width(self) -> float | None:
+        """Interpolated width where the best library first beats CAQR."""
+        prev = None
+        for row in self.rows:
+            if row.caqr < row.best_library:
+                if prev is None:
+                    return float(row.width)
+                # Linear interpolation of the margin between samples.
+                m0 = prev.caqr - prev.best_library
+                m1 = row.caqr - row.best_library
+                frac = m0 / (m0 - m1) if m0 != m1 else 0.5
+                return prev.width + frac * (row.width - prev.width)
+            prev = row
+        return None
+
+
+def run(
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    height: int = HEIGHT,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+) -> Figure9Result:
+    magma, cula, mkl = MAGMAQR(gpu=dev), CULAQR(gpu=dev), MKLQR()
+    rows = [
+        Figure9Row(
+            width=w,
+            caqr=simulate_caqr(height, w, cfg, dev).gflops,
+            magma=magma.simulate(height, w).gflops,
+            cula=cula.simulate(height, w).gflops,
+            mkl=mkl.simulate(height, w).gflops,
+        )
+        for w in widths
+    ]
+    return Figure9Result(height=height, rows=rows)
+
+
+def format_results(result: Figure9Result) -> str:
+    table = format_table(
+        ["width", "CAQR", "MAGMA", "CULA", "MKL (8 cores)"],
+        [(r.width, r.caqr, r.magma, r.cula, r.mkl) for r in result.rows],
+        title=f"Figure 9: SGEQRF GFLOPS vs width (height={result.height}, C2050)",
+        float_fmt="{:.1f}",
+    )
+    x = result.crossover_width()
+    note = f"\ncrossover: ~{x:.0f} columns (paper: ~4000)" if x else "\nno crossover in range"
+    return table + note

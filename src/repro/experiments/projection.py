@@ -1,0 +1,98 @@
+"""Hardware projection: how the paper's conclusions age with the hardware.
+
+The paper closes noting "it is likely that both [CPU and GPU CAQR] will
+be needed in future libraries".  This study re-runs the headline
+comparisons on projected devices — compute scaled faster than bandwidth
+(the actual trajectory from Fermi onward) — and reports how the
+tall-skinny speedup and the Figure-9 crossover move: compute-rich,
+bandwidth-starved devices widen CAQR's advantage (it is compute-bound;
+the panel baselines are bandwidth/latency-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import CULAQR, MAGMAQR
+from repro.caqr_gpu import simulate_caqr
+from repro.dispatch import QRDispatcher
+from repro.gpusim.device import C2050, DeviceSpec
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+
+from .report import format_table
+
+__all__ = ["ProjectedDevice", "DEVICES", "run", "format_results", "ProjectionRow"]
+
+
+@dataclass(frozen=True)
+class ProjectedDevice:
+    name: str
+    compute_scale: float  # SM count multiplier
+    bandwidth_scale: float
+    gemm_scale: float
+
+    def device(self, base: DeviceSpec = C2050) -> DeviceSpec:
+        return base.with_(
+            name=self.name,
+            n_sm=int(round(base.n_sm * self.compute_scale)),
+            dram_bw_gbs=base.dram_bw_gbs * self.bandwidth_scale,
+            gemm_peak_gflops=base.gemm_peak_gflops * self.compute_scale * self.gemm_scale,
+        )
+
+
+#: Fermi baseline plus flops-outpace-bandwidth projections.
+DEVICES = (
+    ProjectedDevice("C2050 (2011)", 1.0, 1.0, 1.0),
+    ProjectedDevice("Kepler-like (2x flops, 1.6x bw)", 2.0, 1.6, 1.0),
+    ProjectedDevice("Pascal-like (6x flops, 3x bw)", 6.0, 3.0, 1.0),
+    ProjectedDevice("bandwidth-starved (4x flops, 1x bw)", 4.0, 1.0, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class ProjectionRow:
+    device: str
+    caqr_1m192: float  # GFLOPS at 1M x 192
+    speedup_vs_best_lib: float
+    crossover_width: float | None  # at height 8192
+
+
+def run(
+    devices: tuple[ProjectedDevice, ...] = DEVICES,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+) -> list[ProjectionRow]:
+    rows = []
+    for pd in devices:
+        dev = pd.device()
+        caqr = simulate_caqr(1_000_000, 192, cfg, dev).gflops
+        best_lib = max(
+            MAGMAQR(gpu=dev).simulate(1_000_000, 192).gflops,
+            CULAQR(gpu=dev).simulate(1_000_000, 192).gflops,
+        )
+        x = QRDispatcher(device=dev, config=cfg, include_cpu=False).crossover_width(8192)
+        rows.append(
+            ProjectionRow(
+                device=pd.name,
+                caqr_1m192=caqr,
+                speedup_vs_best_lib=caqr / best_lib,
+                crossover_width=float(x) if x is not None else None,
+            )
+        )
+    return rows
+
+
+def format_results(rows: list[ProjectionRow]) -> str:
+    return format_table(
+        ["device", "CAQR @ 1M x 192", "speedup vs best lib", "crossover (h=8192)"],
+        [
+            (
+                r.device,
+                r.caqr_1m192,
+                r.speedup_vs_best_lib,
+                r.crossover_width if r.crossover_width is not None else "never",
+            )
+            for r in rows
+        ],
+        title="Hardware projection: tall-skinny advantage and crossover vs device balance",
+        float_fmt="{:.1f}",
+    )

@@ -1,0 +1,49 @@
+"""Plain-text rendering helpers for experiment output.
+
+Experiments return structured rows; these helpers print them as aligned
+tables with optional paper-reference columns, so benchmark logs read like
+the paper's own tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_size"]
+
+
+def format_size(m: int, n: int) -> str:
+    """Matrix-size label in the paper's style: '1k x 192', '1M x 192'."""
+
+    def short(v: int) -> str:
+        if v >= 1_000_000 and v % 1_000_000 == 0:
+            return f"{v // 1_000_000}M"
+        if v >= 1_000 and v % 1_000 == 0:
+            return f"{v // 1_000}k"
+        return str(v)
+
+    return f"{short(m)} x {short(n)}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered = [
+        [float_fmt.format(c) if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Table I: performance on very tall-skinny matrices (width 192).
+
+Paper values, single-precision GFLOPS:
+
+=========  =====  =====  ====  ====
+size       CAQR   MAGMA  CULA  MKL
+=========  =====  =====  ====  ====
+1k x 192   39.6   5.01   2.99  3.12
+10k x 192  111    18.7   9.67  16.9
+50k x 192  174    20.8   9.42  22.8
+100k x 192 180    18.8   8.90  21.4
+500k x 192 194    12.4   8.40  17.8
+1M x 192   195    11.4   7.79  16.5
+=========  =====  =====  ====  ====
+
+"In the case of extremely tall-skinny matrices ... we see up to 17x
+speedups vs GPU libraries and 12x vs MKL."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import CULAQR, MAGMAQR, MKLQR
+from repro.caqr_gpu import simulate_caqr
+from repro.gpusim.device import C2050, DeviceSpec
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+
+from .report import format_size, format_table
+
+__all__ = ["PAPER_TABLE1", "Table1Row", "run", "format_results", "HEIGHTS", "WIDTH"]
+
+WIDTH = 192
+HEIGHTS = (1_000, 10_000, 50_000, 100_000, 500_000, 1_000_000)
+
+#: height -> (CAQR, MAGMA, CULA, MKL) single-precision GFLOPS from Table I.
+PAPER_TABLE1: dict[int, tuple[float, float, float, float]] = {
+    1_000: (39.6, 5.01, 2.99, 3.12),
+    10_000: (111.0, 18.7, 9.67, 16.9),
+    50_000: (174.0, 20.8, 9.42, 22.8),
+    100_000: (180.0, 18.8, 8.90, 21.4),
+    500_000: (194.0, 12.4, 8.40, 17.8),
+    1_000_000: (195.0, 11.4, 7.79, 16.5),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    height: int
+    caqr: float
+    magma: float
+    cula: float
+    mkl: float
+
+    @property
+    def speedup_vs_gpu_libs(self) -> float:
+        return self.caqr / max(self.magma, self.cula)
+
+    @property
+    def speedup_vs_mkl(self) -> float:
+        return self.caqr / self.mkl
+
+
+def run(
+    heights: tuple[int, ...] = HEIGHTS,
+    width: int = WIDTH,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+) -> list[Table1Row]:
+    magma, cula, mkl = MAGMAQR(gpu=dev), CULAQR(gpu=dev), MKLQR()
+    return [
+        Table1Row(
+            height=h,
+            caqr=simulate_caqr(h, width, cfg, dev).gflops,
+            magma=magma.simulate(h, width).gflops,
+            cula=cula.simulate(h, width).gflops,
+            mkl=mkl.simulate(h, width).gflops,
+        )
+        for h in heights
+    ]
+
+
+def format_results(rows: list[Table1Row]) -> str:
+    body = []
+    for r in rows:
+        paper = PAPER_TABLE1.get(r.height)
+        ref = f"{paper[0]:.0f}/{paper[1]:.1f}/{paper[2]:.1f}/{paper[3]:.1f}" if paper else "-"
+        body.append(
+            (format_size(r.height, WIDTH), r.caqr, r.magma, r.cula, r.mkl, ref)
+        )
+    return format_table(
+        ["size", "CAQR", "MAGMA", "CULA", "MKL", "paper (C/M/Cu/K)"],
+        body,
+        title="Table I: very tall-skinny SGEQRF, single-precision GFLOPS",
+        float_fmt="{:.1f}",
+    )

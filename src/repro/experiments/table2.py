@@ -1,0 +1,89 @@
+"""Table II: Robust PCA iterations/second on the 110,592 x 100 video matrix.
+
+=================  ==============  ====================
+SVD engine         platform        iterations / second
+=================  ==============  ====================
+MKL SVD            4-core CPU      0.9
+BLAS2 QR           GTX480          8.7
+CAQR               GTX480          27.0
+=================  ==============  ====================
+
+Plus the end-to-end narrative: 3x from CAQR over the tuned BLAS2 QR
+(Amdahl-limited even though the QR itself speeds up more) and 30x over
+the CPU, "reducing the time to solve the problem completely from over
+nine minutes to 17 seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rpca.timing import ITERATION_ENGINES, RPCAIterationModel
+
+from .report import format_table
+
+__all__ = ["PAPER_TABLE2", "Table2Row", "run", "format_results", "VIDEO_M", "VIDEO_N"]
+
+VIDEO_M = 110_592  # 288 x 384 pixels per frame
+VIDEO_N = 100  # frames
+FULL_RUN_ITERATIONS = 500  # "technically takes over 500 iterations"
+
+PAPER_TABLE2 = {"mkl_svd": 0.9, "blas2_qr": 8.7, "caqr": 27.0}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    engine: str
+    iterations_per_second: float
+    paper_iterations_per_second: float
+    breakdown: dict[str, float]
+
+    @property
+    def ratio(self) -> float:
+        return self.iterations_per_second / self.paper_iterations_per_second
+
+    @property
+    def full_run_seconds(self) -> float:
+        return FULL_RUN_ITERATIONS / self.iterations_per_second
+
+
+def run(m: int = VIDEO_M, n: int = VIDEO_N) -> list[Table2Row]:
+    rows = []
+    for engine in ITERATION_ENGINES:
+        model = RPCAIterationModel(engine=engine)
+        ips = model.iterations_per_second(m, n)
+        rows.append(
+            Table2Row(
+                engine=engine,
+                iterations_per_second=ips,
+                paper_iterations_per_second=PAPER_TABLE2[engine],
+                breakdown=dict(model.breakdown),
+            )
+        )
+    return rows
+
+
+def speedups(rows: list[Table2Row]) -> dict[str, float]:
+    by = {r.engine: r.iterations_per_second for r in rows}
+    return {
+        "caqr_vs_blas2": by["caqr"] / by["blas2_qr"],  # paper: ~3x
+        "caqr_vs_mkl": by["caqr"] / by["mkl_svd"],  # paper: ~30x
+        "blas2_vs_mkl": by["blas2_qr"] / by["mkl_svd"],  # paper: ~9.6x
+    }
+
+
+def format_results(rows: list[Table2Row]) -> str:
+    table = format_table(
+        ["SVD type", "model it/s", "paper it/s", "ratio", "500-iter run (s)"],
+        [
+            (r.engine, r.iterations_per_second, r.paper_iterations_per_second, r.ratio, r.full_run_seconds)
+            for r in rows
+        ],
+        title=f"Table II: Robust PCA on the {VIDEO_M} x {VIDEO_N} video matrix",
+    )
+    s = speedups(rows)
+    return table + (
+        f"\nCAQR vs BLAS2: {s['caqr_vs_blas2']:.1f}x (paper ~3x) | "
+        f"CAQR vs MKL: {s['caqr_vs_mkl']:.1f}x (paper ~30x) | "
+        f"BLAS2 vs MKL: {s['blas2_vs_mkl']:.1f}x (paper ~9.6x)"
+    )

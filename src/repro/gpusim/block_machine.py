@@ -1,0 +1,119 @@
+"""A warp-synchronous functional executor for one thread block.
+
+The analytic cost model (:mod:`repro.kernels.strategies`) *predicts*
+shared-memory transactions and flops; this machine *measures* them by
+actually executing a kernel the way the GPU does: ``T`` threads, each
+with a private register file, communicating only through an explicitly
+allocated shared memory, in lock-step phases separated by
+``syncthreads``.  All per-thread lanes are vectorized with NumPy (thread
+index = array axis), so the execution is fast enough for tests while the
+counted traffic is exact.
+
+This is what upgrades the simulator from "cost formulas" to
+"execution-driven": :mod:`repro.kernels.simt` implements ``apply_qt_h``
+on this machine, tests check it reproduces ``orm2r`` bit-for-bit-ish, and
+calibration tests check the measured transaction counts against the
+analytic model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BlockCounters", "SharedMemory", "BlockMachine"]
+
+WARP = 32
+
+
+@dataclass
+class BlockCounters:
+    """Dynamic counters accumulated by one block execution."""
+
+    flops: float = 0.0
+    smem_read_transactions: float = 0.0
+    smem_write_transactions: float = 0.0
+    syncthreads: int = 0
+
+    @property
+    def smem_transactions(self) -> float:
+        return self.smem_read_transactions + self.smem_write_transactions
+
+
+class SharedMemory:
+    """A word-addressed shared-memory array with transaction counting.
+
+    A warp's access counts as one transaction per 32 active lanes; reads
+    where every active lane addresses the same word count once (the
+    hardware broadcast).  Bank conflicts are not modeled (the paper's
+    layouts are conflict-free by construction).
+    """
+
+    def __init__(self, n_words: int, counters: BlockCounters, dtype=np.float64) -> None:
+        if n_words < 0:
+            raise ValueError("n_words must be non-negative")
+        self.data = np.zeros(n_words, dtype=dtype)
+        self.counters = counters
+
+    def _count(self, addrs: np.ndarray, write: bool) -> None:
+        addrs = np.asarray(addrs)
+        n_active = addrs.size
+        transactions = 0.0
+        for w0 in range(0, n_active, WARP):
+            warp_addrs = addrs.ravel()[w0 : w0 + WARP]
+            # Broadcast: one transaction serves identical addresses.
+            transactions += 1.0 if np.unique(warp_addrs).size >= 1 else 0.0
+        if write:
+            self.counters.smem_write_transactions += transactions
+        else:
+            self.counters.smem_read_transactions += transactions
+
+    def read(self, addrs: np.ndarray) -> np.ndarray:
+        """Per-lane gather; ``addrs`` is one address per active thread."""
+        addrs = np.asarray(addrs, dtype=np.intp)
+        self._count(addrs, write=False)
+        return self.data[addrs]
+
+    def write(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        """Per-lane scatter (distinct addresses per lane, as in the kernels)."""
+        addrs = np.asarray(addrs, dtype=np.intp)
+        self._count(addrs, write=True)
+        self.data[addrs] = values
+
+    def load_bulk(self, values: np.ndarray, offset: int = 0) -> None:
+        """Cooperative global->shared staging; counted as strided writes."""
+        values = np.asarray(values).ravel()
+        self.data[offset : offset + values.size] = values
+        self.counters.smem_write_transactions += np.ceil(values.size / WARP)
+
+
+@dataclass
+class BlockMachine:
+    """One thread block: T lanes, private registers, shared memory."""
+
+    threads: int
+    smem_words: int
+    dtype: np.dtype = np.float64
+    counters: BlockCounters = field(default_factory=BlockCounters)
+
+    def __post_init__(self) -> None:
+        if self.threads < 1 or self.threads % WARP not in (0, self.threads % WARP):
+            raise ValueError("threads must be positive")
+        self.smem = SharedMemory(self.smem_words, self.counters, dtype=self.dtype)
+
+    def alloc_registers(self, slots: int) -> np.ndarray:
+        """A (threads, slots) private register file (axis 0 = lane)."""
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        return np.zeros((self.threads, slots), dtype=self.dtype)
+
+    def syncthreads(self) -> None:
+        self.counters.syncthreads += 1
+
+    def fma(self, count: float) -> None:
+        """Record ``count`` fused multiply-adds (2 flops each)."""
+        self.counters.flops += 2.0 * count
+
+    def flop(self, count: float) -> None:
+        self.counters.flops += float(count)

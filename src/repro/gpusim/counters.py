@@ -1,0 +1,55 @@
+"""Traffic and work counters — what the simulator actually measures.
+
+The communication-avoiding argument is quantitative: CAQR moves
+asymptotically fewer words between slow and fast memory than blocked
+Householder for the same flops.  Every simulated kernel launch and
+transfer accumulates into a :class:`Counters`, so experiments can report
+bytes/flops alongside modeled runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """Accumulated work and traffic."""
+
+    flops: float = 0.0  # useful floating-point operations
+    gmem_read_bytes: float = 0.0  # global memory (DRAM) reads
+    gmem_write_bytes: float = 0.0  # global memory (DRAM) writes
+    smem_transactions: float = 0.0  # shared-memory warp transactions
+    pcie_bytes: float = 0.0  # CPU<->GPU transfer volume
+    kernel_launches: int = 0
+    pcie_transfers: int = 0
+    thread_blocks: int = 0
+
+    @property
+    def gmem_bytes(self) -> float:
+        return self.gmem_read_bytes + self.gmem_write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per DRAM byte (inf if no traffic was recorded)."""
+        return self.flops / self.gmem_bytes if self.gmem_bytes else float("inf")
+
+    def add(self, other: "Counters") -> "Counters":
+        """Accumulate ``other`` into self (returns self for chaining)."""
+        self.flops += other.flops
+        self.gmem_read_bytes += other.gmem_read_bytes
+        self.gmem_write_bytes += other.gmem_write_bytes
+        self.smem_transactions += other.smem_transactions
+        self.pcie_bytes += other.pcie_bytes
+        self.kernel_launches += other.kernel_launches
+        self.pcie_transfers += other.pcie_transfers
+        self.thread_blocks += other.thread_blocks
+        return self
+
+    def __add__(self, other: "Counters") -> "Counters":
+        out = Counters()
+        out.add(self)
+        out.add(other)
+        return out

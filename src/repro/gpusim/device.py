@@ -1,0 +1,200 @@
+"""Device specifications for the execution-driven GPU simulator.
+
+The paper's claims are about *communication*: which algorithm moves fewer
+bytes, launches compute-bound vs bandwidth-bound kernels, and avoids
+CPU-GPU transfers.  The simulator therefore models exactly those
+quantities.  A :class:`DeviceSpec` captures the hardware parameters of
+Section IV-A (NVIDIA C2050) plus a handful of calibrated micro-costs
+(shared-memory transaction cost, synchronization cost, instruction-issue
+overhead) documented below.  All constants are plain dataclass fields so
+experiments can perturb them (sensitivity ablations) and tests can pin
+the calibration.
+
+Calibration provenance:
+
+* ``C2050``: Section IV-A — 14 SMs x 32 single-precision lanes at
+  1.15 GHz (1.03 TFLOP/s FMA peak; the paper quotes 1.3 TFLOP/s counting
+  dual issue), 144 GB/s DRAM with ECC, 48 KB shared memory + 128 KB
+  register file per SM, <= 512 threads per thread block.
+* ``GTX480``: the application-study GPU of Section VI-D — 15 SMs at
+  1.4 GHz, 177 GB/s, no ECC.
+* Micro-costs (``smem_cycles``, ``sync_cycles``, ``issue_overhead``) are
+  calibrated so the four reduction strategies of Section IV-E land on the
+  paper's 55 / 168 / 194 / 388 GFLOPS for 128x16 blocks (see
+  :mod:`repro.kernels.strategies` and the calibration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "PCIeLink", "CPUSpec", "C2050", "GTX480", "NEHALEM_8CORE", "COREI7_4CORE", "PCIE_GEN2"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A CUDA-capable GPU for the timing model."""
+
+    name: str
+    n_sm: int
+    lanes_per_sm: int  # single-precision FPUs per SM
+    clock_ghz: float
+    flops_per_lane_cycle: float  # 2.0 with fused multiply-add
+    dram_bw_gbs: float  # effective global-memory bandwidth (GB/s)
+    dram_latency_us: float  # per-wave memory latency floor
+    smem_per_sm_bytes: int
+    regfile_per_sm_bytes: int
+    l2_bytes: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    kernel_launch_us: float
+    # Calibrated micro-costs (cycles, per 32-wide warp transaction).
+    smem_cycles: float  # one shared-memory access
+    sync_cycles: float  # one __syncthreads()
+    phase_latency_cycles: float  # unhidden latency at a dependent phase boundary
+    gmem_issue_cycles: float  # issue cost per 32-wide global load/store group
+    issue_overhead: float  # multiplicative instruction-issue overhead
+    min_warps_full_rate: float  # resident warps needed to sustain issue rate
+    gather_bw_eff: float  # bandwidth efficiency of tree gather/scatter
+    uncoalesced_bw_eff: float  # bandwidth efficiency of strided access
+    gemm_peak_gflops: float  # best-case SGEMM rate (Volkov-style kernels)
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    @property
+    def peak_gflops(self) -> float:
+        """Single-precision FMA peak over the whole chip."""
+        return self.n_sm * self.lanes_per_sm * self.flops_per_lane_cycle * self.clock_ghz
+
+    @property
+    def flops_per_cycle_per_sm(self) -> float:
+        return self.lanes_per_sm * self.flops_per_lane_cycle
+
+    def with_(self, **kwargs) -> "DeviceSpec":
+        """Return a perturbed copy (for sensitivity ablations)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """CPU <-> GPU transfer link (Section III's 'physical link')."""
+
+    name: str
+    bw_gbs: float
+    latency_us: float
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` one way, including launch/DMA latency."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return self.latency_us * 1e-6 + n_bytes / (self.bw_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multicore CPU for the MKL-like baseline models."""
+
+    name: str
+    n_cores: int
+    clock_ghz: float
+    simd_width: int  # single-precision lanes (SSE = 4)
+    flops_per_lane_cycle: float  # 2.0 = mul + add ports
+    mem_bw_gbs: float
+    gemm_eff: float  # fraction of peak achieved by a tuned SGEMM
+    blas2_bw_eff: float  # fraction of stream bandwidth achieved by SGEMV-ish ops
+    thread_fork_us: float  # per-parallel-region overhead
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.n_cores * self.simd_width * self.flops_per_lane_cycle * self.clock_ghz
+
+    def with_(self, **kwargs) -> "CPUSpec":
+        return replace(self, **kwargs)
+
+
+#: NVIDIA Tesla C2050, ECC on (Section IV-A / V-B).
+C2050 = DeviceSpec(
+    name="C2050",
+    n_sm=14,
+    lanes_per_sm=32,
+    clock_ghz=1.15,
+    flops_per_lane_cycle=2.0,
+    dram_bw_gbs=144.0,
+    dram_latency_us=0.6,
+    smem_per_sm_bytes=48 * 1024,
+    regfile_per_sm_bytes=128 * 1024,
+    l2_bytes=768 * 1024,
+    max_threads_per_block=512,
+    max_blocks_per_sm=8,
+    kernel_launch_us=15.0,
+    smem_cycles=2.5,
+    sync_cycles=14.0,
+    phase_latency_cycles=75.0,
+    gmem_issue_cycles=1.5,
+    issue_overhead=1.2,
+    min_warps_full_rate=8.0,
+    gather_bw_eff=0.5,
+    uncoalesced_bw_eff=0.25,
+    gemm_peak_gflops=580.0,
+)
+
+#: NVIDIA GTX480 (Section VI-D application platform), no ECC.
+GTX480 = DeviceSpec(
+    name="GTX480",
+    n_sm=15,
+    lanes_per_sm=32,
+    clock_ghz=1.40,
+    flops_per_lane_cycle=2.0,
+    dram_bw_gbs=177.0,
+    dram_latency_us=0.5,
+    smem_per_sm_bytes=48 * 1024,
+    regfile_per_sm_bytes=128 * 1024,
+    l2_bytes=768 * 1024,
+    max_threads_per_block=512,
+    max_blocks_per_sm=8,
+    kernel_launch_us=15.0,
+    smem_cycles=2.5,
+    sync_cycles=14.0,
+    phase_latency_cycles=75.0,
+    gmem_issue_cycles=1.5,
+    issue_overhead=1.2,
+    min_warps_full_rate=8.0,
+    gather_bw_eff=0.5,
+    uncoalesced_bw_eff=0.25,
+    gemm_peak_gflops=720.0,
+)
+
+#: Dual-socket quad-core Intel Xeon 5530 (Nehalem), 2.4 GHz — the Dirac
+#: node CPUs MKL runs on in Section V (8 cores, SSE 4-wide).
+NEHALEM_8CORE = CPUSpec(
+    name="Xeon5530x2",
+    n_cores=8,
+    clock_ghz=2.4,
+    simd_width=4,
+    flops_per_lane_cycle=2.0,
+    mem_bw_gbs=21.0,
+    gemm_eff=0.80,
+    blas2_bw_eff=0.55,
+    thread_fork_us=10.0,
+)
+
+#: Intel Core i7 2.6 GHz, 4 cores — the CPU of the Robust PCA study
+#: (Section VI-D).
+COREI7_4CORE = CPUSpec(
+    name="Corei7-4core",
+    n_cores=4,
+    clock_ghz=2.6,
+    simd_width=4,
+    flops_per_lane_cycle=2.0,
+    mem_bw_gbs=17.0,
+    gemm_eff=0.80,
+    blas2_bw_eff=0.55,
+    thread_fork_us=10.0,
+)
+
+#: PCI-express gen-2 x16 link of the Dirac nodes.
+PCIE_GEN2 = PCIeLink(name="PCIe2-x16", bw_gbs=5.5, latency_us=12.0)

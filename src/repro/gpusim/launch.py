@@ -1,0 +1,134 @@
+"""Kernel-launch cost and timing model.
+
+A kernel launch is described by a :class:`LaunchSpec`: how many thread
+blocks, what each block costs (compute cycles, DRAM bytes), and the
+per-block resource footprint that determines occupancy.  The timing model
+is a roofline with a wave-scheduling latency floor:
+
+``T = launch_overhead + max(T_compute, T_memory, T_waves)``
+
+* ``T_compute``  — total SM cycles divided by chip-wide issue capacity.
+  Per-block cycle counts come from the strategy micro-models
+  (:mod:`repro.kernels.strategies`), so a kernel whose inner loop round-
+  trips shared memory is slower *here*, not via a fudge factor.
+* ``T_memory``   — total DRAM bytes over effective bandwidth (scaled by a
+  coalescing/gather efficiency for strided access patterns).
+* ``T_waves``    — blocks are scheduled in waves of
+  ``n_sm * blocks_per_sm``; each wave pays at least one block's latency.
+  This is what starves kernels launched with few thread blocks (skinny
+  panels near the top of the reduction tree) — the effect that makes
+  1k x 192 run at 39 GFLOPS while 1M x 192 reaches 195 (Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .counters import Counters
+from .device import DeviceSpec
+
+__all__ = ["LaunchSpec", "LaunchTiming", "occupancy_blocks_per_sm", "time_launch"]
+
+
+@dataclass(frozen=True)
+class LaunchSpec:
+    """One GPU kernel launch."""
+
+    kernel: str  # kernel name (factor / factor_tree / apply_qt_h / ...)
+    n_blocks: int  # thread blocks in the grid
+    threads_per_block: int
+    cycles_per_block: float  # SM-issue cycles per block (strategy model)
+    flops_per_block: float  # useful flops per block
+    read_bytes_per_block: float
+    write_bytes_per_block: float
+    smem_per_block_bytes: int = 0
+    regs_per_block_bytes: int = 0
+    smem_transactions_per_block: float = 0.0
+    bw_efficiency: float = 1.0  # coalescing/gather efficiency of this kernel
+    tag: str = ""  # free-form label (panel index, tree level, ...)
+
+    def counters(self) -> Counters:
+        return Counters(
+            flops=self.flops_per_block * self.n_blocks,
+            gmem_read_bytes=self.read_bytes_per_block * self.n_blocks,
+            gmem_write_bytes=self.write_bytes_per_block * self.n_blocks,
+            smem_transactions=self.smem_transactions_per_block * self.n_blocks,
+            kernel_launches=1,
+            thread_blocks=self.n_blocks,
+        )
+
+
+@dataclass(frozen=True)
+class LaunchTiming:
+    """Timing breakdown of one launch."""
+
+    seconds: float
+    compute_s: float
+    memory_s: float
+    wave_s: float
+    overhead_s: float
+    blocks_per_sm: int
+    limiter: str  # "compute" | "memory" | "latency" | "overhead"
+
+
+def occupancy_blocks_per_sm(spec: LaunchSpec, dev: DeviceSpec) -> int:
+    """Resident blocks per SM, limited by shared memory, registers, threads."""
+    if spec.threads_per_block < 1 or spec.threads_per_block > dev.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block={spec.threads_per_block} outside [1, {dev.max_threads_per_block}]"
+        )
+    limit = dev.max_blocks_per_sm
+    if spec.smem_per_block_bytes > 0:
+        limit = min(limit, dev.smem_per_sm_bytes // spec.smem_per_block_bytes)
+    if spec.regs_per_block_bytes > 0:
+        limit = min(limit, dev.regfile_per_sm_bytes // spec.regs_per_block_bytes)
+    # Fermi caps resident threads at 1536/SM; model with 3 x 512.
+    limit = min(limit, (3 * dev.max_threads_per_block) // spec.threads_per_block)
+    if limit < 1:
+        raise ValueError(
+            f"kernel {spec.kernel!r} block does not fit on an SM: "
+            f"smem={spec.smem_per_block_bytes}B regs={spec.regs_per_block_bytes}B"
+        )
+    return int(limit)
+
+
+def time_launch(spec: LaunchSpec, dev: DeviceSpec) -> LaunchTiming:
+    """Apply the roofline + wave model to one launch."""
+    if spec.n_blocks < 0:
+        raise ValueError("n_blocks must be non-negative")
+    overhead = dev.kernel_launch_us * 1e-6
+    if spec.n_blocks == 0:
+        return LaunchTiming(overhead, 0.0, 0.0, 0.0, overhead, 1, "overhead")
+    bps = occupancy_blocks_per_sm(spec, dev)
+    total_cycles = spec.cycles_per_block * spec.n_blocks
+    # Low occupancy (few resident warps) cannot hide instruction and
+    # memory latency: the SM's issue rate degrades proportionally below
+    # ``min_warps_full_rate`` resident warps.
+    warps = spec.threads_per_block / 32.0 * bps
+    issue_eff = min(1.0, warps / dev.min_warps_full_rate)
+    compute_s = total_cycles / (dev.n_sm * dev.clock_hz) / issue_eff
+    total_bytes = (spec.read_bytes_per_block + spec.write_bytes_per_block) * spec.n_blocks
+    eff_bw = dev.dram_bw_gbs * 1e9 * spec.bw_efficiency
+    memory_s = total_bytes / eff_bw if eff_bw > 0 else 0.0
+    concurrent = dev.n_sm * bps
+    waves = math.ceil(spec.n_blocks / concurrent)
+    wave_s = waves * (spec.cycles_per_block / dev.clock_hz + dev.dram_latency_us * 1e-6)
+    body = max(compute_s, memory_s, wave_s)
+    if body == compute_s:
+        limiter = "compute"
+    elif body == memory_s:
+        limiter = "memory"
+    else:
+        limiter = "latency"
+    if overhead > body:
+        limiter = "overhead"
+    return LaunchTiming(
+        seconds=overhead + body,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        wave_s=wave_s,
+        overhead_s=overhead,
+        blocks_per_sm=bps,
+        limiter=limiter,
+    )

@@ -1,0 +1,121 @@
+"""Dependency-aware event scheduling over hardware resources.
+
+Section III's mapping question — where to run each step, and what
+overlaps with what — is a scheduling problem over three serial
+resources: the CPU, the GPU, and the PCIe link.  This module provides a
+deterministic list scheduler: tasks declare a resource, a duration and
+dependencies; each resource executes its tasks in program order, each
+task starting when both its resource is free and its dependencies have
+finished.  Look-ahead pipelines (MAGMA's CPU-panel overlap) then *emerge*
+from the dependency structure instead of being hand-folded into
+closed-form max() expressions — and the schedule can be rendered as a
+Gantt chart for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Task", "EventSchedule"]
+
+
+@dataclass
+class Task:
+    """One scheduled unit of work."""
+
+    id: int
+    name: str
+    resource: str
+    duration: float
+    deps: tuple[int, ...]
+    start: float = 0.0
+
+    @property
+    def finish(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class EventSchedule:
+    """Deterministic list schedule over named serial resources."""
+
+    tasks: list[Task] = field(default_factory=list)
+    _scheduled: bool = False
+
+    def add(self, name: str, resource: str, duration: float, deps: tuple[int, ...] | list[int] = ()) -> int:
+        """Append a task; returns its id for use in later ``deps``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        for d in deps:
+            if not (0 <= d < len(self.tasks)):
+                raise ValueError(f"unknown dependency id {d}")
+        t = Task(id=len(self.tasks), name=name, resource=resource, duration=duration, deps=tuple(deps))
+        self.tasks.append(t)
+        self._scheduled = False
+        return t.id
+
+    def _run(self) -> None:
+        if self._scheduled:
+            return
+        free: dict[str, float] = {}
+        for t in self.tasks:
+            dep_ready = max((self.tasks[d].finish for d in t.deps), default=0.0)
+            t.start = max(free.get(t.resource, 0.0), dep_ready)
+            free[t.resource] = t.finish
+        self._scheduled = True
+
+    @property
+    def makespan(self) -> float:
+        self._run()
+        return max((t.finish for t in self.tasks), default=0.0)
+
+    def resource_busy(self, resource: str) -> float:
+        """Total busy time of one resource."""
+        self._run()
+        return sum(t.duration for t in self.tasks if t.resource == resource)
+
+    def resource_utilization(self, resource: str) -> float:
+        ms = self.makespan
+        return self.resource_busy(resource) / ms if ms > 0 else 0.0
+
+    def critical_path(self) -> list[Task]:
+        """One chain of tasks realizing the makespan (greedy backtrace)."""
+        self._run()
+        if not self.tasks:
+            return []
+        cur = max(self.tasks, key=lambda t: t.finish)
+        chain = [cur]
+        while True:
+            # Predecessor: the dependency or same-resource task whose
+            # finish equals (or binds) this task's start.
+            cands = [self.tasks[d] for d in cur.deps]
+            cands += [t for t in self.tasks if t.resource == cur.resource and t.id < cur.id]
+            cands = [c for c in cands if abs(c.finish - cur.start) < 1e-15 and c.finish > 0]
+            if not cands:
+                break
+            cur = max(cands, key=lambda t: t.finish)
+            chain.append(cur)
+        return list(reversed(chain))
+
+    def gantt(self, width: int = 64, max_rows: int = 40) -> str:
+        """ASCII Gantt chart (one row per task, grouped by resource)."""
+        self._run()
+        ms = self.makespan or 1.0
+        lines = [f"schedule: {ms * 1e3:.3f} ms makespan"]
+        resources = sorted({t.resource for t in self.tasks})
+        shown = 0
+        for res in resources:
+            util = self.resource_utilization(res)
+            lines.append(f"[{res}] utilization {util:5.1%}")
+            for t in self.tasks:
+                if t.resource != res:
+                    continue
+                if shown >= max_rows:
+                    lines.append("  ...")
+                    return "\n".join(lines)
+                a = int(round(t.start / ms * width))
+                b = max(a + 1, int(round(t.finish / ms * width)))
+                bar = " " * a + "=" * (b - a)
+                lines.append(f"  {t.name:<18.18} |{bar:<{width}}|")
+                shown += 1
+        return "\n".join(lines)

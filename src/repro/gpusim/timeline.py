@@ -1,0 +1,122 @@
+"""Execution timeline: an ordered log of simulated launches and transfers.
+
+The host pseudocode of Figure 4 is a serial stream of kernel launches; a
+:class:`Timeline` records each one with its timing breakdown and traffic
+counters.  Experiments read totals (seconds, GFLOPS against the standard
+SGEQRF flop count) and per-kernel aggregates (where does the time go —
+the Section IV-G tuning-summary view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .counters import Counters
+from .device import DeviceSpec, PCIeLink
+from .launch import LaunchSpec, LaunchTiming, time_launch
+
+__all__ = ["Event", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulated action (kernel launch or PCIe transfer)."""
+
+    kind: str  # "kernel" | "transfer" | "host"
+    name: str
+    seconds: float
+    counters: Counters
+    timing: LaunchTiming | None = None
+    tag: str = ""
+
+
+@dataclass
+class Timeline:
+    """Ordered event log with aggregate views."""
+
+    device: DeviceSpec
+    events: list[Event] = field(default_factory=list)
+
+    # -- recording ---------------------------------------------------------
+
+    def launch(self, spec: LaunchSpec) -> LaunchTiming:
+        """Time a kernel launch and append it to the log."""
+        timing = time_launch(spec, self.device)
+        self.events.append(
+            Event(
+                kind="kernel",
+                name=spec.kernel,
+                seconds=timing.seconds,
+                counters=spec.counters(),
+                timing=timing,
+                tag=spec.tag,
+            )
+        )
+        return timing
+
+    def transfer(self, link: PCIeLink, n_bytes: float, name: str = "pcie") -> float:
+        """Time a CPU<->GPU transfer and append it to the log."""
+        seconds = link.transfer_seconds(n_bytes)
+        self.events.append(
+            Event(
+                kind="transfer",
+                name=name,
+                seconds=seconds,
+                counters=Counters(pcie_bytes=n_bytes, pcie_transfers=1),
+            )
+        )
+        return seconds
+
+    def host(self, name: str, seconds: float, flops: float = 0.0) -> float:
+        """Record a host-side (CPU) computation of known duration."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.events.append(
+            Event(kind="host", name=name, seconds=seconds, counters=Counters(flops=flops))
+        )
+        return seconds
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    @property
+    def counters(self) -> Counters:
+        total = Counters()
+        for e in self.events:
+            total.add(e.counters)
+        return total
+
+    def gflops(self, reference_flops: float | None = None) -> float:
+        """GFLOP/s against ``reference_flops`` (default: counted flops).
+
+        The paper reports performance against the *standard* SGEQRF flop
+        count ``2mn^2 - 2n^3/3`` even though CAQR performs extra
+        arithmetic; pass that count as ``reference_flops`` to match.
+        """
+        t = self.total_seconds
+        if t <= 0:
+            return 0.0
+        flops = self.counters.flops if reference_flops is None else reference_flops
+        return flops / t / 1e9
+
+    def seconds_by_kernel(self) -> dict[str, float]:
+        """Total simulated time grouped by kernel/transfer name."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.name] = out.get(e.name, 0.0) + e.seconds
+        return out
+
+    def launches_by_kernel(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            if e.kind == "kernel":
+                out[e.name] = out.get(e.name, 0) + 1
+        return out
+
+    def extend(self, other: "Timeline") -> "Timeline":
+        """Append another timeline's events (sequential composition)."""
+        self.events.extend(other.events)
+        return self

@@ -1,0 +1,58 @@
+"""Timeline rendering: where does the simulated time go?
+
+Profiler-style views over a :class:`~repro.gpusim.timeline.Timeline`:
+a per-kernel summary table (time, launches, flops, bytes, achieved
+rates) and an ASCII time-share bar chart — the tooling a user of the
+simulator reaches for first when a configuration underperforms.
+"""
+
+from __future__ import annotations
+
+from .counters import Counters
+from .timeline import Timeline
+
+__all__ = ["kernel_summary", "render_profile"]
+
+
+def kernel_summary(tl: Timeline) -> list[dict]:
+    """Per-kernel aggregates, sorted by time descending."""
+    agg: dict[str, dict] = {}
+    for e in tl.events:
+        d = agg.setdefault(
+            e.name,
+            {"name": e.name, "kind": e.kind, "seconds": 0.0, "events": 0, "counters": Counters()},
+        )
+        d["seconds"] += e.seconds
+        d["events"] += 1
+        d["counters"].add(e.counters)
+    rows = []
+    total = tl.total_seconds or 1.0
+    for d in agg.values():
+        c: Counters = d["counters"]
+        rows.append(
+            {
+                "name": d["name"],
+                "kind": d["kind"],
+                "seconds": d["seconds"],
+                "share": d["seconds"] / total,
+                "events": d["events"],
+                "gflops": c.flops / d["seconds"] / 1e9 if d["seconds"] > 0 else 0.0,
+                "gbytes_per_s": c.gmem_bytes / d["seconds"] / 1e9 if d["seconds"] > 0 else 0.0,
+                "thread_blocks": c.thread_blocks,
+            }
+        )
+    return sorted(rows, key=lambda r: -r["seconds"])
+
+
+def render_profile(tl: Timeline, width: int = 40, title: str | None = None) -> str:
+    """ASCII profile: one bar per kernel, proportional to time share."""
+    rows = kernel_summary(tl)
+    lines = [title or f"simulated profile ({tl.total_seconds * 1e3:.2f} ms total)"]
+    name_w = max((len(r["name"]) for r in rows), default=4)
+    for r in rows:
+        bar = "#" * max(1, round(r["share"] * width))
+        lines.append(
+            f"  {r['name']:<{name_w}} {r['seconds'] * 1e3:9.3f} ms {r['share']:6.1%} "
+            f"{bar:<{width}} {r['gflops']:8.1f} GF/s  x{r['events']}"
+        )
+    return "\n".join(lines)

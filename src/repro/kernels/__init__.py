@@ -1,0 +1,57 @@
+"""GPU kernels of Section IV: real math + analytic launch costs.
+
+One module per kernel (``factor``, ``factor_tree``, ``apply_qt_h``,
+``apply_qt_tree``) mirroring the paper's naming, plus the reduction-
+strategy micro-models of Section IV-E, the block configuration, the
+launch-cost builders, and the transposed-panel layout helpers.
+"""
+
+from .apply_qt_h import apply_qt_h_block
+from .apply_qt_tree import apply_qt_tree_block
+from .config import REFERENCE_CONFIG, KernelConfig
+from .costs import (
+    apply_qt_h_launch,
+    apply_qt_tree_launch,
+    factor_launch,
+    factor_tree_launch,
+    transpose_launch,
+)
+from .factor import factor_block
+from .factor_tree import factor_tree_block
+from .layouts import from_transposed_panel, panel_is_transposable, to_transposed_panel
+from .simt import cyclic_layout, simt_apply_qt_h
+from .simt_factor import simt_factor
+from .strategies import (
+    PAPER_STRATEGY_GFLOPS,
+    STRATEGIES,
+    BlockComputeCost,
+    Strategy,
+    strategy_block_cost,
+    strategy_gflops,
+)
+
+__all__ = [
+    "apply_qt_h_block",
+    "apply_qt_tree_block",
+    "REFERENCE_CONFIG",
+    "KernelConfig",
+    "apply_qt_h_launch",
+    "apply_qt_tree_launch",
+    "factor_launch",
+    "factor_tree_launch",
+    "transpose_launch",
+    "factor_block",
+    "factor_tree_block",
+    "from_transposed_panel",
+    "panel_is_transposable",
+    "to_transposed_panel",
+    "cyclic_layout",
+    "simt_apply_qt_h",
+    "simt_factor",
+    "PAPER_STRATEGY_GFLOPS",
+    "STRATEGIES",
+    "BlockComputeCost",
+    "Strategy",
+    "strategy_block_cost",
+    "strategy_gflops",
+]

@@ -1,0 +1,82 @@
+"""Kernel/grid configuration for the GPU CAQR (Section IV).
+
+The reference configuration follows the paper: 128x16 blocks for the
+update kernels (the Figure 7 tuning optimum), 64 threads per block, the
+register-file + transposed-layout strategy, and a reduction tree whose
+arity is ``block_rows / panel_width`` (64x16 blocks give the quad-tree of
+Section IV-C; 128x16 gives arity 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["KernelConfig", "REFERENCE_CONFIG"]
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Block-level configuration shared by all four kernels."""
+
+    block_rows: int = 128  # level-0 block height (mb)
+    panel_width: int = 16  # panel / block width (nb)
+    threads: int = 64
+    strategy: str = "regfile_transpose"
+    transpose_preprocess: bool = True  # out-of-place panel transpose (IV-E.4)
+    tile_width: int | None = None  # trailing tile width (default panel_width)
+    structured_tree: bool = False  # sparsity-exploiting tree elimination
+
+    def __post_init__(self) -> None:
+        if self.block_rows < 1 or self.panel_width < 1:
+            raise ValueError("block dimensions must be positive")
+        if self.block_rows < self.panel_width:
+            raise ValueError("block_rows must be >= panel_width (R must fit in a block)")
+        if self.threads < 1:
+            raise ValueError("threads must be positive")
+
+    @property
+    def tree_arity(self) -> int:
+        """Rs stacked per tree block: ``block_rows // panel_width`` >= 2.
+
+        'If the block size is 64x16 ... we can fit 64/16 = 4 of them in
+        each 64x16 block ... the reduction is a quad-tree' (Section IV-C).
+        """
+        return max(2, self.block_rows // self.panel_width)
+
+    @property
+    def trailing_tile_width(self) -> int:
+        return self.tile_width if self.tile_width is not None else self.panel_width
+
+    @property
+    def tree_shape(self) -> str:
+        return f"arity:{self.tree_arity}"
+
+    @property
+    def elements_per_block(self) -> int:
+        return self.block_rows * self.panel_width
+
+    def smem_footprint_bytes(self) -> int:
+        """Shared-memory bytes per block: staging + u + partial sums.
+
+        For the shared-memory strategies the whole block lives in shared
+        memory; for the register-file strategies only the reflector, the
+        partial sums and a staging buffer do.
+        """
+        fl = 4
+        if self.strategy in ("smem_serial",):
+            return fl * (self.elements_per_block + self.block_rows + self.threads)
+        return fl * (self.block_rows + self.panel_width + 2 * self.threads)
+
+    def regfile_footprint_bytes(self) -> int:
+        """Register-file bytes per block (the matrix lives in registers)."""
+        fl = 4
+        if self.strategy in ("regfile_serial", "regfile_transpose", "smem_parallel"):
+            return fl * self.elements_per_block + 32 * self.threads
+        return 32 * self.threads
+
+    def with_(self, **kwargs) -> "KernelConfig":
+        return replace(self, **kwargs)
+
+
+#: The paper's best configuration (Section IV-F: 128x16 blocks, 388 GFLOPS).
+REFERENCE_CONFIG = KernelConfig()

@@ -1,0 +1,308 @@
+"""Analytic launch costs for the four CAQR kernels (Section IV-D).
+
+Each builder returns a :class:`~repro.gpusim.launch.LaunchSpec` describing
+one kernel launch: thread-block count, per-block compute cycles from the
+strategy micro-model, and per-block DRAM traffic.  Dense linear algebra is
+deterministic, so these costs are exact functions of the shapes — the
+executed path (real NumPy math) and the simulate-only path (shape
+arithmetic for matrices too large to materialize) share them, which is
+what keeps the two paths' timelines identical.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.launch import LaunchSpec
+
+from repro.core.structured import structured_tree_flops
+
+from .config import KernelConfig
+from .strategies import strategy_block_cost
+
+__all__ = [
+    "factor_launch",
+    "factor_tree_launch",
+    "apply_qt_h_launch",
+    "apply_qt_tree_launch",
+    "transpose_launch",
+    "factor_block_cycles",
+]
+
+_F32 = 4.0  # bytes per single-precision element
+
+
+def _factor_footprints(mb: int, nb: int, cfg: KernelConfig) -> tuple[int, int]:
+    """(smem, regs) bytes per factor-style block.
+
+    Register strategies hold the block in the register file; shared-memory
+    strategies hold it in shared memory.  Either way the reflector column,
+    tau and the cross-thread partial sums live in shared memory.
+    """
+    extras = int(_F32 * (mb + nb + 2 * cfg.threads))
+    if cfg.strategy == "smem_serial":
+        return int(_F32 * mb * nb) + extras, 32 * cfg.threads
+    return extras, int(_F32 * mb * nb) + 32 * cfg.threads
+
+
+def _apply_footprints(mb: int, nb: int, tile_w: int, cfg: KernelConfig) -> tuple[int, int]:
+    """(smem, regs) bytes per apply-style block.
+
+    The trailing tile occupies the register file (or shared memory for
+    the smem strategy); the panel's Householder vectors (``mb x nb``) are
+    staged in shared memory so every thread can read them.
+    """
+    v_bytes = int(_F32 * mb * nb)
+    extras = int(_F32 * (mb + 2 * cfg.threads))
+    if cfg.strategy == "smem_serial":
+        return int(_F32 * mb * tile_w) + v_bytes + extras, 32 * cfg.threads
+    return v_bytes + extras, int(_F32 * mb * tile_w) + 32 * cfg.threads
+
+
+def _apply_kernel_cycles(
+    mb: int, nb: int, tile_w: int, cfg: KernelConfig, dev: DeviceSpec
+) -> tuple[float, float, float]:
+    """(cycles, smem, bw_eff) for an apply-style kernel block.
+
+    On top of the resident-data strategy cost (the Section IV-E
+    microbenchmark), an actual kernel block pays:
+
+    * a dependency stall per reflector — the rank-1 update cannot start
+      until the matvec reduction completes and ``w`` is broadcast, and a
+      64-thread block is only 2 warps, far too few to hide that latency;
+    * a load/store prologue — issuing the global loads of the tile and
+      the Householder vectors, and the final store.
+
+    These are why the whole CAQR runs below the 388 GFLOPS of the
+    microbenchmark even when ``apply_qt_h`` dominates.
+    """
+    cost = strategy_block_cost(
+        cfg.strategy, mb, nb, dev, threads=cfg.threads, n_vectors=nb, trailing_width=tile_w
+    )
+    stalls = nb * 2.0 * dev.phase_latency_cycles
+    prologue = (2.0 * mb * tile_w + mb * nb) / 32.0 * dev.gmem_issue_cycles
+    return cost.cycles + stalls + prologue, cost.smem_transactions, cost.bw_efficiency
+
+
+@lru_cache(maxsize=4096)
+def factor_block_cycles(mb: int, nb: int, cfg: KernelConfig, dev: DeviceSpec) -> tuple[float, float]:
+    """(cycles, smem transactions) for one ``factor`` block (a small QR).
+
+    ``geqr2`` in fast memory: for each of the ``nb`` columns, build the
+    Householder vector (a norm reduction plus a scale — modeled as one
+    width-1 matvec pass plus a fixed sqrt/divide latency) and apply it to
+    the shrinking trailing width.  The sequential column dependency is why
+    ``factor`` runs below ``apply_qt_h`` throughput even with the same
+    inner loops.
+    """
+    cycles = 0.0
+    smem = 0.0
+    house_latency = 40.0  # sqrt + reciprocal + scale of the column
+    for j in range(nb):
+        w = nb - j - 1
+        # Householder generation: norm reduction over column j, then the
+        # column scale — a fully serialized chain (reduce, sqrt, broadcast,
+        # scale), so it pays four phase latencies.
+        gen = strategy_block_cost(
+            cfg.strategy, mb, nb, dev, threads=cfg.threads, n_vectors=1, trailing_width=1
+        )
+        cycles += gen.cycles / 2.0 + house_latency + 4.0 * dev.phase_latency_cycles
+        smem += gen.smem_transactions / 2.0
+        if w > 0:
+            upd = strategy_block_cost(
+                cfg.strategy, mb, nb, dev, threads=cfg.threads, n_vectors=1, trailing_width=w
+            )
+            # The trailing update chains matvec -> broadcast -> rank-1 and
+            # the next column depends on its completion: three more phases.
+            cycles += upd.cycles + 3.0 * dev.phase_latency_cycles
+            smem += upd.smem_transactions
+    # Load/store prologue for the whole block.
+    cycles += 2.0 * mb * nb / 32.0 * dev.gmem_issue_cycles
+    return cycles, smem
+
+
+def factor_launch(
+    n_blocks: int,
+    mb: int,
+    nb: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Level-0 TSQR factorization: one small QR per thread block."""
+    cycles, smem = factor_block_cycles(mb, nb, cfg, dev)
+    cost = strategy_block_cost(cfg.strategy, mb, nb, dev, threads=cfg.threads)
+    return LaunchSpec(
+        kernel="factor",
+        n_blocks=n_blocks,
+        threads_per_block=cost.threads,
+        cycles_per_block=cycles,
+        flops_per_block=2.0 * mb * nb * nb - 2.0 * nb**3 / 3.0,
+        read_bytes_per_block=mb * nb * _F32,
+        write_bytes_per_block=mb * nb * _F32 + nb * _F32,  # packed VR + tau
+        smem_per_block_bytes=_factor_footprints(mb, nb, cfg)[0],
+        regs_per_block_bytes=_factor_footprints(mb, nb, cfg)[1],
+        smem_transactions_per_block=smem,
+        bw_efficiency=cost.bw_efficiency,
+        tag=tag,
+    )
+
+
+def factor_tree_launch(
+    n_groups: int,
+    arity: int,
+    nb: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Tree-level elimination: QR of ``arity`` stacked R triangles per block.
+
+    The stacked Rs are gathered from the tops of distributed blocks
+    ("gather a stack of upper triangular Rs ... and store them in fast
+    memory", Section IV-D.2), so traffic pays the gather efficiency.
+    """
+    mb = arity * nb
+    cycles, smem = factor_block_cycles(mb, nb, cfg, dev)
+    cost = strategy_block_cost(cfg.strategy, mb, nb, dev, threads=cfg.threads)
+    flops = 2.0 * mb * nb * nb - 2.0 * nb**3 / 3.0
+    if cfg.structured_tree:
+        # Sparsity-exploiting elimination (Figure 2(c)): both arithmetic
+        # and issue cycles shrink with the reflector support; the
+        # per-column latency chain does not.
+        s_flops = structured_tree_flops(arity, nb)
+        work_cycles = cycles - nb * 7.0 * dev.phase_latency_cycles
+        cycles = work_cycles * (s_flops / flops) + nb * 7.0 * dev.phase_latency_cycles
+        smem *= s_flops / flops
+        flops = s_flops
+    tri_bytes = arity * (nb * (nb + 1) / 2.0) * _F32  # upper triangles only
+    return LaunchSpec(
+        kernel="factor_tree",
+        n_blocks=n_groups,
+        threads_per_block=cost.threads,
+        cycles_per_block=cycles,
+        flops_per_block=flops,
+        read_bytes_per_block=tri_bytes,
+        write_bytes_per_block=tri_bytes + nb * _F32,
+        smem_per_block_bytes=_factor_footprints(mb, nb, cfg)[0],
+        regs_per_block_bytes=_factor_footprints(mb, nb, cfg)[1],
+        smem_transactions_per_block=smem,
+        bw_efficiency=dev.gather_bw_eff,
+        tag=tag,
+    )
+
+
+def apply_qt_h_launch(
+    n_blocks: int,
+    mb: int,
+    nb: int,
+    tile_w: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Horizontal trailing update: apply a panel block's Q^T to one tile.
+
+    Each thread block reads one ``mb x tile_w`` trailing tile plus the
+    ``mb x nb`` Householder vectors, applies all ``nb`` reflectors, and
+    writes the tile back (Section IV-D.3).
+    """
+    cost = strategy_block_cost(
+        cfg.strategy, mb, nb, dev, threads=cfg.threads, n_vectors=nb, trailing_width=tile_w
+    )
+    cycles, smem, bw_eff = _apply_kernel_cycles(mb, nb, tile_w, cfg, dev)
+    return LaunchSpec(
+        kernel="apply_qt_h",
+        n_blocks=n_blocks,
+        threads_per_block=cost.threads,
+        cycles_per_block=cycles,
+        flops_per_block=cost.flops,
+        read_bytes_per_block=(mb * tile_w + mb * nb) * _F32,
+        write_bytes_per_block=mb * tile_w * _F32,
+        smem_per_block_bytes=_apply_footprints(mb, nb, tile_w, cfg)[0],
+        regs_per_block_bytes=_apply_footprints(mb, nb, tile_w, cfg)[1],
+        smem_transactions_per_block=smem,
+        bw_efficiency=bw_eff,
+        tag=tag,
+    )
+
+
+def apply_qt_tree_launch(
+    n_blocks: int,
+    arity: int,
+    nb: int,
+    tile_w: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Tree trailing update: apply a tree factor to gathered row pieces.
+
+    "Collect the distributed components of the trailing matrix to be
+    updated as well as the distributed Householder vectors ... and write
+    back to the same distributed locations" (Section IV-D.4) — the
+    irregular access pays the gather efficiency on top of the same
+    compute core.
+    """
+    mb = arity * nb
+    cost = strategy_block_cost(
+        cfg.strategy, mb, nb, dev, threads=cfg.threads, n_vectors=nb, trailing_width=tile_w
+    )
+    cycles, smem, bw_eff = _apply_kernel_cycles(mb, nb, tile_w, cfg, dev)
+    flops = cost.flops
+    if cfg.structured_tree:
+        # Sparse reflectors touch ~half the stacked rows on average.
+        support = sum(1 + (arity - 1) * min(j + 1, nb) for j in range(nb)) / (nb * mb)
+        cycles *= support
+        smem *= support
+        flops *= support
+    # Gathering/scattering ``arity`` distributed row pieces adds one
+    # unhidden memory-latency phase per piece.
+    cycles += 2.0 * arity * dev.phase_latency_cycles
+    v_bytes = arity * (nb * (nb + 1) / 2.0) * _F32
+    return LaunchSpec(
+        kernel="apply_qt_tree",
+        n_blocks=n_blocks,
+        threads_per_block=cost.threads,
+        cycles_per_block=cycles,
+        flops_per_block=flops,
+        read_bytes_per_block=(mb * tile_w) * _F32 + v_bytes,
+        write_bytes_per_block=mb * tile_w * _F32,
+        smem_per_block_bytes=_apply_footprints(mb, nb, tile_w, cfg)[0],
+        regs_per_block_bytes=_apply_footprints(mb, nb, tile_w, cfg)[1],
+        smem_transactions_per_block=smem,
+        bw_efficiency=min(dev.gather_bw_eff, bw_eff),
+        tag=tag,
+    )
+
+
+def transpose_launch(
+    rows: int,
+    cols: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Out-of-place panel transpose preprocessing (Section IV-E.4).
+
+    A bandwidth-bound pass: read the column-major panel, write it back
+    row-major.  Done once per panel and amortized over the many kernel
+    invocations that then enjoy coalesced access.
+    """
+    elems = rows * cols
+    n_blocks = max(1, -(-elems // cfg.elements_per_block))
+    per_block = elems / n_blocks
+    return LaunchSpec(
+        kernel="transpose",
+        n_blocks=n_blocks,
+        threads_per_block=cfg.threads,
+        cycles_per_block=2.0 * per_block / 32.0 * dev.smem_cycles,
+        flops_per_block=0.0,
+        read_bytes_per_block=per_block * _F32,
+        write_bytes_per_block=per_block * _F32,
+        smem_per_block_bytes=cfg.smem_footprint_bytes(),
+        smem_transactions_per_block=2.0 * per_block / 32.0,
+        bw_efficiency=0.8,  # transpose writes are partially uncoalesced
+        tag=tag,
+    )

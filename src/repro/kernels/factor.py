@@ -1,0 +1,30 @@
+"""The ``factor`` kernel (Section IV-D.1): small QR of one block.
+
+"Perform a QR decomposition of a small block in fast memory using
+customized BLAS2 routines.  Overwrite the Householder vectors and upper
+triangular R on top of the original small input matrix."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.householder import geqr2
+
+__all__ = ["factor_block"]
+
+
+def factor_block(block: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Factor one small block; returns ``(VR_packed, tau, R)``.
+
+    ``VR_packed`` overwrites the block in place of the input (Householder
+    vectors below the diagonal, R above), exactly the layout the GPU
+    kernel leaves in global memory.
+    """
+    block = np.asarray(block, dtype=float)
+    if block.ndim != 2 or block.size == 0:
+        raise ValueError("factor_block expects a non-empty 2-D block")
+    VR, tau = geqr2(block)
+    r_rows = min(block.shape)
+    R = np.triu(VR[:r_rows, :])
+    return VR, tau, R

@@ -1,0 +1,44 @@
+"""Panel data layouts and the transpose preprocessing step (Section IV-E.4).
+
+The best-performing strategy stores each panel in *transposed* (row-major)
+form so that the register-file serial reductions read global memory with
+unit stride.  "This transpose can be done as a preprocessing step ...
+Unfortunately this means that the factorization is done out of place, as
+an in-place transpose is difficult for non-square matrices."
+
+The simulator only needs the byte counts (costed in
+:func:`repro.kernels.costs.transpose_launch`); these helpers provide the
+functional equivalent for the executed path and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_transposed_panel", "from_transposed_panel", "panel_is_transposable"]
+
+
+def to_transposed_panel(panel: np.ndarray) -> np.ndarray:
+    """Out-of-place conversion of a column-major panel to row-major storage.
+
+    Returns a C-contiguous array holding ``panel.T`` — the layout the
+    tuned kernels read.  A copy is always made (out-of-place by design).
+    """
+    panel = np.asarray(panel, dtype=float)
+    if panel.ndim != 2:
+        raise ValueError("panel must be 2-D")
+    return np.ascontiguousarray(panel.T)
+
+
+def from_transposed_panel(tpanel: np.ndarray) -> np.ndarray:
+    """Invert :func:`to_transposed_panel`."""
+    tpanel = np.asarray(tpanel, dtype=float)
+    if tpanel.ndim != 2:
+        raise ValueError("panel must be 2-D")
+    return np.ascontiguousarray(tpanel.T)
+
+
+def panel_is_transposable(rows: int, cols: int) -> bool:
+    """In-place transpose is only easy for square panels; otherwise the
+    factorization must run out of place (extra workspace)."""
+    return rows == cols

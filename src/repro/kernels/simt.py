@@ -1,0 +1,133 @@
+"""``apply_qt_h`` executed on the SIMT block machine.
+
+A faithful thread-level implementation of the paper's best strategy
+(register-file serial reductions, Section IV-E.3/4, Figure 6): the
+trailing tile lives in the register file, distributed cyclically so each
+thread's elements belong to a single column; the Householder vectors are
+staged in shared memory; each reflector is applied as a per-thread serial
+reduction, a cross-thread partial-sum reduction through shared memory,
+and a register-resident rank-1 update.
+
+Running this against :func:`repro.core.householder.orm2r` validates the
+kernel's *algorithm*; its measured :class:`~repro.gpusim.block_machine.BlockCounters`
+validate the analytic cost model's flop and shared-memory predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.block_machine import BlockCounters, BlockMachine
+
+__all__ = ["simt_apply_qt_h", "cyclic_layout"]
+
+
+def cyclic_layout(mb: int, tw: int, threads: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Figure-6 layout: thread -> (rows, column) ownership map.
+
+    Threads are grouped ``tpc = threads // tw`` per column; thread ``t``
+    owns the rows ``r`` of column ``t // tpc`` with ``r % tpc == t % tpc``
+    (dealt cyclically).  Requires ``threads`` to be a multiple of ``tw``
+    and ``mb`` a multiple of ``tpc``, which the tuned configurations
+    satisfy (e.g. 128 x 16 with 64 threads: tpc = 4, 32 elements/thread).
+
+    Returns ``(rows, cols, owned)`` where ``rows`` is ``(threads, owned)``
+    and ``cols`` is ``(threads,)``.
+    """
+    if threads % tw != 0:
+        raise ValueError(f"threads ({threads}) must be a multiple of the tile width ({tw})")
+    tpc = threads // tw
+    if mb % tpc != 0:
+        raise ValueError(f"block height ({mb}) must be a multiple of threads-per-column ({tpc})")
+    owned = mb // tpc
+    t = np.arange(threads)
+    cols = t // tpc
+    lane_in_col = t % tpc
+    rows = lane_in_col[:, None] + tpc * np.arange(owned)[None, :]
+    return rows, cols, owned
+
+
+def simt_apply_qt_h(
+    V_panel: np.ndarray,
+    tau: np.ndarray,
+    tile: np.ndarray,
+    threads: int = 64,
+) -> tuple[np.ndarray, BlockCounters]:
+    """Apply ``Q^T`` (packed reflectors) to one tile, thread-level.
+
+    Args:
+        V_panel: packed ``mb x nb`` factor block (``geqr2`` layout).
+        tau: the ``nb`` reflector coefficients.
+        tile: the ``mb x tw`` trailing tile to update.
+        threads: thread-block size (the paper uses 64).
+
+    Returns:
+        ``(updated_tile, counters)`` — the numerical result plus the
+        dynamically measured work/traffic counters.
+    """
+    V_panel = np.asarray(V_panel, dtype=float)
+    tile = np.asarray(tile, dtype=float)
+    mb, nb = V_panel.shape
+    if tile.shape[0] != mb:
+        raise ValueError("tile rows must match the factor block")
+    tw = tile.shape[1]
+    rows, cols, owned = cyclic_layout(mb, tw, threads)
+
+    # Shared memory map: [0:mb)                u (current reflector)
+    #                    [mb:mb+threads)       per-thread partial sums
+    #                    [mb+threads: +tw)     reduced w values
+    machine = BlockMachine(threads=threads, smem_words=mb + threads + tw)
+    smem = machine.smem
+    u_base, part_base, w_base = 0, mb, mb + threads
+
+    # Registers: each thread holds its ``owned`` tile elements (the
+    # "store the matrix entirely in the register file" of IV-E.3).
+    regs = machine.alloc_registers(owned)
+    regs[:] = tile[rows, cols[:, None]]
+
+    for j in range(nb):
+        if tau[j] == 0.0:
+            continue
+        # Stage reflector j into shared memory (cooperative load).
+        u = np.empty(mb)
+        u[:j] = 0.0
+        u[j] = 1.0
+        u[j + 1 :] = V_panel[j + 1 :, j]
+        smem.load_bulk(u, offset=u_base)
+        machine.syncthreads()
+
+        # Phase 1: per-thread serial reduction over owned elements,
+        # reading u from shared memory step by step (register FMAs).
+        partial = np.zeros(threads)
+        for k in range(owned):
+            u_k = smem.read(u_base + rows[:, k])
+            partial += regs[:, k] * u_k
+            machine.fma(threads)
+        smem.write(part_base + np.arange(threads), partial)
+        machine.syncthreads()
+
+        # Phase 2: tpc-way cross-thread reduction per column (the first
+        # thread of each column accumulates its group's partials).
+        tpc = threads // tw
+        leaders = np.arange(tw) * tpc
+        acc = np.zeros(tw)
+        for g in range(tpc):
+            acc += smem.read(part_base + leaders + g)
+            if g > 0:
+                machine.flop(tw)
+        # w = tau_j * (tile^T u); scale once at write time.
+        smem.write(w_base + np.arange(tw), float(tau[j]) * acc)
+        machine.flop(tw)
+        machine.syncthreads()
+
+        # Phase 3: rank-1 update in registers; w broadcast per column.
+        w_t = smem.read(w_base + cols)
+        for k in range(owned):
+            u_k = smem.read(u_base + rows[:, k])
+            regs[:, k] -= u_k * w_t
+            machine.fma(threads)
+        machine.syncthreads()
+
+    out = np.empty_like(tile)
+    out[rows, cols[:, None]] = regs
+    return out, machine.counters

@@ -1,0 +1,130 @@
+"""The ``factor`` kernel executed on the SIMT block machine.
+
+Thread-level small-block Householder QR in the Figure-6 register layout:
+for each column, the threads owning it serially reduce their squared
+elements, combine through shared memory, form the reflector (scale in
+registers, stage u to shared memory), and all threads apply the
+matvec + rank-1 update to their trailing columns.  Together with
+:func:`repro.kernels.simt.simt_apply_qt_h` this covers all four Section
+IV-D kernels at thread level — ``factor_tree`` is this kernel on a stack
+of triangles, ``apply_qt_tree`` is the apply kernel on gathered pieces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.block_machine import BlockCounters, BlockMachine
+
+from .simt import cyclic_layout
+
+__all__ = ["simt_factor"]
+
+
+def simt_factor(
+    block: np.ndarray,
+    threads: int = 64,
+) -> tuple[np.ndarray, np.ndarray, BlockCounters]:
+    """Factor one small block thread-level; returns ``(VR, tau, counters)``.
+
+    Matches :func:`repro.core.householder.geqr2`'s packed output exactly
+    (same reflector conventions), while measuring the shared-memory
+    traffic and flops the real kernel would generate.
+    """
+    block = np.asarray(block, dtype=float)
+    if block.ndim != 2 or block.size == 0:
+        raise ValueError("factor expects a non-empty 2-D block")
+    mb, nb = block.shape
+    rows, cols, owned = cyclic_layout(mb, nb, threads)
+    tpc = threads // nb
+
+    # Shared memory: [0:mb) u | [mb:mb+threads) partials | [+nb) w | [+4) scalars
+    machine = BlockMachine(threads=threads, smem_words=mb + threads + nb + 4)
+    smem = machine.smem
+    u_base, part_base, w_base, scal_base = 0, mb, mb + threads, mb + threads + nb
+
+    regs = machine.alloc_registers(owned)
+    regs[:] = block[rows, cols[:, None]]
+    tau_out = np.zeros(min(mb, nb))
+    k = min(mb, nb)
+
+    for j in range(k):
+        col_owners = np.nonzero(cols == j)[0]
+        # --- Householder generation (reduce, sqrt, broadcast, scale) ----
+        # Partial sums of squares over rows >= j, per owning thread.
+        partial = np.zeros(col_owners.size)
+        alpha = 0.0
+        for k_el in range(owned):
+            r = rows[col_owners, k_el]
+            vals = regs[col_owners, k_el]
+            mask = r > j
+            partial += np.where(mask, vals * vals, 0.0)
+            machine.fma(col_owners.size)
+            at = r == j
+            if at.any():
+                alpha = float(vals[at][0])
+        smem.write(part_base + col_owners, partial)
+        machine.syncthreads()
+        sigma = float(smem.read(part_base + col_owners).sum())
+        machine.flop(tpc)
+        # Scalar phase (one lane): beta, tau, 1/v0.
+        if sigma == 0.0:
+            tau, beta, inv_v0 = 0.0, alpha, 0.0
+        else:
+            norm_x = math.sqrt(alpha * alpha + sigma)
+            beta = -math.copysign(norm_x, alpha)
+            tau = (beta - alpha) / beta
+            inv_v0 = 1.0 / (alpha - beta)
+        machine.flop(8)
+        smem.write(np.array([scal_base, scal_base + 1]), np.array([tau, beta]))
+        machine.syncthreads()
+        tau_out[j] = tau
+
+        # Scale the column into reflector form and stage u to shared memory.
+        u_full = np.zeros(mb)
+        u_full[j] = 1.0
+        for k_el in range(owned):
+            r = rows[col_owners, k_el]
+            sel = r > j
+            if tau != 0.0:
+                regs[col_owners[sel], k_el] *= inv_v0
+                machine.fma(int(sel.sum()))
+            at = r == j
+            if at.any():
+                regs[col_owners[at], k_el] = beta
+            u_full[r[sel]] = regs[col_owners[sel], k_el]
+        smem.load_bulk(u_full, offset=u_base)
+        machine.syncthreads()
+        if tau == 0.0 or j + 1 >= nb:
+            continue
+
+        # --- Trailing update: matvec + rank-1, columns > j ---------------
+        trail = np.nonzero(cols > j)[0]
+        partial = np.zeros(threads)
+        for k_el in range(owned):
+            u_k = smem.read(u_base + rows[:, k_el])
+            active = (cols > j) & (rows[:, k_el] >= j)
+            partial += np.where(active, regs[:, k_el] * u_k, 0.0)
+            machine.fma(int(active.sum()))
+        smem.write(part_base + np.arange(threads), partial)
+        machine.syncthreads()
+        w_full = np.zeros(nb)
+        for c in range(j + 1, nb):
+            owners = np.nonzero(cols == c)[0]
+            w_full[c] = tau * float(smem.read(part_base + owners).sum())
+            machine.flop(tpc + 1)
+        smem.write(w_base + np.arange(j + 1, nb), w_full[j + 1 :])
+        machine.syncthreads()
+        w_t = smem.read(w_base + cols)
+        for k_el in range(owned):
+            u_k = smem.read(u_base + rows[:, k_el])
+            active = (cols > j) & (rows[:, k_el] >= j)
+            regs[:, k_el] = np.where(active, regs[:, k_el] - u_k * w_t, regs[:, k_el])
+            machine.fma(int(active.sum()))
+        machine.syncthreads()
+
+    VR = np.empty_like(block)
+    VR[rows, cols[:, None]] = regs
+    return VR, tau_out, machine.counters

@@ -1,0 +1,227 @@
+"""Cycle-level micro-models of the four reduction strategies (Section IV-E).
+
+Every CAQR kernel's inner loop is a matrix-vector product followed by a
+rank-1 update (Figure 5), repeated once per Householder vector.  The paper
+evaluates four ways of organizing that loop on a 128x16 block with 64
+threads and reports:
+
+1. shared-memory parallel reductions   —  55 GFLOPS
+2. shared-memory serial reductions     — 168 GFLOPS
+3. register-file serial reductions     — 194 GFLOPS
+4. register file + transposed storage  — 388 GFLOPS
+
+We model each strategy's per-Householder-vector cost in SM issue cycles
+from its actual instruction structure (register FMA throughput, shared
+memory transaction counts, synchronization barriers, idle lanes in
+parallel reductions) using the calibrated micro-costs on the
+:class:`~repro.gpusim.device.DeviceSpec`.  Strategies 3 and 4 differ only
+in data layout: without the transposed panels, global-memory accesses are
+strided, so strategy 3 is modeled with the device's uncoalesced bandwidth
+efficiency — that (not extra cycles) is what halves its throughput,
+matching the paper's observation that the out-of-place transpose
+preprocessing pays for itself because "these kernels are called many
+times on the same block of the matrix".
+
+The resulting GFLOPS land within the calibration bands asserted by the
+tests (ordering exact, values within +-30% of the paper's).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "STRATEGIES",
+    "Strategy",
+    "strategy_block_cost",
+    "strategy_gflops",
+    "BlockComputeCost",
+]
+
+STRATEGIES = (
+    "smem_parallel",
+    "smem_serial",
+    "regfile_serial",
+    "regfile_transpose",
+)
+
+PAPER_STRATEGY_GFLOPS = {
+    "smem_parallel": 55.0,
+    "smem_serial": 168.0,
+    "regfile_serial": 194.0,
+    "regfile_transpose": 388.0,
+}
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """Static description of one reduction strategy."""
+
+    name: str
+    storage: str  # "smem" | "regfile"
+    reduction: str  # "parallel" | "serial"
+    transposed_layout: bool
+
+
+_STRATEGY_DEFS = {
+    "smem_parallel": Strategy("smem_parallel", "regfile", "parallel", False),
+    "smem_serial": Strategy("smem_serial", "smem", "serial", False),
+    "regfile_serial": Strategy("regfile_serial", "regfile", "serial", False),
+    "regfile_transpose": Strategy("regfile_transpose", "regfile", "serial", True),
+}
+
+
+@dataclass(frozen=True)
+class BlockComputeCost:
+    """Per-thread-block compute cost of applying ``n_vectors`` reflectors."""
+
+    cycles: float  # SM issue cycles for the whole block
+    smem_transactions: float
+    flops: float  # useful flops
+    bw_efficiency: float  # global-memory coalescing efficiency
+    threads: int
+
+
+def _ceil_warps(active_threads: float) -> float:
+    """Issue slots consumed by ``active_threads`` lanes (warp granularity)."""
+    return max(1.0, math.ceil(active_threads / 32.0))
+
+
+def _per_vector_cycles(
+    strategy: Strategy,
+    mb: int,
+    nb: int,
+    threads: int,
+    dev: DeviceSpec,
+) -> tuple[float, float]:
+    """(cycles, smem transactions) to apply ONE length-``mb`` reflector
+    across an ``mb x nb`` block."""
+    elem_groups = mb * nb / 32.0  # warp-transactions covering the block
+    smem = 0.0
+
+    if strategy.reduction == "parallel":
+        # One row per thread (threads == mb); columns reduced one at a time
+        # with log2(mb) shared-memory steps, most lanes idle (Section
+        # IV-E.1: "many of the threads sit idle").
+        t = mb
+        work = 2.0 * nb * _ceil_warps(t)  # elementwise mult + rank-1 FMA
+        reduce_cycles = 0.0
+        steps = max(1, math.ceil(math.log2(max(t, 2))))
+        for k in range(1, steps + 1):
+            active = t / (2.0**k)
+            reduce_cycles += _ceil_warps(active) * dev.smem_cycles + dev.sync_cycles
+            smem += _ceil_warps(active)
+        cycles = work + nb * reduce_cycles
+        smem *= nb
+        return dev.issue_overhead * cycles, smem
+
+    if strategy.storage == "smem":
+        # Matrix lives in shared memory: every matvec read and every rank-1
+        # read-modify-write round-trips shared memory (3 transactions per
+        # element), plus the broadcast of u and a small partial reduction.
+        matvec = elem_groups * (dev.smem_cycles + 1.0)
+        rank1 = elem_groups * (2.0 * dev.smem_cycles + 1.0)
+        u_bcast = (mb / 32.0) * dev.smem_cycles
+        partial = 2.0 * dev.sync_cycles + _ceil_warps(threads) * 2.0 * dev.smem_cycles
+        # Transactions: matvec A read + u read, rank-1 A read + A write
+        # (all through shared memory), plus partials and the w broadcast.
+        warps = _ceil_warps(threads)
+        smem = 4.0 * elem_groups + 2.0 * warps + warps + 1.0
+        cycles = matvec + rank1 + u_bcast + partial
+        return dev.issue_overhead * cycles, smem
+
+    # Register-file serial reduction (strategies 3 and 4): the block is
+    # distributed cyclically so each thread's elements share a column
+    # (Figure 6); serial reductions run at register throughput and only the
+    # per-thread partial sums touch shared memory.
+    work = 2.0 * elem_groups  # matvec FMA + rank-1 FMA, both in registers
+    owned = mb * nb / threads  # elements (and u reads) per thread
+    threads_per_col = max(threads / max(nb, 1), 1.0)
+    # u is read from shared memory once per owned element; when several
+    # threads share a column the reads broadcast, when a thread owns more
+    # than one column they serialize fully.
+    u_penalty = 1.0 if threads_per_col >= 1.0 else 2.0
+    # The broadcast is imperfect: a warp spans several columns, so reads
+    # serialize partially (calibrated 1.3x).
+    u_read = owned * dev.smem_cycles * 1.3 * u_penalty
+    partial = 2.0 * dev.sync_cycles + _ceil_warps(threads) * 2.0 * dev.smem_cycles
+    # Transaction accounting validated against the SIMT block machine
+    # (tests/kernels/test_simt.py): u is read from shared memory in both
+    # the matvec and the rank-1 phase (one warp transaction per owned
+    # element per warp), plus the staged reflector, per-thread partials,
+    # the cross-thread reduction and the w broadcast.
+    warps = _ceil_warps(threads)
+    smem = 2.0 * owned * warps + (mb / 32.0) + 2.0 * warps + max(threads_per_col, 1.0) + 1.0
+    cycles = work + u_read + partial
+    return dev.issue_overhead * cycles, smem
+
+
+def strategy_block_cost(
+    name: str,
+    mb: int,
+    nb: int,
+    dev: DeviceSpec,
+    threads: int = 64,
+    n_vectors: int | None = None,
+    trailing_width: int | None = None,
+) -> BlockComputeCost:
+    """Compute cost of applying ``n_vectors`` reflectors to one block.
+
+    Args:
+        name: one of :data:`STRATEGIES`.
+        mb, nb: block height and width (reflector length is ``mb``).
+        dev: device whose micro-costs to use.
+        threads: threads per block (the paper uses 64).
+        n_vectors: number of reflectors (default ``nb``).
+        trailing_width: width of the updated block (default ``nb``) —
+            lets the ``factor`` kernel model its shrinking trailing width.
+    """
+    if name not in _STRATEGY_DEFS:
+        raise ValueError(f"unknown strategy {name!r}; choose from {STRATEGIES}")
+    if mb < 1 or nb < 1:
+        raise ValueError("block dimensions must be positive")
+    strategy = _STRATEGY_DEFS[name]
+    if strategy.reduction == "parallel":
+        threads = mb  # one row per thread by construction
+    n_vec = nb if n_vectors is None else n_vectors
+    w = nb if trailing_width is None else trailing_width
+    per_vec_cycles, per_vec_smem = _per_vector_cycles(strategy, mb, w, threads, dev)
+    cycles = n_vec * per_vec_cycles
+    smem = n_vec * per_vec_smem
+    flops = 4.0 * mb * w * n_vec  # matvec (2 m w) + rank-1 (2 m w) per vector
+    bw_eff = 1.0 if strategy.transposed_layout or strategy.storage == "smem" else dev.uncoalesced_bw_eff
+    if strategy.reduction == "parallel":
+        bw_eff = 1.0  # row-per-thread loads stream columns contiguously
+    return BlockComputeCost(
+        cycles=cycles,
+        smem_transactions=smem,
+        flops=flops,
+        bw_efficiency=bw_eff,
+        threads=threads,
+    )
+
+
+def strategy_gflops(
+    name: str,
+    mb: int = 128,
+    nb: int = 16,
+    dev: DeviceSpec | None = None,
+    threads: int = 64,
+) -> float:
+    """Steady-state GFLOPS of the matvec + rank-1 core under a strategy.
+
+    Assumes a fully-occupied GPU (many blocks) and the ``apply_qt_h``
+    traffic pattern (read block, read reflectors, write block).  This is
+    the number Section IV-E reports for each approach.
+    """
+    from repro.gpusim.device import C2050
+
+    dev = dev or C2050
+    cost = strategy_block_cost(name, mb, nb, dev, threads=threads)
+    compute_rate = dev.n_sm * dev.clock_hz * cost.flops / cost.cycles  # flops/s
+    bytes_per_block = 3.0 * mb * nb * 4.0  # read A, write A, read V
+    mem_rate = cost.flops / bytes_per_block * dev.dram_bw_gbs * 1e9 * cost.bw_efficiency
+    return min(compute_rate, mem_rate) / 1e9

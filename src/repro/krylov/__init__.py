@@ -1,0 +1,39 @@
+"""Communication-avoiding Krylov methods — the s-step application.
+
+"An even more extreme case of tall-skinny matrices are found in s-step
+Krylov methods" (Section I): blocks of basis vectors are generated with
+matrix powers and orthogonalized with a tall-skinny QR.  This subpackage
+builds that workload end to end: matrix-free operators, monomial/Newton
+s-step bases, classical and s-step (TSQR-orthogonalized) Arnoldi, and a
+CA-GMRES solver on top.
+"""
+
+from .arnoldi import ArnoldiResult, arnoldi, hessenberg_from_basis, sstep_arnoldi
+from .basis import basis_condition, leja_order, monomial_basis, newton_basis
+from .gmres import GMRESResult, ca_gmres, gmres, solve_hessenberg_lstsq
+from .lanczos import LanczosResult, lanczos, ritz_values, sstep_lanczos
+from .operators import LinearOperator, from_dense, laplacian_1d, laplacian_2d, tridiagonal
+
+__all__ = [
+    "ArnoldiResult",
+    "arnoldi",
+    "hessenberg_from_basis",
+    "sstep_arnoldi",
+    "basis_condition",
+    "leja_order",
+    "monomial_basis",
+    "newton_basis",
+    "GMRESResult",
+    "ca_gmres",
+    "gmres",
+    "solve_hessenberg_lstsq",
+    "LanczosResult",
+    "lanczos",
+    "ritz_values",
+    "sstep_lanczos",
+    "LinearOperator",
+    "from_dense",
+    "laplacian_1d",
+    "laplacian_2d",
+    "tridiagonal",
+]

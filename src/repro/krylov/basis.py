@@ -1,0 +1,106 @@
+"""s-step Krylov basis generation.
+
+"In s-step methods, multiple basis vectors are generated at once and can
+be orthogonalized using a QR factorization" (Section I).  The naive
+monomial basis {v, Av, A^2 v, ...} becomes numerically dependent fast
+(its condition number grows like the power iteration converges); the
+Newton basis with Ritz-value shifts keeps it usable for larger s — the
+standard communication-avoiding-Krylov device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .operators import LinearOperator
+
+__all__ = ["monomial_basis", "newton_basis", "basis_condition", "leja_order"]
+
+
+def monomial_basis(op: LinearOperator, v0: np.ndarray, s: int) -> np.ndarray:
+    """``[v0, A v0, ..., A^{s-1} v0]`` with per-column normalization.
+
+    Column scaling keeps entries representable; it does not fix the
+    direction collapse (condition growth) that motivates the Newton basis.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    V = np.empty((op.n, s))
+    v = np.asarray(v0, dtype=float)
+    nrm = np.linalg.norm(v)
+    if nrm == 0.0:
+        raise ValueError("starting vector must be nonzero")
+    V[:, 0] = v / nrm
+    for j in range(1, s):
+        w = op(V[:, j - 1])
+        nrm = np.linalg.norm(w)
+        if nrm == 0.0:
+            raise ValueError(f"Krylov sequence terminated at step {j} (invariant subspace)")
+        V[:, j] = w / nrm
+    return V
+
+
+def leja_order(shifts: np.ndarray) -> np.ndarray:
+    """Order shifts by the Leja criterion (maximize spread products).
+
+    Newton bases are only well-conditioned when the shifts are applied in
+    a spread-out order; Leja ordering is the standard choice.
+    """
+    shifts = np.asarray(shifts, dtype=float)
+    if shifts.size == 0:
+        return shifts
+    remaining = list(range(shifts.size))
+    order = [int(np.argmax(np.abs(shifts)))]
+    remaining.remove(order[0])
+    while remaining:
+        # Next point maximizes the product of distances to chosen points
+        # (in log space for robustness).
+        best, best_val = None, -np.inf
+        for i in remaining:
+            d = np.abs(shifts[i] - shifts[order])
+            val = np.sum(np.log(np.maximum(d, 1e-300)))
+            if val > best_val:
+                best, best_val = i, val
+        order.append(best)
+        remaining.remove(best)
+    return shifts[order]
+
+
+def newton_basis(
+    op: LinearOperator,
+    v0: np.ndarray,
+    s: int,
+    shifts: np.ndarray,
+) -> np.ndarray:
+    """Newton basis ``v, (A - t1 I)v, (A - t2 I)(A - t1 I)v, ...``.
+
+    Args:
+        shifts: ``s - 1`` (or more) shift values, typically Ritz values of
+            a short preliminary Arnoldi run, Leja-ordered internally.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    shifts = leja_order(np.asarray(shifts, dtype=float))
+    if s > 1 and shifts.size < s - 1:
+        raise ValueError(f"need at least {s - 1} shifts, got {shifts.size}")
+    V = np.empty((op.n, s))
+    v = np.asarray(v0, dtype=float)
+    nrm = np.linalg.norm(v)
+    if nrm == 0.0:
+        raise ValueError("starting vector must be nonzero")
+    V[:, 0] = v / nrm
+    for j in range(1, s):
+        w = op(V[:, j - 1]) - shifts[j - 1] * V[:, j - 1]
+        nrm = np.linalg.norm(w)
+        if nrm == 0.0:
+            raise ValueError(f"Newton basis terminated at step {j}")
+        V[:, j] = w / nrm
+    return V
+
+
+def basis_condition(V: np.ndarray) -> float:
+    """2-norm condition number of the basis (via the Gram matrix)."""
+    s = np.linalg.svd(np.asarray(V, dtype=float), compute_uv=False)
+    if s[-1] == 0.0:
+        return float("inf")
+    return float(s[0] / s[-1])

@@ -1,0 +1,88 @@
+"""Matrix-free linear operators for the Krylov workloads.
+
+The s-step Krylov use case (Section I, citing Mohiyuddin et al.) applies
+QR to bases of millions of rows; materializing the operator would defeat
+the point.  These operators expose only ``matvec`` (and shape), the way
+communication-avoiding solvers consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["LinearOperator", "laplacian_1d", "laplacian_2d", "tridiagonal", "from_dense"]
+
+
+@dataclass(frozen=True)
+class LinearOperator:
+    """A square operator defined by its matvec."""
+
+    n: int
+    matvec: Callable[[np.ndarray], np.ndarray]
+    name: str = "operator"
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        if v.shape != (self.n,):
+            raise ValueError(f"vector of length {self.n} expected, got {v.shape}")
+        return self.matvec(v)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize (tests / small problems only)."""
+        A = np.empty((self.n, self.n))
+        e = np.zeros(self.n)
+        for j in range(self.n):
+            e[j] = 1.0
+            A[:, j] = self.matvec(e)
+            e[j] = 0.0
+        return A
+
+
+def laplacian_1d(n: int) -> LinearOperator:
+    """1-D Dirichlet Laplacian: tridiag(-1, 2, -1)."""
+
+    def mv(v: np.ndarray) -> np.ndarray:
+        out = 2.0 * v
+        out[:-1] -= v[1:]
+        out[1:] -= v[:-1]
+        return out
+
+    return LinearOperator(n=n, matvec=mv, name=f"laplacian_1d({n})")
+
+
+def laplacian_2d(nx: int, ny: int) -> LinearOperator:
+    """2-D 5-point Dirichlet Laplacian on an nx x ny grid."""
+
+    def mv(v: np.ndarray) -> np.ndarray:
+        g = v.reshape(nx, ny)
+        out = 4.0 * g.copy()
+        out[:-1, :] -= g[1:, :]
+        out[1:, :] -= g[:-1, :]
+        out[:, :-1] -= g[:, 1:]
+        out[:, 1:] -= g[:, :-1]
+        return out.ravel()
+
+    return LinearOperator(n=nx * ny, matvec=mv, name=f"laplacian_2d({nx}x{ny})")
+
+
+def tridiagonal(lower: float, diag: float, upper: float, n: int) -> LinearOperator:
+    """General constant-coefficient tridiagonal operator."""
+
+    def mv(v: np.ndarray) -> np.ndarray:
+        out = diag * v
+        out[:-1] += upper * v[1:]
+        out[1:] += lower * v[:-1]
+        return out
+
+    return LinearOperator(n=n, matvec=mv, name=f"tridiag({lower},{diag},{upper})")
+
+
+def from_dense(A: np.ndarray, name: str = "dense") -> LinearOperator:
+    """Wrap a dense matrix (tests and comparisons)."""
+    A = np.asarray(A, dtype=float)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("A must be square")
+    return LinearOperator(n=A.shape[0], matvec=lambda v: A @ v, name=name)

@@ -1,0 +1,39 @@
+"""Robust PCA for stationary-video background subtraction (Section VI).
+
+The motivating application: a surveillance clip becomes a tall-skinny
+matrix (one column per frame), decomposed into a low-rank background and
+sparse foreground by l1-regularized nuclear-norm minimization, where the
+per-iteration SVD runs through this library's QR engines.
+"""
+
+from .adaptive import AdaptiveSVT
+from .background import BackgroundSubtraction, foreground_f1, subtract_background
+from .metrics import foreground_roc_auc, psnr, support_precision_recall
+from .online import ChunkResult, OnlineRPCA
+from .ialm import RPCAResult, rpca_ialm
+from .shrinkage import shrink
+from .svt import singular_value_threshold
+from .timing import ITERATION_ENGINES, RPCAIterationModel
+from .video import SyntheticVideo, frames_to_matrix, generate_video, matrix_to_frames
+
+__all__ = [
+    "AdaptiveSVT",
+    "BackgroundSubtraction",
+    "foreground_roc_auc",
+    "psnr",
+    "support_precision_recall",
+    "ChunkResult",
+    "OnlineRPCA",
+    "foreground_f1",
+    "subtract_background",
+    "RPCAResult",
+    "rpca_ialm",
+    "shrink",
+    "singular_value_threshold",
+    "ITERATION_ENGINES",
+    "RPCAIterationModel",
+    "SyntheticVideo",
+    "frames_to_matrix",
+    "generate_video",
+    "matrix_to_frames",
+]

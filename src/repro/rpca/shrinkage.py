@@ -1,0 +1,20 @@
+"""Scalar shrinkage (soft thresholding) — the sparsity operator of Robust PCA.
+
+"A shrinkage operation (pushing the values of the matrix towards zero) is
+done on S0 to enforce sparsity" (Section VI-C).  This is the proximal
+operator of the l1 norm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shrink"]
+
+
+def shrink(X: np.ndarray, tau: float) -> np.ndarray:
+    """Elementwise soft threshold: ``sign(x) * max(|x| - tau, 0)``."""
+    if tau < 0:
+        raise ValueError("shrinkage threshold must be non-negative")
+    X = np.asarray(X, dtype=float)
+    return np.sign(X) * np.maximum(np.abs(X) - tau, 0.0)

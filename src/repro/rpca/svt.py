@@ -1,0 +1,43 @@
+"""Singular value thresholding — the low-rank operator of Robust PCA.
+
+"The algorithm thresholds (sets to zero) the smallest singular values of
+L0 in order to make it low rank" (Section VI-C).  The SVD is computed via
+QR (Section VI-B): any of the library's QR engines can be plugged in,
+which is the knob Table II turns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.ts_svd import tall_skinny_svd
+
+from .shrinkage import shrink
+
+__all__ = ["singular_value_threshold"]
+
+SVDFunc = Callable[[np.ndarray], tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+def singular_value_threshold(
+    X: np.ndarray,
+    tau: float,
+    svd: SVDFunc | None = None,
+) -> tuple[np.ndarray, int]:
+    """Proximal operator of the nuclear norm.
+
+    Computes the thin SVD of ``X`` (via QR by default — the Figure 11
+    pipeline), soft-thresholds the singular values by ``tau`` and
+    reassembles.  Returns ``(L, rank)`` where ``rank`` is the number of
+    singular values surviving the threshold.
+    """
+    if tau < 0:
+        raise ValueError("threshold must be non-negative")
+    svd_fn = svd if svd is not None else tall_skinny_svd
+    U, s, Vt = svd_fn(X)
+    s_thr = shrink(s, tau)
+    rank = int(np.count_nonzero(s_thr))
+    L = (U[:, :rank] * s_thr[:rank]) @ Vt[:rank]
+    return L, rank

@@ -1,0 +1,21 @@
+"""Batched small dense kernels (the "batched LAPACK" the paper hand-rolled)."""
+
+from .batched import (
+    batched_apply_blocked,
+    batched_apply_q,
+    batched_apply_qt,
+    batched_form_q,
+    batched_geqr2,
+    batched_house,
+    batched_larft,
+)
+
+__all__ = [
+    "batched_apply_blocked",
+    "batched_apply_q",
+    "batched_apply_qt",
+    "batched_form_q",
+    "batched_geqr2",
+    "batched_house",
+    "batched_larft",
+]

@@ -1,0 +1,16 @@
+"""Kernel autotuning (Section IV-F / Figure 7)."""
+
+from .autotune import SweepEntry, apply_qt_h_kernel_gflops, autotune, sweep_block_sizes
+from .cache import TuningCache
+from .search import BlockCandidate, candidate_blocks, is_feasible
+
+__all__ = [
+    "SweepEntry",
+    "apply_qt_h_kernel_gflops",
+    "autotune",
+    "sweep_block_sizes",
+    "TuningCache",
+    "BlockCandidate",
+    "candidate_blocks",
+    "is_feasible",
+]

@@ -1,0 +1,91 @@
+"""Block-size autotuner — the Figure-7 sweep.
+
+"After committing to a data layout, we can write scripts to test many
+different block sizes and choose the best."  The autotuner evaluates the
+steady-state ``apply_qt_h`` kernel rate (the workhorse kernel) for every
+feasible block shape, reproducing the tradeoff of Section IV-F: wider
+blocks raise arithmetic intensity and reduction parallelism, but past the
+point where each thread owns a whole column the reflector broadcast
+serializes and performance falls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import C2050, DeviceSpec
+from repro.gpusim.launch import occupancy_blocks_per_sm
+from repro.kernels.config import KernelConfig, REFERENCE_CONFIG
+from repro.kernels.costs import apply_qt_h_launch
+from repro.kernels.strategies import strategy_block_cost
+
+from .search import BlockCandidate, candidate_blocks
+
+__all__ = ["SweepEntry", "apply_qt_h_kernel_gflops", "sweep_block_sizes", "autotune"]
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One measured point of the block-size sweep."""
+
+    height: int
+    width: int
+    gflops: float
+
+
+def apply_qt_h_kernel_gflops(
+    height: int,
+    width: int,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+) -> float:
+    """Steady-state ``apply_qt_h`` rate for one block shape.
+
+    Saturating conditions: enough thread blocks to fill every SM, launch
+    overhead excluded (it is amortized in a long-running sweep, exactly
+    like the paper's microbenchmark).
+    """
+    trial = cfg.with_(block_rows=height, panel_width=width, tile_width=width)
+    # Resident-data core rate (the Section IV-E microbenchmark conditions),
+    # derated by achievable occupancy: low resident-warp counts cannot
+    # hide latency, which is what defeats very large blocks.
+    cost = strategy_block_cost(trial.strategy, height, width, dev, threads=trial.threads)
+    spec = apply_qt_h_launch(1, height, width, width, trial, dev)
+    bps = occupancy_blocks_per_sm(spec, dev)
+    issue_eff = min(1.0, spec.threads_per_block / 32.0 * bps / dev.min_warps_full_rate)
+    compute_rate = dev.n_sm * dev.clock_hz * cost.flops / cost.cycles * issue_eff
+    bytes_per_block = spec.read_bytes_per_block + spec.write_bytes_per_block
+    mem_rate = cost.flops / bytes_per_block * dev.dram_bw_gbs * 1e9 * cost.bw_efficiency
+    return min(compute_rate, mem_rate) / 1e9
+
+
+def sweep_block_sizes(
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+    heights: tuple[int, ...] | None = None,
+    widths: tuple[int, ...] | None = None,
+) -> list[SweepEntry]:
+    """Evaluate every feasible block shape (Figure 7's grid)."""
+    kwargs = {}
+    if heights is not None:
+        kwargs["heights"] = heights
+    if widths is not None:
+        kwargs["widths"] = widths
+    entries = [
+        SweepEntry(c.height, c.width, apply_qt_h_kernel_gflops(c.height, c.width, cfg, dev))
+        for c in candidate_blocks(cfg, dev, **kwargs)
+    ]
+    return sorted(entries, key=lambda e: -e.gflops)
+
+
+def autotune(
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+) -> tuple[KernelConfig, list[SweepEntry]]:
+    """Pick the best block shape and return the tuned config + full sweep."""
+    entries = sweep_block_sizes(cfg, dev)
+    if not entries:
+        raise RuntimeError("no feasible block candidates for this device/strategy")
+    best = entries[0]
+    tuned = cfg.with_(block_rows=best.height, panel_width=best.width, tile_width=None)
+    return tuned, entries

@@ -1,0 +1,51 @@
+"""Persistence for autotuning results.
+
+Tuning a device is deterministic here but expensive in a real system;
+production autotuners cache the winning configuration per device.  The
+cache stores the full sweep, keyed by ``(device name, strategy)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .autotune import SweepEntry
+
+__all__ = ["TuningCache"]
+
+
+class TuningCache:
+    """JSON-backed store of block-size sweeps."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._data: dict[str, list[dict]] = {}
+        if self.path is not None and self.path.exists():
+            self._data = json.loads(self.path.read_text())
+
+    @staticmethod
+    def key(device_name: str, strategy: str) -> str:
+        return f"{device_name}/{strategy}"
+
+    def put(self, device_name: str, strategy: str, entries: list[SweepEntry]) -> None:
+        self._data[self.key(device_name, strategy)] = [
+            {"height": e.height, "width": e.width, "gflops": e.gflops} for e in entries
+        ]
+        if self.path is not None:
+            self.path.write_text(json.dumps(self._data, indent=1))
+
+    def get(self, device_name: str, strategy: str) -> list[SweepEntry] | None:
+        raw = self._data.get(self.key(device_name, strategy))
+        if raw is None:
+            return None
+        return [SweepEntry(d["height"], d["width"], d["gflops"]) for d in raw]
+
+    def best(self, device_name: str, strategy: str) -> SweepEntry | None:
+        entries = self.get(device_name, strategy)
+        if not entries:
+            return None
+        return max(entries, key=lambda e: e.gflops)
+
+    def __len__(self) -> int:
+        return len(self._data)

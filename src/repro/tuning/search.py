@@ -1,0 +1,64 @@
+"""Block-size search space for the kernel autotuner (Section IV-F).
+
+"Our block size is fundamentally limited by our shared memory size and/or
+register file size": a candidate ``(height, width)`` is feasible when the
+matrix fits the register file (register strategies) or shared memory
+(shared-memory strategies) with at least one resident block, and the
+thread block is within device limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.config import KernelConfig
+
+__all__ = ["BlockCandidate", "candidate_blocks", "is_feasible"]
+
+DEFAULT_HEIGHTS = (32, 64, 128, 192, 256, 384, 512, 768, 1024)
+DEFAULT_WIDTHS = (4, 8, 16, 24, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class BlockCandidate:
+    """One point of the Figure-7 sweep."""
+
+    height: int
+    width: int
+
+    def config(self, base: KernelConfig) -> KernelConfig:
+        return base.with_(block_rows=self.height, panel_width=self.width, tile_width=self.width)
+
+
+def is_feasible(height: int, width: int, cfg: KernelConfig, dev: DeviceSpec) -> bool:
+    """Resource check for one candidate under a strategy/device."""
+    if height < width:
+        return False  # R must fit within a block (TSQR invariant)
+    trial = cfg.with_(block_rows=height, panel_width=width, tile_width=width)
+    from repro.kernels.costs import apply_qt_h_launch
+
+    spec = apply_qt_h_launch(1, height, width, width, trial, dev)
+    if spec.smem_per_block_bytes > dev.smem_per_sm_bytes:
+        return False
+    if spec.regs_per_block_bytes > dev.regfile_per_sm_bytes:
+        return False
+    threads = height if cfg.strategy == "smem_parallel" else cfg.threads
+    if threads > dev.max_threads_per_block:
+        return False
+    return True
+
+
+def candidate_blocks(
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    heights: tuple[int, ...] = DEFAULT_HEIGHTS,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> list[BlockCandidate]:
+    """All feasible (height, width) candidates for the sweep."""
+    return [
+        BlockCandidate(h, w)
+        for h in heights
+        for w in widths
+        if is_feasible(h, w, cfg, dev)
+    ]

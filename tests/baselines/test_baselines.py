@@ -1,0 +1,141 @@
+"""Tests of the baseline library performance models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BLAS2GPUQR,
+    CULAQR,
+    MAGMAQR,
+    MKLQR,
+    MKLSVD,
+    BaselineResult,
+    CPUPanelModel,
+    gemm_rate_gflops,
+)
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.gpusim.device import C2050, GTX480, NEHALEM_8CORE
+
+
+class TestBaselineResult:
+    def test_gflops_uses_standard_count(self):
+        r = BaselineResult(name="x", m=1000, n=100, seconds=1.0)
+        assert r.gflops == pytest.approx(r.standard_flops / 1e9)
+
+    def test_add_accumulates_breakdown(self):
+        r = BaselineResult(name="x", m=10, n=10, seconds=0.0)
+        r.add("a", 1.0)
+        r.add("a", 0.5)
+        r.add("b", 2.0)
+        assert r.seconds == 3.5
+        assert r.breakdown == {"a": 1.5, "b": 2.0}
+
+
+class TestGemmRate:
+    def test_ramps_with_inner_dim(self):
+        assert gemm_rate_gflops(C2050, 16) < gemm_rate_gflops(C2050, 64) < gemm_rate_gflops(C2050, 512)
+
+    def test_approaches_peak(self):
+        assert gemm_rate_gflops(C2050, 4096) > 0.95 * C2050.gemm_peak_gflops
+
+    def test_zero_dim(self):
+        assert gemm_rate_gflops(C2050, 0) == 0.0
+
+
+class TestCPUPanelModel:
+    def test_traffic_formula(self):
+        m = CPUPanelModel(NEHALEM_8CORE, col_sync_us=0.0)
+        # DRAM-bound regime: time = 6 hp nb^2 / effective bw.
+        hp, nb = 1_000_000, 64
+        t = m.panel_seconds(hp, nb)
+        bw = NEHALEM_8CORE.mem_bw_gbs * 1e9 * NEHALEM_8CORE.blas2_bw_eff
+        assert t == pytest.approx(6 * hp * nb * nb / bw, rel=1e-6)
+
+    def test_cache_residency_speeds_small_panels(self):
+        cached = CPUPanelModel(NEHALEM_8CORE, cache_resident=True)
+        streamed = CPUPanelModel(NEHALEM_8CORE, cache_resident=False)
+        assert cached.panel_seconds(10_000, 64) < streamed.panel_seconds(10_000, 64)
+        # Huge panels converge back to streaming bandwidth.
+        big_c = cached.panel_seconds(5_000_000, 64)
+        big_s = streamed.panel_seconds(5_000_000, 64)
+        assert big_c == pytest.approx(big_s, rel=0.15)
+
+    def test_zero_size(self):
+        assert CPUPanelModel(NEHALEM_8CORE).panel_seconds(0, 64) == 0.0
+
+
+class TestTable1Bands:
+    """Each baseline within +-45% of its Table I column (models of
+    closed-source libraries; the orderings are the hard assertions)."""
+
+    @pytest.mark.parametrize("height", sorted(PAPER_TABLE1))
+    def test_magma_band(self, height):
+        model = MAGMAQR().simulate(height, 192).gflops
+        paper = PAPER_TABLE1[height][1]
+        assert 0.55 * paper <= model <= 1.45 * paper
+
+    @pytest.mark.parametrize("height", sorted(PAPER_TABLE1))
+    def test_cula_band(self, height):
+        model = CULAQR().simulate(height, 192).gflops
+        paper = PAPER_TABLE1[height][2]
+        assert 0.5 * paper <= model <= 1.9 * paper
+
+    @pytest.mark.parametrize("height", sorted(PAPER_TABLE1))
+    def test_mkl_band(self, height):
+        model = MKLQR().simulate(height, 192).gflops
+        paper = PAPER_TABLE1[height][3]
+        assert 0.55 * paper <= model <= 1.45 * paper
+
+    def test_magma_rise_then_fall(self):
+        """Table I's signature non-monotonicity (cache residency)."""
+        g = {h: MAGMAQR().simulate(h, 192).gflops for h in (1_000, 50_000, 1_000_000)}
+        assert g[50_000] > g[1_000]
+        assert g[50_000] > g[1_000_000]
+
+    def test_magma_beats_cula(self):
+        for h in (10_000, 100_000, 1_000_000):
+            assert MAGMAQR().simulate(h, 192).gflops > CULAQR().simulate(h, 192).gflops
+
+
+class TestRegimes:
+    def test_hybrids_shine_on_square_matrices(self):
+        """For square matrices the gemm-rich update dominates and the
+        hybrids reach hundreds of GFLOPS (Figure 9's right edge)."""
+        g = MAGMAQR().simulate(8192, 8192).gflops
+        assert g > 300.0
+
+    def test_skinny_dominated_by_panel(self):
+        r = MAGMAQR().simulate(1_000_000, 192)
+        assert r.breakdown["panel+transfer"] > 0.8 * r.seconds
+
+    def test_lookahead_helps(self):
+        from repro.baselines.blocked_gpu import HybridBlockedQR
+
+        with_la = HybridBlockedQR(name="la", nb=64, lookahead=True).simulate(8192, 4096)
+        without = HybridBlockedQR(name="nola", nb=64, lookahead=False).simulate(8192, 4096)
+        assert with_la.seconds < without.seconds
+
+    def test_blas2_gpu_is_bandwidth_bound(self):
+        q = BLAS2GPUQR(gpu=GTX480)
+        r = q.simulate(110_592, 100)
+        traffic = 3.0 * 4.0 * sum((110_592 - j) * (100 - j) for j in range(100))
+        bw = GTX480.dram_bw_gbs * 1e9 * q.bw_eff
+        assert r.breakdown["columns"] == pytest.approx(traffic / bw, rel=1e-6)
+
+    def test_blas2_gpu_beats_mkl_svd_scale(self):
+        assert BLAS2GPUQR().simulate(110_592, 100).seconds < MKLSVD().simulate(110_592, 100).seconds
+
+    def test_mkl_svd_bidiag_dominates(self):
+        r = MKLSVD().simulate(110_592, 100)
+        assert r.breakdown["bidiagonalize"] > 0.5 * r.seconds
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MKLQR().simulate(0, 10)
+        with pytest.raises(ValueError):
+            MAGMAQR().simulate(10, 0)
+        with pytest.raises(ValueError):
+            BLAS2GPUQR().simulate(-1, 5)
+        with pytest.raises(ValueError):
+            MKLSVD().simulate(10, 100)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; per-test reproducibility."""
+    return np.random.default_rng(12345)
+
+
+def make_matrix(rng: np.random.Generator, m: int, n: int, cond: float | None = None) -> np.ndarray:
+    """Random dense matrix, optionally with a prescribed condition number."""
+    A = rng.standard_normal((m, n))
+    if cond is None:
+        return A
+    # Impose singular values geometrically spaced from 1 to 1/cond.
+    U, _, Vt = np.linalg.svd(A, full_matrices=False)
+    k = min(m, n)
+    s = np.logspace(0, -np.log10(cond), k)
+    return (U * s) @ Vt
+
+
+@pytest.fixture
+def matrix_factory(rng):
+    def factory(m: int, n: int, cond: float | None = None) -> np.ndarray:
+        return make_matrix(rng, m, n, cond)
+
+    return factory

@@ -1,0 +1,111 @@
+"""Unit tests for blocked (BLAS3) Householder QR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import blocked_qr, geqrf, larfb, larft, orgqr, ormqr
+from repro.core.householder import extract_v, geqr2, org2r
+from repro.core.validation import factorization_error, orthogonality_error
+
+
+class TestLarft:
+    def test_block_reflector_matches_product(self, rng):
+        A = rng.standard_normal((12, 4))
+        VR, tau = geqr2(A)
+        V = extract_v(VR)
+        T = larft(V, tau)
+        Q_block = np.eye(12) - V @ T @ V.T
+        Q_prod = org2r(VR, tau, n_cols=12)
+        assert np.allclose(Q_block, Q_prod, atol=1e-12)
+
+    def test_t_is_upper_triangular(self, rng):
+        A = rng.standard_normal((10, 5))
+        VR, tau = geqr2(A)
+        T = larft(extract_v(VR), tau)
+        assert np.allclose(np.tril(T, -1), 0.0)
+
+    def test_zero_tau_entries_skipped(self):
+        V = np.zeros((6, 2))
+        V[0, 0] = 1.0
+        V[1, 1] = 1.0
+        T = larft(V, np.zeros(2))
+        assert np.allclose(T, 0.0)
+
+    def test_tau_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            larft(np.ones((4, 2)), np.zeros(3))
+
+
+class TestLarfb:
+    def test_transpose_matches_orm2r(self, rng):
+        A = rng.standard_normal((14, 6))
+        VR, tau = geqr2(A)
+        V = extract_v(VR)
+        T = larft(V, tau)
+        C = rng.standard_normal((14, 8))
+        from repro.core.householder import orm2r
+
+        want = orm2r(VR, tau, C.copy(), transpose=True)
+        got = larfb(V, T, C.copy(), transpose=True)
+        assert np.allclose(got, want, atol=1e-12)
+
+    def test_q_then_qt_roundtrip(self, rng):
+        A = rng.standard_normal((16, 5))
+        VR, tau = geqr2(A)
+        V = extract_v(VR)
+        T = larft(V, tau)
+        C = rng.standard_normal((16, 3))
+        out = larfb(V, T, C.copy(), transpose=True)
+        out = larfb(V, T, out, transpose=False)
+        assert np.allclose(out, C, atol=1e-12)
+
+
+class TestGeqrf:
+    @pytest.mark.parametrize("m,n,nb", [(40, 20, 8), (64, 64, 16), (100, 7, 3), (33, 17, 5), (20, 20, 64)])
+    def test_reconstruction(self, rng, m, n, nb):
+        A = rng.standard_normal((m, n))
+        Q, R = blocked_qr(A, nb=nb)
+        assert factorization_error(A, Q, R) < 1e-13
+        assert orthogonality_error(Q) < 1e-13
+
+    def test_matches_unblocked_r(self, rng):
+        A = rng.standard_normal((30, 12))
+        VRb, taub = geqrf(A, nb=4)
+        VRu, tauu = geqr2(A)
+        assert np.allclose(np.triu(VRb[:12]), np.triu(VRu[:12]), atol=1e-12)
+        assert np.allclose(taub, tauu, atol=1e-12)
+
+    def test_bad_nb_raises(self, rng):
+        with pytest.raises(ValueError):
+            geqrf(rng.standard_normal((4, 4)), nb=0)
+
+
+class TestOrmqrOrgqr:
+    def test_apply_qt_gives_r(self, rng):
+        A = rng.standard_normal((24, 10))
+        VR, tau = geqrf(A, nb=4)
+        QtA = ormqr(VR, tau, A.copy(), transpose=True, nb=4)
+        assert np.allclose(QtA[:10], np.triu(VR[:10]), atol=1e-12)
+        assert np.allclose(QtA[10:], 0.0, atol=1e-12)
+
+    def test_roundtrip(self, rng):
+        A = rng.standard_normal((20, 8))
+        VR, tau = geqrf(A, nb=3)
+        C = rng.standard_normal((20, 5))
+        out = ormqr(VR, tau, C.copy(), transpose=True, nb=3)
+        out = ormqr(VR, tau, out, transpose=False, nb=3)
+        assert np.allclose(out, C, atol=1e-12)
+
+    def test_orgqr_orthonormal(self, rng):
+        A = rng.standard_normal((50, 13))
+        VR, tau = geqrf(A, nb=6)
+        Q = orgqr(VR, tau, nb=6)
+        assert Q.shape == (50, 13)
+        assert orthogonality_error(Q) < 1e-13
+
+    def test_row_mismatch(self, rng):
+        VR, tau = geqrf(rng.standard_normal((10, 4)), nb=2)
+        with pytest.raises(ValueError):
+            ormqr(VR, tau, np.zeros((8, 1)))

@@ -1,0 +1,196 @@
+"""Unit tests for the Householder reflector primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.core.householder import (
+    apply_reflector,
+    extract_r,
+    extract_v,
+    geqr2,
+    house,
+    org2r,
+    orm2r,
+    qr_flops,
+)
+
+
+class TestHouse:
+    def test_annihilates_below_first(self, rng):
+        x = rng.standard_normal(9)
+        v, tau, beta = house(x)
+        H = np.eye(9) - tau * np.outer(v, v)
+        y = H @ x
+        assert abs(y[0] - beta) < 1e-12
+        assert np.allclose(y[1:], 0.0, atol=1e-12)
+
+    def test_beta_is_negated_sign_of_x0(self, rng):
+        x = np.array([3.0, 4.0])
+        v, tau, beta = house(x)
+        assert beta == -5.0  # -sign(3) * ||(3,4)||
+
+    def test_negative_leading_entry(self):
+        x = np.array([-3.0, 4.0])
+        v, tau, beta = house(x)
+        assert beta == 5.0
+
+    def test_reflector_is_orthogonal(self, rng):
+        x = rng.standard_normal(15)
+        v, tau, _ = house(x)
+        H = np.eye(15) - tau * np.outer(v, v)
+        assert np.allclose(H @ H.T, np.eye(15), atol=1e-13)
+
+    def test_norm_preserved(self, rng):
+        x = rng.standard_normal(20)
+        _, _, beta = house(x)
+        assert abs(abs(beta) - np.linalg.norm(x)) < 1e-12
+
+    def test_zero_vector_gives_identity(self):
+        v, tau, beta = house(np.zeros(5))
+        assert tau == 0.0
+        assert beta == 0.0
+
+    def test_already_reduced_vector(self):
+        x = np.array([2.5, 0.0, 0.0])
+        v, tau, beta = house(x)
+        assert tau == 0.0
+        assert beta == 2.5
+
+    def test_length_one_vector(self):
+        v, tau, beta = house(np.array([7.0]))
+        assert tau == 0.0 and beta == 7.0
+
+    def test_v_has_unit_first_entry(self, rng):
+        v, tau, _ = house(rng.standard_normal(8))
+        assert v[0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            house(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            house(np.zeros((2, 2)))
+
+    def test_large_magnitude_no_overflow(self):
+        x = np.array([1e150, 1e150])
+        v, tau, beta = house(x)
+        assert np.isfinite(beta) and np.isfinite(tau)
+        H = np.eye(2) - tau * np.outer(v, v)
+        y = H @ x
+        assert abs(y[1]) <= 1e-10 * abs(y[0])
+
+
+class TestApplyReflector:
+    def test_matches_explicit_matrix(self, rng):
+        v, tau, _ = house(rng.standard_normal(10))
+        C = rng.standard_normal((10, 6))
+        expected = (np.eye(10) - tau * np.outer(v, v)) @ C
+        got = apply_reflector(v, tau, C.copy())
+        assert np.allclose(got, expected, atol=1e-13)
+
+    def test_tau_zero_is_identity(self, rng):
+        C = rng.standard_normal((5, 3))
+        out = apply_reflector(np.ones(5), 0.0, C.copy())
+        assert np.array_equal(out, C)
+
+    def test_in_place(self, rng):
+        v, tau, _ = house(rng.standard_normal(6))
+        C = rng.standard_normal((6, 2))
+        out = apply_reflector(v, tau, C)
+        assert out is C
+
+
+class TestGeqr2:
+    @pytest.mark.parametrize("m,n", [(8, 8), (20, 5), (64, 16), (5, 9), (1, 1), (7, 1), (1, 4)])
+    def test_reconstruction(self, rng, m, n):
+        A = rng.standard_normal((m, n))
+        VR, tau = geqr2(A)
+        Q = org2r(VR, tau, n_cols=m)  # full Q
+        R = extract_r(VR, square=False)
+        assert np.allclose(Q @ R, A, atol=1e-12)
+        assert np.allclose(Q.T @ Q, np.eye(m), atol=1e-12)
+
+    def test_r_matches_scipy_up_to_signs(self, rng):
+        A = rng.standard_normal((30, 12))
+        VR, tau = geqr2(A)
+        R = extract_r(VR)
+        R_sp = scipy.linalg.qr(A, mode="r")[0][:12]
+        assert np.allclose(np.abs(np.diag(R)), np.abs(np.diag(R_sp)), atol=1e-10)
+
+    def test_does_not_modify_input(self, rng):
+        A = rng.standard_normal((10, 4))
+        A0 = A.copy()
+        geqr2(A)
+        assert np.array_equal(A, A0)
+
+    def test_packed_format(self, rng):
+        A = rng.standard_normal((12, 5))
+        VR, tau = geqr2(A)
+        assert VR.shape == (12, 5)
+        assert tau.shape == (5,)
+        V = extract_v(VR)
+        assert np.allclose(np.diag(V), 1.0)
+        assert np.allclose(np.triu(V, 1), 0.0)
+
+    def test_rank_deficient_input(self, rng):
+        col = rng.standard_normal((20, 1))
+        A = np.hstack([col, 2 * col, 3 * col])
+        VR, tau = geqr2(A)
+        Q = org2r(VR, tau, n_cols=3)
+        R = extract_r(VR)
+        assert np.allclose(Q @ R, A, atol=1e-12)
+        # Rank 1: trailing diagonal entries of R are ~0.
+        assert abs(R[1, 1]) < 1e-12 and abs(R[2, 2]) < 1e-12
+
+    def test_zero_matrix(self):
+        VR, tau = geqr2(np.zeros((6, 3)))
+        assert np.allclose(VR, 0.0)
+        assert np.allclose(tau, 0.0)
+
+
+class TestOrm2rOrg2r:
+    def test_qt_times_q_is_identity(self, rng):
+        A = rng.standard_normal((15, 6))
+        VR, tau = geqr2(A)
+        C = rng.standard_normal((15, 4))
+        out = orm2r(VR, tau, C.copy(), transpose=True)
+        out = orm2r(VR, tau, out, transpose=False)
+        assert np.allclose(out, C, atol=1e-12)
+
+    def test_qt_a_equals_r(self, rng):
+        A = rng.standard_normal((18, 7))
+        VR, tau = geqr2(A)
+        QtA = orm2r(VR, tau, A.copy(), transpose=True)
+        assert np.allclose(QtA, extract_r(VR, square=False), atol=1e-12)
+
+    def test_org2r_thin_orthonormal(self, rng):
+        A = rng.standard_normal((25, 9))
+        VR, tau = geqr2(A)
+        Q = org2r(VR, tau)
+        assert Q.shape == (25, 9)
+        assert np.allclose(Q.T @ Q, np.eye(9), atol=1e-12)
+
+    def test_row_mismatch_raises(self, rng):
+        VR, tau = geqr2(rng.standard_normal((10, 3)))
+        with pytest.raises(ValueError):
+            orm2r(VR, tau, np.zeros((9, 2)))
+
+
+class TestQrFlops:
+    def test_tall_formula(self):
+        assert qr_flops(100, 10) == pytest.approx(2 * 100 * 100 - 2 * 1000 / 3)
+
+    def test_paper_scale(self):
+        # 1M x 192 used in Table I: ~7.37e10 flops.
+        assert qr_flops(1_000_000, 192) == pytest.approx(7.3723e10, rel=1e-3)
+
+    def test_square_positive(self):
+        assert qr_flops(512, 512) > 0
+
+    def test_wide_symmetric_in_leading_term(self):
+        # m < n case follows the LAPACK convention.
+        assert qr_flops(10, 100) == pytest.approx(2 * 100 * 100 - 2 * 1000 / 3)

@@ -1,0 +1,102 @@
+"""Tests for the one-sided Jacobi SVD substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jacobi_svd import jacobi_svd, svd_via_jacobi
+
+
+class TestJacobiSVD:
+    @pytest.mark.parametrize("m,n", [(10, 10), (30, 8), (100, 5), (6, 1)])
+    def test_reconstruction(self, rng, m, n):
+        A = rng.standard_normal((m, n))
+        U, s, Vt = jacobi_svd(A)
+        assert np.allclose((U * s) @ Vt, A, atol=1e-11)
+
+    def test_singular_values_match_numpy(self, rng):
+        A = rng.standard_normal((40, 12))
+        _, s, _ = jacobi_svd(A)
+        assert np.allclose(s, np.linalg.svd(A, compute_uv=False), atol=1e-10)
+
+    def test_descending_nonnegative(self, rng):
+        _, s, _ = jacobi_svd(rng.standard_normal((20, 7)))
+        assert np.all(s >= 0)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_factors_orthonormal(self, rng):
+        A = rng.standard_normal((25, 9))
+        U, s, Vt = jacobi_svd(A)
+        assert np.allclose(U.T @ U, np.eye(9), atol=1e-11)
+        assert np.allclose(Vt @ Vt.T, np.eye(9), atol=1e-11)
+
+    def test_on_triangular_r_factor(self, rng):
+        # The library's actual use: SVD of the n x n R from QR.
+        R = np.triu(rng.standard_normal((16, 16)))
+        U, s, Vt = jacobi_svd(R)
+        assert np.allclose((U * s) @ Vt, R, atol=1e-11)
+
+    def test_rank_deficient(self, rng):
+        B = rng.standard_normal((20, 3))
+        A = B @ rng.standard_normal((3, 8))
+        U, s, Vt = jacobi_svd(A)
+        assert np.allclose((U * s) @ Vt, A, atol=1e-10)
+        assert np.sum(s > 1e-10 * s[0]) == 3
+
+    def test_zero_matrix(self):
+        U, s, Vt = jacobi_svd(np.zeros((5, 3)))
+        assert np.allclose(s, 0.0)
+        assert np.allclose((U * s) @ Vt, 0.0)
+
+    def test_ill_conditioned_high_relative_accuracy(self, matrix_factory):
+        A = matrix_factory(50, 10, cond=1e10)
+        _, s, _ = jacobi_svd(A)
+        s_np = np.linalg.svd(A, compute_uv=False)
+        # Jacobi attains high *relative* accuracy on the small values too.
+        assert np.allclose(s, s_np, rtol=1e-6, atol=1e-15)
+
+    def test_wide_requires_transpose(self, rng):
+        with pytest.raises(ValueError):
+            jacobi_svd(rng.standard_normal((3, 7)))
+
+    def test_empty_columns(self):
+        U, s, Vt = jacobi_svd(np.zeros((4, 0)))
+        assert s.shape == (0,)
+
+    def test_identity(self):
+        U, s, Vt = jacobi_svd(np.eye(6))
+        assert np.allclose(s, 1.0)
+
+
+class TestSvdViaJacobi:
+    def test_wide_matrix(self, rng):
+        A = rng.standard_normal((5, 12))
+        U, s, Vt = svd_via_jacobi(A)
+        assert U.shape == (5, 5)
+        assert Vt.shape == (5, 12)
+        assert np.allclose((U * s) @ Vt, A, atol=1e-11)
+
+    def test_tall_delegates(self, rng):
+        A = rng.standard_normal((12, 5))
+        U, s, Vt = svd_via_jacobi(A)
+        assert np.allclose((U * s) @ Vt, A, atol=1e-11)
+
+
+class TestUnderflowRegression:
+    def test_denormal_scale_columns_converge(self, rng):
+        """Regression: alpha*beta underflow used to make convergence
+        detection divide by zero and spin to the sweep cap."""
+        A = rng.standard_normal((12, 6))
+        A[:, 3] *= 1e-160
+        A[:, 4] *= 1e-165
+        U, s, Vt = jacobi_svd(A)
+        assert np.all(np.isfinite(s))
+        assert np.allclose((U * s) @ Vt, A, atol=1e-10)
+
+    def test_uniformly_tiny_matrix(self, rng):
+        A = 1e-170 * rng.standard_normal((10, 4))
+        U, s, Vt = jacobi_svd(A)
+        assert np.all(np.isfinite(s))
+        # Relative reconstruction still holds at denormal scale.
+        assert np.linalg.norm((U * s) @ Vt - A) <= 1e-8 * np.linalg.norm(A)

@@ -1,0 +1,86 @@
+"""Tests of column-pivoted (rank-revealing) QR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.core.pivoted import numerical_rank, qr_pivoted
+
+
+class TestPivotedQR:
+    @pytest.mark.parametrize("m,n", [(20, 10), (10, 10), (8, 15), (30, 1)])
+    def test_factorization_identity(self, rng, m, n):
+        A = rng.standard_normal((m, n))
+        f = qr_pivoted(A)
+        assert np.allclose(A[:, f.piv], f.Q @ f.R, atol=1e-11)
+        k = f.Q.shape[1]
+        assert np.allclose(f.Q.T @ f.Q, np.eye(k), atol=1e-12)
+
+    def test_diagonal_non_increasing(self, rng):
+        A = rng.standard_normal((40, 15))
+        f = qr_pivoted(A)
+        d = np.abs(np.diag(f.R))
+        assert np.all(d[:-1] >= d[1:] - 1e-10)
+
+    def test_matches_scipy_pivots_and_r(self, rng):
+        A = rng.standard_normal((25, 8))
+        f = qr_pivoted(A)
+        Qs, Rs, piv_s = scipy.linalg.qr(A, pivoting=True, mode="economic")
+        assert np.array_equal(f.piv, piv_s)
+        assert np.allclose(np.abs(np.diag(f.R)), np.abs(np.diag(Rs)), atol=1e-10)
+
+    def test_permutation_matrix(self, rng):
+        A = rng.standard_normal((12, 6))
+        f = qr_pivoted(A)
+        assert np.allclose(A @ f.permutation_matrix(), f.Q @ f.R, atol=1e-11)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            qr_pivoted(np.zeros(4))
+
+    def test_first_pivot_is_largest_column(self, rng):
+        A = rng.standard_normal((20, 5))
+        A[:, 3] *= 100.0
+        f = qr_pivoted(A)
+        assert f.piv[0] == 3
+
+
+class TestNumericalRank:
+    def test_exact_low_rank(self, rng):
+        A = rng.standard_normal((50, 4)) @ rng.standard_normal((4, 20))
+        assert numerical_rank(A) == 4
+
+    def test_full_rank(self, rng):
+        assert numerical_rank(rng.standard_normal((30, 12))) == 12
+
+    def test_zero_matrix(self):
+        assert numerical_rank(np.zeros((10, 5))) == 0
+
+    def test_near_rank_deficiency_with_tolerance(self, matrix_factory):
+        A = matrix_factory(60, 10, cond=1e12)
+        # With a loose tolerance the trailing tiny directions drop out.
+        assert numerical_rank(A, rtol=1e-6) < 10
+        assert numerical_rank(A, rtol=1e-14) == 10
+
+    def test_rank_of_rpca_background(self, rng):
+        """The use case: confirm the recovered video background is low rank."""
+        from repro.rpca import generate_video, rpca_ialm
+
+        v = generate_video(height=16, width=16, n_frames=20, illumination_drift=0.05, seed=2)
+        res = rpca_ialm(v.M, tol=1e-6, max_iter=80)
+        # The dominant background modes stand out by orders of magnitude
+        # against the 20 frames; small residual directions decay fast.
+        assert numerical_rank(res.L, rtol=5e-2) <= 4
+        assert numerical_rank(res.L, rtol=5e-2) < res.L.shape[1] // 2
+
+    def test_pivoting_beats_unpivoted_rank_reveal(self, rng):
+        """A classic Kahan-like matrix where unpivoted QR's diagonal lies."""
+        n = 30
+        c = 0.285
+        s = float(np.sqrt(1 - c * c))
+        K = np.triu(-c * np.ones((n, n)), 1) + np.eye(n)
+        K = np.diag(s ** np.arange(n)) @ K
+        true_rank = np.linalg.matrix_rank(K, tol=1e-10)
+        assert abs(numerical_rank(K, rtol=1e-10) - true_rank) <= 1

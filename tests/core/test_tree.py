@@ -1,0 +1,81 @@
+"""Unit tests for TSQR reduction-tree schedules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.tree import TREE_SHAPES, build_tree
+
+
+class TestBuildTree:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    @pytest.mark.parametrize("n_blocks", [0, 1, 2, 3, 4, 5, 7, 8, 16, 17, 100])
+    def test_valid_schedule(self, shape, n_blocks):
+        sched = build_tree(n_blocks, shape)
+        sched.validate()
+        assert sched.survivors() == ([0] if n_blocks >= 1 else [])
+
+    def test_quad_level_count(self):
+        # 64/16 = 4 Rs per block: quad-tree reduces height 4x per level
+        # (Section IV-C).  256 blocks -> 4 levels.
+        sched = build_tree(256, "quad")
+        assert sched.n_levels == 4
+
+    def test_binary_level_count(self):
+        assert build_tree(256, "binary").n_levels == 8
+
+    def test_binomial_level_count(self):
+        assert build_tree(256, "binomial").n_levels == 8
+        assert build_tree(100, "binomial").n_levels == math.ceil(math.log2(100))
+
+    def test_flat_is_one_level_one_group(self):
+        sched = build_tree(37, "flat")
+        assert sched.n_levels == 1
+        assert sched.levels[0] == (tuple(range(37)),)
+
+    def test_quad_groups_have_at_most_four(self):
+        sched = build_tree(19, "quad")
+        for level in sched.levels:
+            for group in level:
+                assert 2 <= len(group) <= 4
+
+    def test_custom_arity(self):
+        sched = build_tree(27, "arity:3")
+        assert sched.n_levels == 3
+        for level in sched.levels:
+            for group in level:
+                assert len(group) <= 3
+
+    def test_lone_trailing_block_rides_along(self):
+        # 5 blocks, quad: level 0 groups (0,1,2,3), block 4 rides; level 1
+        # groups (0, 4).
+        sched = build_tree(5, "quad")
+        assert sched.levels[0] == ((0, 1, 2, 3),)
+        assert sched.levels[1] == ((0, 4),)
+
+    def test_binomial_stride_pattern(self):
+        sched = build_tree(8, "binomial")
+        assert sched.levels[0] == ((0, 1), (2, 3), (4, 5), (6, 7))
+        assert sched.levels[1] == ((0, 2), (4, 6))
+        assert sched.levels[2] == ((0, 4),)
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            build_tree(4, "ternary-ish")
+
+    def test_negative_blocks_raises(self):
+        with pytest.raises(ValueError):
+            build_tree(-1, "quad")
+
+    def test_group_count_total(self):
+        # Every elimination removes >= 1 block; exactly n_blocks - 1
+        # eliminations for pairwise trees.
+        sched = build_tree(33, "binary")
+        eliminated = sum(len(g) - 1 for lvl in sched.levels for g in lvl)
+        assert eliminated == 32
+
+    def test_n_groups_property(self):
+        sched = build_tree(16, "quad")
+        assert sched.n_groups == 4 + 1

@@ -1,0 +1,92 @@
+"""Tests for the triangular-solve / Cholesky substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.triangular import (
+    SingularTriangularError,
+    cholesky,
+    solve_lower,
+    solve_upper,
+)
+
+
+class TestSolves:
+    def test_upper_matches_numpy(self, rng):
+        R = np.triu(rng.standard_normal((12, 12))) + 5 * np.eye(12)
+        B = rng.standard_normal((12, 4))
+        assert np.allclose(solve_upper(R, B), np.linalg.solve(R, B), atol=1e-11)
+
+    def test_lower_matches_numpy(self, rng):
+        L = np.tril(rng.standard_normal((9, 9))) + 5 * np.eye(9)
+        B = rng.standard_normal((9, 3))
+        assert np.allclose(solve_lower(L, B), np.linalg.solve(L, B), atol=1e-11)
+
+    def test_vector_rhs_shape_preserved(self, rng):
+        R = np.triu(rng.standard_normal((6, 6))) + 3 * np.eye(6)
+        b = rng.standard_normal(6)
+        x = solve_upper(R, b)
+        assert x.shape == (6,)
+        assert np.allclose(R @ x, b, atol=1e-12)
+
+    def test_zero_pivot_raises(self):
+        R = np.triu(np.ones((3, 3)))
+        R[1, 1] = 0.0
+        with pytest.raises(SingularTriangularError):
+            solve_upper(R, np.ones(3))
+        L = np.tril(np.ones((3, 3)))
+        L[2, 2] = 0.0
+        with pytest.raises(SingularTriangularError):
+            solve_lower(L, np.ones(3))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            solve_upper(np.ones((3, 4)), np.ones(3))
+        with pytest.raises(ValueError):
+            solve_lower(np.ones((4, 3)), np.ones(4))
+
+    def test_identity(self, rng):
+        b = rng.standard_normal(5)
+        assert np.allclose(solve_upper(np.eye(5), b), b)
+        assert np.allclose(solve_lower(np.eye(5), b), b)
+
+
+class TestCholesky:
+    def test_matches_numpy(self, rng):
+        X = rng.standard_normal((20, 8))
+        A = X.T @ X + 0.5 * np.eye(8)
+        L = cholesky(A)
+        assert np.allclose(L, np.linalg.cholesky(A), atol=1e-11)
+
+    def test_reconstruction(self, rng):
+        X = rng.standard_normal((30, 6))
+        A = X.T @ X + np.eye(6)
+        L = cholesky(A)
+        assert np.allclose(L @ L.T, A, atol=1e-11)
+        assert np.allclose(np.triu(L, 1), 0.0)
+
+    def test_indefinite_raises(self):
+        A = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        with pytest.raises(SingularTriangularError):
+            cholesky(A)
+
+    def test_nan_pivot_raises(self):
+        A = np.full((2, 2), np.nan)
+        with pytest.raises(SingularTriangularError):
+            cholesky(A)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            cholesky(np.ones((2, 3)))
+
+    def test_1x1(self):
+        assert cholesky(np.array([[4.0]]))[0, 0] == 2.0
+
+    def test_input_not_modified(self, rng):
+        X = rng.standard_normal((10, 4))
+        A = X.T @ X + np.eye(4)
+        A0 = A.copy()
+        cholesky(A)
+        assert np.array_equal(A, A0)

@@ -1,0 +1,57 @@
+"""Tests for the factorization-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.validation import (
+    factorization_error,
+    is_factorization_accurate,
+    orthogonality_error,
+    sign_canonical,
+    triangularity_error,
+)
+
+
+class TestMetrics:
+    def test_orthogonality_of_identity(self):
+        assert orthogonality_error(np.eye(5)) == 0.0
+
+    def test_orthogonality_detects_scaling(self):
+        assert orthogonality_error(2 * np.eye(3)) > 1.0
+
+    def test_factorization_error_zero_for_exact(self, rng):
+        Q = np.eye(4)
+        R = np.triu(rng.standard_normal((4, 4)))
+        assert factorization_error(Q @ R, Q, R) < 1e-15
+
+    def test_factorization_error_zero_matrix(self):
+        assert factorization_error(np.zeros((3, 2)), np.zeros((3, 2)), np.zeros((2, 2))) == 0.0
+
+    def test_triangularity(self):
+        R = np.triu(np.ones((4, 4)))
+        assert triangularity_error(R) == 0.0
+        R[2, 0] = 1.0
+        assert triangularity_error(R) == 1.0
+
+    def test_sign_canonical_makes_diag_nonnegative(self, rng):
+        A = rng.standard_normal((10, 4))
+        Q_np, R_np = np.linalg.qr(A)
+        Q, R = sign_canonical(Q_np, R_np)
+        assert np.all(np.diag(R) >= 0)
+        assert np.allclose(Q @ R, A, atol=1e-12)
+
+    def test_sign_canonical_zero_diag_unchanged(self):
+        R = np.zeros((3, 3))
+        Q = np.eye(3)
+        Q2, R2 = sign_canonical(Q, R)
+        assert np.array_equal(R2, R)
+
+    def test_is_factorization_accurate_true_for_numpy(self, rng):
+        A = rng.standard_normal((50, 10))
+        Q, R = np.linalg.qr(A)
+        assert is_factorization_accurate(A, Q, R)
+
+    def test_is_factorization_accurate_false_for_junk(self, rng):
+        A = rng.standard_normal((20, 5))
+        assert not is_factorization_accurate(A, A[:, :5] * 0 + 1.0, np.eye(5))

@@ -1,0 +1,90 @@
+"""Tests of the communication and stability studies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import communication, stability
+
+
+class TestCommunication:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return communication.run()
+
+    def test_caqr_beats_blas2_by_order_of_magnitude(self, rows):
+        for r in rows:
+            if r.n <= 192:  # the tall-skinny regime
+                assert r.blas2_vs_caqr > 8.0
+
+    def test_caqr_beats_blocked_householder_when_skinny(self, rows):
+        skinny = [r for r in rows if r.m // r.n >= 100]
+        for r in skinny:
+            assert r.blocked / r.caqr > 3.0
+
+    def test_everything_above_lower_bound(self, rows):
+        for r in rows:
+            assert r.caqr > r.lower_bound
+            assert r.blocked > r.lower_bound
+            assert r.blas2 > r.lower_bound
+
+    def test_caqr_within_constant_of_bound(self, rows):
+        """CAQR is communication-*optimal*: a bounded constant above the
+        Omega bound across sizes (the constant absorbs the paper's block
+        sizes and the bound's dropped factors)."""
+        ratios = [r.caqr_vs_bound for r in rows]
+        assert max(ratios) < 200.0
+        assert max(ratios) / min(ratios) < 5.0
+
+    def test_blas2_words_formula(self):
+        # n = 1: one column, 3 m words.
+        assert communication.blas2_qr_words(100, 1) == 300.0
+
+    def test_lower_bound_scales(self):
+        lb1 = communication.qr_words_lower_bound(10_000, 64)
+        lb2 = communication.qr_words_lower_bound(20_000, 64)
+        assert lb2 == pytest.approx(2 * lb1)
+
+    def test_format(self, rows):
+        out = communication.format_results(rows)
+        assert "lower bound" in out and "BLAS2/CAQR" in out
+
+
+class TestStability:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return stability.run(conds=(1e1, 1e6, 1e10), m=200, n=12)
+
+    def test_householder_family_flat_in_cond(self, rows):
+        """TSQR/CAQR/blocked/Givens stay at machine precision regardless
+        of conditioning — the Section II selling point."""
+        for r in rows:
+            for alg in ("tsqr", "caqr", "blocked_hh", "givens"):
+                assert r.errors[alg] < 1e-12
+
+    def test_cgs_degrades_quadratically(self, rows):
+        e = {r.cond: r.errors["cgs"] for r in rows}
+        assert e[1e6] > 1e4 * e[1e1]
+
+    def test_mgs_between_cgs_and_householder(self, rows):
+        for r in rows[1:]:
+            assert r.errors["tsqr"] <= r.errors["mgs"] <= max(r.errors["cgs"], 1e-10)
+
+    def test_cholqr_breaks_down_eventually(self, rows):
+        assert np.isinf(rows[-1].errors["cholqr"])
+
+    def test_make_conditioned_hits_target(self):
+        A = stability.make_conditioned(300, 10, 1e8)
+        assert np.linalg.cond(A) == pytest.approx(1e8, rel=0.01)
+
+    def test_single_precision_variant(self):
+        rows32 = stability.run(conds=(1e1, 1e3), m=200, n=8, dtype=np.float32)
+        for r in rows32:
+            # float32 machine precision, not float64.
+            assert r.errors["tsqr"] < 5e-5
+            assert r.errors["tsqr"] > 1e-9
+
+    def test_format(self, rows):
+        out = stability.format_results(rows)
+        assert "cholqr" in out and "breakdown" in out

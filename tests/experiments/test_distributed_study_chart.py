@@ -1,0 +1,66 @@
+"""Tests of the distributed communication study and the ASCII chart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ascii_chart, distributed_study
+
+
+class TestDistributedStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return distributed_study.run(ps=(4, 16, 64), n=16, rows_per_rank=32)
+
+    def test_tsqr_messages_log_p(self, rows):
+        assert [r.tsqr_messages for r in rows] == [2, 4, 6]
+
+    def test_householder_messages_2n_log_p(self, rows):
+        for r in rows:
+            assert r.hh_messages == 2 * r.n * r.tsqr_messages
+
+    def test_speedup_grows_with_latency(self, rows):
+        """The grid regime (ms latencies) rewards fewer messages most."""
+        for r in rows:
+            names = [n for n, _, _ in distributed_study.NETWORKS]
+            s = [r.network_speedups[n] for n in names]
+            assert s[0] < s[1] <= s[2]
+
+    def test_speedup_order_of_magnitude(self, rows):
+        for r in rows:
+            assert min(r.network_speedups.values()) > 10.0
+
+    def test_format(self, rows):
+        out = distributed_study.format_results(rows)
+        assert "TSQR msgs" in out and "grid" in out
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        out = ascii_chart([1, 2, 4, 8], {"a": [1, 2, 3, 4], "b": [4, 3, 2, 1]}, width=20, height=8)
+        assert "* a" in out and "o b" in out
+        assert "*" in out and "o" in out
+
+    def test_log_x(self):
+        out = ascii_chart([10, 100, 1000], {"s": [1.0, 2.0, 3.0]}, logx=True, width=21, height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # Log spacing: the middle point lands midway, not near the right.
+        mid_cols = [l.index("*") for l in lines if "*" in l]
+        assert any(8 <= c - 12 <= 12 for c in mid_cols)
+
+    def test_title_and_axis(self):
+        out = ascii_chart([0, 1], {"x": [0.0, 1.0]}, title="T", width=10, height=4)
+        assert out.startswith("T")
+        assert "+" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]}, width=10, height=4)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {}, width=10, height=4)
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart([1, 2, 3], {"c": [5.0, 5.0, 5.0]}, width=12, height=4)
+        assert "c" in out

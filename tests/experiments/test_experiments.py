@@ -1,0 +1,199 @@
+"""Tests of the experiment drivers — the paper's shape criteria.
+
+These are the headline assertions of the reproduction (see DESIGN.md
+section 4): who wins, by roughly what factor, and where the crossovers
+fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    figure7,
+    figure8,
+    figure9,
+    strategies_table,
+    table1,
+    table2,
+)
+
+
+class TestStrategiesTable:
+    def test_rows_cover_all_strategies(self):
+        rows = strategies_table.run()
+        assert [r.strategy for r in rows] == list(strategies_table.PAPER_STRATEGY_GFLOPS)
+
+    def test_all_ratios_in_band(self):
+        for r in strategies_table.run():
+            assert 0.7 <= r.ratio <= 1.3
+
+    def test_format_mentions_paper(self):
+        out = strategies_table.format_results(strategies_table.run())
+        assert "paper GFLOPS" in out and "regfile_transpose" in out
+
+
+class TestFigure7:
+    def test_best_is_128x16_class(self):
+        res = figure7.run()
+        e = res.entry(128, 16)
+        assert e is not None
+        assert e.gflops >= 0.95 * res.best.gflops
+
+    def test_model_near_388_at_optimum(self):
+        res = figure7.run()
+        e = res.entry(128, 16)
+        assert 0.7 * 388 <= e.gflops <= 1.3 * 388
+
+    def test_format(self):
+        out = figure7.format_results(figure7.run())
+        assert "128 x 16" in out
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8.run(heights=(8192, 65_536), widths=(64, 192, 1024, 4096, 8192))
+
+    def test_tall_skinny_speedups_large(self, result):
+        skinny = [p for p in result.points if p.width == 64]
+        assert all(p.speedup_vs_best > 3.0 for p in skinny)
+
+    def test_square_matrices_lose(self, result):
+        square = next(p for p in result.points if p.height == 8192 and p.width == 8192)
+        assert square.speedup_vs_best < 1.0
+
+    def test_crossover_frontier_found(self, result):
+        frontier = result.crossover_frontier()
+        assert frontier[8192] is not None
+        assert 1024 <= frontier[8192] <= 8192
+
+    def test_max_speedups_order_of_magnitude(self, result):
+        s = result.max_speedups()
+        assert s["vs_magma"] > 8.0
+        assert s["vs_cula"] > 8.0
+        assert s["vs_mkl"] > 8.0
+
+    def test_wide_points_excluded(self, result):
+        assert all(p.width <= p.height for p in result.points)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure9.run(widths=(64, 512, 1024, 2048, 3072, 4096, 6144, 8192))
+
+    def test_crossover_near_4000(self, result):
+        """Paper: 'around 4000 columns'; band 2500-6000."""
+        x = result.crossover_width()
+        assert x is not None
+        assert 2500 <= x <= 6000
+
+    def test_caqr_monotone_rising(self, result):
+        caqr = [r.caqr for r in result.rows]
+        assert caqr == sorted(caqr)
+
+    def test_caqr_best_left_of_crossover(self, result):
+        x = result.crossover_width()
+        for row in result.rows:
+            if row.width < 0.8 * x:
+                assert row.caqr > row.best_library
+
+    def test_magma_wins_at_square(self, result):
+        last = result.rows[-1]
+        assert last.magma > last.caqr
+        assert last.magma > 300.0  # gemm-rich regime
+
+    def test_format(self, result):
+        out = figure9.format_results(result)
+        assert "crossover" in out
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1.run()
+
+    def test_caqr_wins_everywhere(self, rows):
+        for r in rows:
+            assert r.caqr > r.magma and r.caqr > r.cula and r.caqr > r.mkl
+
+    def test_extreme_speedup_over_gpu_libs(self, rows):
+        """Paper: 'up to 17x speedups vs GPU libraries' at 1M x 192."""
+        last = next(r for r in rows if r.height == 1_000_000)
+        assert last.caqr / last.magma > 10.0
+
+    def test_speedup_vs_mkl_about_10x(self, rows):
+        last = next(r for r in rows if r.height == 1_000_000)
+        assert 6.0 <= last.speedup_vs_mkl <= 18.0
+
+    def test_caqr_saturates(self, rows):
+        caqr = [r.caqr for r in rows]
+        assert caqr == sorted(caqr)
+        assert caqr[-1] < 1.1 * caqr[-2]
+
+    def test_every_entry_in_band(self, rows):
+        for r in rows:
+            paper = table1.PAPER_TABLE1[r.height]
+            assert 0.6 * paper[0] <= r.caqr <= 1.4 * paper[0]
+
+    def test_format(self, rows):
+        out = table1.format_results(rows)
+        assert "1M x 192" in out and "paper" in out
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2.run()
+
+    def test_all_engines_in_band(self, rows):
+        for r in rows:
+            assert 0.65 <= r.ratio <= 1.35
+
+    def test_speedups(self, rows):
+        s = table2.speedups(rows)
+        assert 2.0 <= s["caqr_vs_blas2"] <= 4.5
+        assert 15.0 <= s["caqr_vs_mkl"] <= 45.0
+
+    def test_format(self, rows):
+        out = table2.format_results(rows)
+        assert "paper ~3x" in out
+
+
+class TestAblations:
+    def test_tree_shape_rows(self):
+        rows = ablations.tree_shape_ablation(m=100_000)
+        assert len(rows) == 4
+        assert all(r.gflops > 0 for r in rows)
+
+    def test_transpose_preprocessing_wins(self):
+        """The Section IV-E.4 claim: the out-of-place transpose pays off."""
+        on, off = ablations.transpose_ablation(m=500_000)
+        assert on.gflops > off.gflops
+
+    def test_panel_width_sweep(self):
+        rows = ablations.panel_width_ablation(m=100_000)
+        assert {8, 16, 32} == {int(r.label.split()[-1]) for r in rows}
+
+    def test_strategy_ablation_ordering(self):
+        rows = ablations.strategy_ablation(m=100_000)
+        by = {r.label.split()[-1]: r.gflops for r in rows}
+        assert by["regfile_transpose"] > by["smem_serial"] > by["smem_parallel"]
+
+    def test_gpu_only_beats_hybrid_when_skinny(self):
+        """Section III: transfer latency hurts skinny problems, so the
+        paper chose the GPU-only mapping."""
+        rows = ablations.hybrid_panel_ablation(heights=(10_000, 1_000_000))
+        pairs = {}
+        for r in rows:
+            kind, h = r.label.split()[0], r.m
+            pairs.setdefault(h, {})[kind] = r.gflops
+        for h, d in pairs.items():
+            assert d["GPU-only"] > d["hybrid"], f"hybrid must lose at h={h}"
+
+    def test_format_rows(self):
+        rows = ablations.panel_width_ablation(m=50_000)
+        out = ablations.format_rows(rows, "panel width")
+        assert "panel width" in out

@@ -1,0 +1,56 @@
+"""Tests of the CSV exporters."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_all,
+    export_figure9,
+    export_strategies,
+    export_table1,
+    export_table2,
+)
+
+
+def read_csv(path):
+    with open(path) as fh:
+        return list(csv.reader(fh))
+
+
+class TestExport:
+    def test_strategies_csv(self, tmp_path):
+        p = export_strategies(tmp_path)
+        rows = read_csv(p)
+        assert rows[0] == ["strategy", "model_gflops", "paper_gflops"]
+        assert len(rows) == 5  # header + 4 strategies
+        assert float(rows[1][1]) > 0
+
+    def test_figure9_csv_custom_widths(self, tmp_path):
+        p = export_figure9(tmp_path, widths=(64, 1024))
+        rows = read_csv(p)
+        assert len(rows) == 3
+        assert [r[0] for r in rows[1:]] == ["64", "1024"]
+
+    def test_table1_includes_paper_columns(self, tmp_path):
+        p = export_table1(tmp_path)
+        rows = read_csv(p)
+        assert "paper_caqr" in rows[0]
+        assert len(rows) == 7  # header + 6 heights
+
+    def test_table2_csv(self, tmp_path):
+        p = export_table2(tmp_path)
+        rows = read_csv(p)
+        assert [r[0] for r in rows[1:]] == ["mkl_svd", "blas2_qr", "caqr"]
+
+    def test_export_all_writes_four_files(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert len(paths) == 4
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_creates_nested_directory(self, tmp_path):
+        p = export_strategies(tmp_path / "a" / "b")
+        assert p.exists()

@@ -1,0 +1,89 @@
+"""Tests of the hardware-sensitivity sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    dram_bandwidth_sweep,
+    format_sweep,
+    launch_overhead_sweep,
+    pcie_latency_sweep,
+)
+
+
+class TestBandwidthSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return dram_bandwidth_sweep()
+
+    def test_caqr_is_compute_bound(self, rows):
+        """Doubling DRAM bandwidth moves CAQR by < 10%."""
+        g = {r.value: r.caqr_gflops for r in rows}
+        assert g[2.0] / g[1.0] < 1.10
+
+    def test_blas2_is_bandwidth_bound(self, rows):
+        """Doubling DRAM bandwidth nearly doubles the BLAS2 QR."""
+        g = {r.value: r.baseline_gflops for r in rows}
+        assert g[2.0] / g[1.0] > 1.8
+
+    def test_monotone(self, rows):
+        caqr = [r.caqr_gflops for r in rows]
+        blas2 = [r.baseline_gflops for r in rows]
+        assert caqr == sorted(caqr) and blas2 == sorted(blas2)
+
+
+class TestPCIeLatencySweep:
+    def test_caqr_insensitive(self):
+        rows = pcie_latency_sweep()
+        vals = {r.caqr_gflops for r in rows}
+        assert len(vals) == 1  # GPU-only: never touches the link
+
+    def test_hybrid_degrades(self):
+        rows = pcie_latency_sweep()
+        base = rows[0].baseline_gflops
+        worst = rows[-1].baseline_gflops
+        assert worst < 0.75 * base
+
+
+class TestLaunchOverheadSweep:
+    def test_small_matrix_dominated_by_launches(self):
+        rows = launch_overhead_sweep()
+        small = [r.caqr_gflops for r in rows]
+        # 30x more launch overhead must slash small-matrix throughput.
+        assert small[-1] < 0.3 * small[0]
+
+    def test_big_matrix_nearly_immune(self):
+        rows = launch_overhead_sweep()
+        big = [r.baseline_gflops for r in rows]
+        assert big[-1] > 0.9 * big[0]
+
+
+class TestFormatting:
+    def test_format(self):
+        rows = launch_overhead_sweep(overheads_us=(2.0, 15.0))
+        out = format_sweep(rows, "launch sweep")
+        assert "launch sweep" in out and "CAQR GFLOPS" in out
+
+
+class TestProjection:
+    def test_advantage_widens_with_compute(self):
+        from repro.experiments import projection
+
+        rows = projection.run()
+        speedups = [r.speedup_vs_best_lib for r in rows]
+        assert all(s > speedups[0] for s in speedups[1:])
+
+    def test_crossover_moves_right_or_vanishes(self):
+        from repro.experiments import projection
+
+        rows = projection.run()
+        base_x = rows[0].crossover_width
+        for r in rows[1:]:
+            assert r.crossover_width is None or r.crossover_width > base_x
+
+    def test_format(self):
+        from repro.experiments import projection
+
+        out = projection.format_results(projection.run(devices=projection.DEVICES[:2]))
+        assert "crossover" in out

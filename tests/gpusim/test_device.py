@@ -1,0 +1,63 @@
+"""Tests for device specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import C2050, COREI7_4CORE, GTX480, NEHALEM_8CORE, PCIE_GEN2
+
+
+class TestDeviceSpecs:
+    def test_c2050_peak_matches_paper(self):
+        # 14 SMs x 32 lanes x 1.15 GHz x 2 (FMA) ~ 1.03 TFLOP/s.
+        assert C2050.peak_gflops == pytest.approx(1030.4, rel=1e-3)
+
+    def test_c2050_section_iv_a_parameters(self):
+        assert C2050.n_sm == 14
+        assert C2050.lanes_per_sm == 32
+        assert C2050.clock_ghz == 1.15
+        assert C2050.dram_bw_gbs == 144.0  # ECC-enabled effective bandwidth
+        assert C2050.smem_per_sm_bytes == 48 * 1024
+        assert C2050.regfile_per_sm_bytes == 128 * 1024
+        assert C2050.max_threads_per_block == 512
+
+    def test_gtx480_faster_than_c2050(self):
+        assert GTX480.peak_gflops > C2050.peak_gflops
+        assert GTX480.dram_bw_gbs > C2050.dram_bw_gbs
+
+    def test_cpu_peaks(self):
+        # 8 cores x 4-wide SSE x 2 x 2.4 GHz = 153.6 GFLOP/s.
+        assert NEHALEM_8CORE.peak_gflops == pytest.approx(153.6)
+        assert COREI7_4CORE.peak_gflops == pytest.approx(83.2)
+
+    def test_with_returns_modified_copy(self):
+        fast = C2050.with_(dram_bw_gbs=288.0)
+        assert fast.dram_bw_gbs == 288.0
+        assert C2050.dram_bw_gbs == 144.0
+        assert fast.n_sm == C2050.n_sm
+
+    def test_spec_is_hashable_and_frozen(self):
+        assert hash(C2050) == hash(C2050)
+        with pytest.raises(Exception):
+            C2050.n_sm = 15  # frozen dataclass
+
+
+class TestPCIeLink:
+    def test_latency_floor(self):
+        t = PCIE_GEN2.transfer_seconds(4)
+        assert t >= PCIE_GEN2.latency_us * 1e-6
+
+    def test_bandwidth_dominates_large_transfers(self):
+        n = 1 << 30
+        t = PCIE_GEN2.transfer_seconds(n)
+        assert t == pytest.approx(n / (PCIE_GEN2.bw_gbs * 1e9), rel=0.01)
+
+    def test_zero_bytes_free(self):
+        assert PCIE_GEN2.transfer_seconds(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_GEN2.transfer_seconds(-1)
+
+    def test_monotone_in_bytes(self):
+        assert PCIE_GEN2.transfer_seconds(1000) < PCIE_GEN2.transfer_seconds(10_000_000)

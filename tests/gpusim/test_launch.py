@@ -1,0 +1,122 @@
+"""Tests for the kernel-launch timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import C2050
+from repro.gpusim.launch import LaunchSpec, occupancy_blocks_per_sm, time_launch
+
+
+def make_spec(**kw) -> LaunchSpec:
+    base = dict(
+        kernel="k",
+        n_blocks=1000,
+        threads_per_block=64,
+        cycles_per_block=5000.0,
+        flops_per_block=131072.0,
+        read_bytes_per_block=16384.0,
+        write_bytes_per_block=8192.0,
+        smem_per_block_bytes=9 * 1024,
+        regs_per_block_bytes=10 * 1024,
+    )
+    base.update(kw)
+    return LaunchSpec(**base)
+
+
+class TestOccupancy:
+    def test_limited_by_smem(self):
+        spec = make_spec(smem_per_block_bytes=24 * 1024, regs_per_block_bytes=0)
+        assert occupancy_blocks_per_sm(spec, C2050) == 2
+
+    def test_limited_by_registers(self):
+        spec = make_spec(smem_per_block_bytes=0, regs_per_block_bytes=60 * 1024)
+        assert occupancy_blocks_per_sm(spec, C2050) == 2
+
+    def test_limited_by_max_blocks(self):
+        spec = make_spec(smem_per_block_bytes=100, regs_per_block_bytes=100)
+        assert occupancy_blocks_per_sm(spec, C2050) == C2050.max_blocks_per_sm
+
+    def test_limited_by_threads(self):
+        spec = make_spec(threads_per_block=512, smem_per_block_bytes=0, regs_per_block_bytes=0)
+        assert occupancy_blocks_per_sm(spec, C2050) == 3  # 1536 threads / 512
+
+    def test_does_not_fit_raises(self):
+        spec = make_spec(smem_per_block_bytes=64 * 1024)
+        with pytest.raises(ValueError):
+            occupancy_blocks_per_sm(spec, C2050)
+
+    def test_bad_thread_count_raises(self):
+        with pytest.raises(ValueError):
+            occupancy_blocks_per_sm(make_spec(threads_per_block=1024), C2050)
+        with pytest.raises(ValueError):
+            occupancy_blocks_per_sm(make_spec(threads_per_block=0), C2050)
+
+
+class TestTimeLaunch:
+    def test_always_pays_launch_overhead(self):
+        t = time_launch(make_spec(n_blocks=1), C2050)
+        assert t.seconds >= C2050.kernel_launch_us * 1e-6
+
+    def test_zero_blocks_is_pure_overhead(self):
+        t = time_launch(make_spec(n_blocks=0), C2050)
+        assert t.seconds == pytest.approx(C2050.kernel_launch_us * 1e-6)
+        assert t.limiter == "overhead"
+
+    def test_compute_bound_kernel(self):
+        # Tiny traffic, heavy cycles -> compute-limited.
+        spec = make_spec(n_blocks=100_000, read_bytes_per_block=10.0, write_bytes_per_block=0.0)
+        t = time_launch(spec, C2050)
+        assert t.limiter == "compute"
+        assert t.compute_s > t.memory_s
+
+    def test_memory_bound_kernel(self):
+        spec = make_spec(
+            n_blocks=100_000,
+            cycles_per_block=10.0,
+            read_bytes_per_block=1e6,
+            write_bytes_per_block=1e6,
+        )
+        t = time_launch(spec, C2050)
+        assert t.limiter == "memory"
+
+    def test_latency_bound_small_grid(self):
+        # One block: a single wave's latency dominates aggregate rates.
+        spec = make_spec(n_blocks=1, cycles_per_block=100.0, read_bytes_per_block=100.0, write_bytes_per_block=0.0)
+        t = time_launch(spec, C2050)
+        assert t.seconds >= C2050.dram_latency_us * 1e-6
+
+    def test_time_scales_linearly_at_scale(self):
+        t1 = time_launch(make_spec(n_blocks=50_000), C2050)
+        t2 = time_launch(make_spec(n_blocks=100_000), C2050)
+        body1 = t1.seconds - t1.overhead_s
+        body2 = t2.seconds - t2.overhead_s
+        assert body2 == pytest.approx(2 * body1, rel=0.02)
+
+    def test_low_occupancy_slows_compute(self):
+        # Same work, but a footprint that allows only one resident block
+        # (2 warps) must not run faster than the high-occupancy version.
+        fat = make_spec(n_blocks=10_000, regs_per_block_bytes=120 * 1024, smem_per_block_bytes=0)
+        slim = make_spec(n_blocks=10_000, regs_per_block_bytes=10 * 1024, smem_per_block_bytes=0)
+        t_fat = time_launch(fat, C2050)
+        t_slim = time_launch(slim, C2050)
+        assert t_fat.compute_s > t_slim.compute_s
+
+    def test_bw_efficiency_scales_memory_time(self):
+        spec_full = make_spec(n_blocks=10_000, cycles_per_block=1.0, bw_efficiency=1.0)
+        spec_half = make_spec(n_blocks=10_000, cycles_per_block=1.0, bw_efficiency=0.5)
+        assert time_launch(spec_half, C2050).memory_s == pytest.approx(
+            2 * time_launch(spec_full, C2050).memory_s
+        )
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            time_launch(make_spec(n_blocks=-1), C2050)
+
+    def test_counters_scale_with_blocks(self):
+        spec = make_spec(n_blocks=7)
+        c = spec.counters()
+        assert c.flops == 7 * spec.flops_per_block
+        assert c.gmem_bytes == 7 * (spec.read_bytes_per_block + spec.write_bytes_per_block)
+        assert c.kernel_launches == 1
+        assert c.thread_blocks == 7

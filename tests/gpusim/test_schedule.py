@@ -1,0 +1,115 @@
+"""Tests of the event scheduler and the scheduled hybrid baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import MAGMAQR
+from repro.baselines.hybrid_scheduled import ScheduledHybridQR
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.gpusim.schedule import EventSchedule
+
+
+class TestEventSchedule:
+    def test_serial_chain(self):
+        s = EventSchedule()
+        a = s.add("a", "cpu", 1.0)
+        b = s.add("b", "cpu", 2.0, [a])
+        assert s.makespan == 3.0
+        assert s.tasks[b].start == 1.0
+
+    def test_parallel_resources(self):
+        s = EventSchedule()
+        s.add("a", "cpu", 2.0)
+        s.add("b", "gpu", 3.0)
+        assert s.makespan == 3.0
+
+    def test_dependency_across_resources(self):
+        s = EventSchedule()
+        a = s.add("a", "cpu", 2.0)
+        b = s.add("b", "gpu", 1.0, [a])
+        assert s.makespan == 3.0
+        assert s.tasks[b].start == 2.0
+
+    def test_resource_serialization(self):
+        s = EventSchedule()
+        s.add("a", "gpu", 1.0)
+        s.add("b", "gpu", 1.0)  # no dep, same resource -> serial
+        assert s.makespan == 2.0
+
+    def test_pipeline_overlap(self):
+        """Classic two-stage pipeline: makespan < serial sum."""
+        s = EventSchedule()
+        prev = None
+        for i in range(4):
+            a = s.add(f"stage1[{i}]", "cpu", 1.0)
+            prev = s.add(f"stage2[{i}]", "gpu", 1.0, [a])
+        assert s.makespan == pytest.approx(5.0)  # 1 + 4 (pipelined), not 8
+
+    def test_utilization_and_busy(self):
+        s = EventSchedule()
+        s.add("a", "cpu", 2.0)
+        s.add("b", "gpu", 1.0)
+        assert s.resource_busy("cpu") == 2.0
+        assert s.resource_utilization("gpu") == pytest.approx(0.5)
+
+    def test_critical_path_ends_at_makespan(self):
+        s = EventSchedule()
+        a = s.add("a", "cpu", 1.0)
+        b = s.add("b", "link", 2.0, [a])
+        c = s.add("c", "gpu", 3.0, [b])
+        path = s.critical_path()
+        assert path[-1].name == "c"
+        assert path[-1].finish == s.makespan
+        assert [t.name for t in path] == ["a", "b", "c"]
+
+    def test_invalid_inputs(self):
+        s = EventSchedule()
+        with pytest.raises(ValueError):
+            s.add("x", "cpu", -1.0)
+        with pytest.raises(ValueError):
+            s.add("x", "cpu", 1.0, [5])
+
+    def test_empty(self):
+        assert EventSchedule().makespan == 0.0
+
+    def test_gantt_renders(self):
+        s = EventSchedule()
+        a = s.add("work", "cpu", 1.0)
+        s.add("copy", "link", 0.5, [a])
+        out = s.gantt(width=20)
+        assert "makespan" in out and "[cpu]" in out and "=" in out
+
+
+class TestScheduledHybrid:
+    @pytest.mark.parametrize("height", sorted(PAPER_TABLE1))
+    def test_agrees_with_closed_form(self, height):
+        """The explicit pipeline validates the closed-form look-ahead."""
+        a = MAGMAQR().simulate(height, 192).seconds
+        b = ScheduledHybridQR().simulate(height, 192).seconds
+        assert b == pytest.approx(a, rel=0.15)
+
+    def test_agrees_on_square(self):
+        a = MAGMAQR().simulate(8192, 4096).seconds
+        b = ScheduledHybridQR().simulate(8192, 4096).seconds
+        assert b == pytest.approx(a, rel=0.15)
+
+    def test_gpu_idle_on_tall_skinny(self):
+        """Section III: for skinny matrices the hybrid leaves the GPU
+        mostly idle — the quantitative reason for going GPU-only."""
+        sched = ScheduledHybridQR().build_schedule(1_000_000, 192)
+        assert sched.resource_utilization("gpu") < 0.15
+        assert sched.resource_utilization("cpu") > 0.75
+
+    def test_gpu_busy_on_square(self):
+        sched = ScheduledHybridQR().build_schedule(8192, 8192)
+        assert sched.resource_utilization("gpu") > 0.5
+
+    def test_lookahead_beats_sequential(self):
+        la = ScheduledHybridQR(lookahead=True).simulate(8192, 4096).seconds
+        seq = ScheduledHybridQR(lookahead=False).simulate(8192, 4096).seconds
+        assert la < seq
+
+    def test_breakdown_resources(self):
+        r = ScheduledHybridQR().simulate(50_000, 192)
+        assert {"cpu", "gpu", "link"} <= set(r.breakdown)

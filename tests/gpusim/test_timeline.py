@@ -1,0 +1,106 @@
+"""Tests for counters and timelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import C2050, PCIE_GEN2
+from repro.gpusim.launch import LaunchSpec
+from repro.gpusim.timeline import Timeline
+
+
+def spec(name="k", blocks=100):
+    return LaunchSpec(
+        kernel=name,
+        n_blocks=blocks,
+        threads_per_block=64,
+        cycles_per_block=1000.0,
+        flops_per_block=1e5,
+        read_bytes_per_block=1e4,
+        write_bytes_per_block=1e4,
+    )
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        a = Counters(flops=10, gmem_read_bytes=5, kernel_launches=1)
+        b = Counters(flops=3, gmem_write_bytes=2, kernel_launches=2)
+        a.add(b)
+        assert a.flops == 13
+        assert a.gmem_bytes == 7
+        assert a.kernel_launches == 3
+
+    def test_plus_operator_is_pure(self):
+        a = Counters(flops=1)
+        b = Counters(flops=2)
+        c = a + b
+        assert c.flops == 3 and a.flops == 1 and b.flops == 2
+
+    def test_arithmetic_intensity(self):
+        c = Counters(flops=100, gmem_read_bytes=25, gmem_write_bytes=25)
+        assert c.arithmetic_intensity == 2.0
+        assert Counters(flops=5).arithmetic_intensity == float("inf")
+
+
+class TestTimeline:
+    def test_launch_appends_and_times(self):
+        tl = Timeline(device=C2050)
+        t = tl.launch(spec())
+        assert len(tl.events) == 1
+        assert tl.total_seconds == t.seconds
+
+    def test_counters_aggregate(self):
+        tl = Timeline(device=C2050)
+        tl.launch(spec(blocks=10))
+        tl.launch(spec(blocks=20))
+        assert tl.counters.flops == 30 * 1e5
+        assert tl.counters.kernel_launches == 2
+
+    def test_transfer_event(self):
+        tl = Timeline(device=C2050)
+        t = tl.transfer(PCIE_GEN2, 1 << 20)
+        assert t > 0
+        assert tl.counters.pcie_bytes == 1 << 20
+        assert tl.counters.pcie_transfers == 1
+
+    def test_host_event(self):
+        tl = Timeline(device=C2050)
+        tl.host("cpu_svd", 0.01, flops=1e6)
+        assert tl.total_seconds == pytest.approx(0.01)
+        assert tl.counters.flops == 1e6
+
+    def test_host_negative_rejected(self):
+        tl = Timeline(device=C2050)
+        with pytest.raises(ValueError):
+            tl.host("bad", -1.0)
+
+    def test_seconds_by_kernel_groups(self):
+        tl = Timeline(device=C2050)
+        tl.launch(spec("a"))
+        tl.launch(spec("a"))
+        tl.launch(spec("b"))
+        by = tl.seconds_by_kernel()
+        assert set(by) == {"a", "b"}
+        assert by["a"] == pytest.approx(2 * by["b"])
+        assert tl.launches_by_kernel() == {"a": 2, "b": 1}
+
+    def test_gflops_vs_reference(self):
+        tl = Timeline(device=C2050)
+        tl.launch(spec(blocks=1000))
+        assert tl.gflops(reference_flops=2e8) == pytest.approx(2e8 / tl.total_seconds / 1e9)
+        # default: counted flops
+        assert tl.gflops() == pytest.approx(1e8 / tl.total_seconds / 1e9)
+
+    def test_extend_concatenates(self):
+        a = Timeline(device=C2050)
+        b = Timeline(device=C2050)
+        a.launch(spec())
+        b.launch(spec())
+        a.extend(b)
+        assert len(a.events) == 2
+
+    def test_empty_timeline(self):
+        tl = Timeline(device=C2050)
+        assert tl.total_seconds == 0.0
+        assert tl.gflops() == 0.0

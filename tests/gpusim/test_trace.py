@@ -1,0 +1,71 @@
+"""Tests of the timeline profiler rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caqr_gpu import simulate_caqr
+from repro.gpusim import C2050, PCIE_GEN2, Timeline, kernel_summary, render_profile
+from repro.gpusim.launch import LaunchSpec
+
+
+def spec(name, blocks=100, cycles=1000.0):
+    return LaunchSpec(
+        kernel=name,
+        n_blocks=blocks,
+        threads_per_block=64,
+        cycles_per_block=cycles,
+        flops_per_block=1e5,
+        read_bytes_per_block=1e4,
+        write_bytes_per_block=1e4,
+    )
+
+
+class TestKernelSummary:
+    def test_aggregates_by_name(self):
+        tl = Timeline(device=C2050)
+        tl.launch(spec("a"))
+        tl.launch(spec("a"))
+        tl.launch(spec("b"))
+        rows = kernel_summary(tl)
+        assert [r["name"] for r in rows][0] == "a"
+        a = rows[0]
+        assert a["events"] == 2
+        assert a["thread_blocks"] == 200
+
+    def test_shares_sum_to_one(self):
+        tl = Timeline(device=C2050)
+        tl.launch(spec("a"))
+        tl.launch(spec("b", cycles=5000.0))
+        tl.transfer(PCIE_GEN2, 1 << 20)
+        rows = kernel_summary(tl)
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+
+    def test_rates_positive(self):
+        tl = Timeline(device=C2050)
+        tl.launch(spec("a"))
+        r = kernel_summary(tl)[0]
+        assert r["gflops"] > 0 and r["gbytes_per_s"] > 0
+
+    def test_empty_timeline(self):
+        assert kernel_summary(Timeline(device=C2050)) == []
+
+
+class TestRenderProfile:
+    def test_renders_caqr_profile(self):
+        tl = simulate_caqr(50_000, 192).timeline
+        out = render_profile(tl)
+        for k in ("apply_qt_h", "factor", "apply_qt_tree", "factor_tree", "transpose"):
+            assert k in out
+        assert "ms total" in out
+        assert "#" in out
+
+    def test_dominant_kernel_first(self):
+        tl = simulate_caqr(500_000, 192).timeline
+        lines = render_profile(tl).splitlines()
+        assert "apply_qt_h" in lines[1]
+
+    def test_custom_title(self):
+        tl = Timeline(device=C2050)
+        tl.launch(spec("k"))
+        assert render_profile(tl, title="hello").startswith("hello")

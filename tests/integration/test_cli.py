@@ -1,0 +1,72 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if isinstance(a, type(parser._actions[-1])) and a.choices
+        )
+        assert {
+            "strategies",
+            "figure7",
+            "figure8",
+            "figure9",
+            "table1",
+            "table2",
+            "ablations",
+            "sensitivity",
+            "dispatch",
+        } <= set(subparsers.choices)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "regfile_transpose" in out and "paper" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Robust PCA" in out
+
+    def test_table1_custom_heights(self, capsys):
+        assert main(["table1", "--heights", "1000,10000"]) == 0
+        out = capsys.readouterr().out
+        assert "1k x 192" in out and "10k x 192" in out
+        assert "1M" not in out
+
+    def test_figure9_custom_widths(self, capsys):
+        assert main(["figure9", "--widths", "64,4096"]) == 0
+        out = capsys.readouterr().out
+        assert "4096" in out
+
+    def test_dispatch(self, capsys):
+        assert main(["dispatch", "--m", "100000", "--n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "choice: caqr" in out
+
+    def test_dispatch_square(self, capsys):
+        assert main(["dispatch", "--m", "8192", "--n", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "choice: blocked" in out
+
+    def test_figure7(self, capsys):
+        assert main(["figure7"]) == 0
+        assert "128 x 16" in capsys.readouterr().out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "PCIe latency" in out and "DRAM bandwidth" in out

@@ -1,0 +1,75 @@
+"""Tests of the model-driven QR dispatcher (the paper's Section V-C
+autotuning-framework suggestion)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.validation import factorization_error, orthogonality_error
+from repro.dispatch import QRDispatcher
+
+
+@pytest.fixture(scope="module")
+def dispatcher():
+    return QRDispatcher()
+
+
+class TestPrediction:
+    def test_predictions_sorted(self, dispatcher):
+        preds = dispatcher.predict(100_000, 192)
+        secs = [p.seconds for p in preds]
+        assert secs == sorted(secs)
+        assert {p.engine for p in preds} == {"caqr", "blocked", "mkl"}
+
+    def test_skinny_chooses_caqr(self, dispatcher):
+        for m, n in ((1_000_000, 192), (100_000, 64), (8192, 512)):
+            assert dispatcher.choose(m, n).engine == "caqr"
+
+    def test_square_chooses_blocked(self, dispatcher):
+        assert dispatcher.choose(8192, 8192).engine == "blocked"
+
+    def test_crossover_matches_figure9(self, dispatcher):
+        x = dispatcher.crossover_width(8192)
+        assert x is not None
+        assert 2500 <= x <= 6000  # the paper's ~4000-column line
+
+    def test_crossover_none_when_caqr_always_wins(self, dispatcher):
+        # Too tall for the libraries to ever catch up within the width cap.
+        assert dispatcher.crossover_width(2048, max_width=1024) is None
+
+    def test_no_cpu_option(self):
+        d = QRDispatcher(include_cpu=False)
+        assert {p.engine for p in d.predict(10_000, 64)} == {"caqr", "blocked"}
+
+    def test_invalid_shape(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.predict(0, 5)
+
+
+class TestDispatchedFactorization:
+    def test_skinny_runs_caqr_and_is_accurate(self, dispatcher, rng):
+        A = rng.standard_normal((2000, 24))
+        out = dispatcher.qr(A)
+        assert out.engine == "caqr"
+        assert factorization_error(A, out.Q, out.R) < 1e-12
+        assert orthogonality_error(out.Q) < 1e-12
+
+    def test_squareish_runs_blocked_and_is_accurate(self, rng):
+        d = QRDispatcher()
+        # Force the blocked path via a shape where the libraries win.
+        # (Use small real matrix but monkey-patch choice by predictions:
+        # a genuinely square large matrix is too slow to factor in a
+        # test, so check the routing logic + numerics separately.)
+        A = rng.standard_normal((96, 96))
+        out = d.qr(A)  # whatever engine wins, numerics must hold
+        assert factorization_error(A, out.Q, out.R) < 1e-12
+
+    def test_predictions_attached(self, dispatcher, rng):
+        out = dispatcher.qr(rng.standard_normal((500, 8)))
+        assert out.predictions[0].engine == out.engine
+        assert len(out.predictions) == 3
+
+    def test_rejects_1d(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.qr(np.zeros(5))

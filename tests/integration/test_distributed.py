@@ -1,0 +1,128 @@
+"""Tests of the distributed-memory TSQR simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import (
+    FakeComm,
+    distributed_tsqr,
+    householder_message_count,
+    simulated_network_seconds,
+    tsqr_message_lower_bound,
+)
+
+
+class TestFakeComm:
+    def test_send_recv_roundtrip(self):
+        c = FakeComm(size=2)
+        c.send(np.arange(5.0), src=0, dst=1)
+        got = c.recv(src=0, dst=1)
+        assert np.array_equal(got, np.arange(5.0))
+
+    def test_messages_are_copies(self):
+        c = FakeComm(size=2)
+        x = np.ones(3)
+        c.send(x, src=0, dst=1)
+        x[0] = 99.0
+        assert c.recv(src=0, dst=1)[0] == 1.0
+
+    def test_counters(self):
+        c = FakeComm(size=3)
+        c.send(np.zeros(10), src=0, dst=2)
+        c.send(np.zeros(4), src=1, dst=2)
+        assert c.total_messages == 2
+        assert c.total_words == 14
+        assert c.stats[2].messages_received == 2
+        assert c.stats[2].words_received == 14
+
+    def test_fifo_per_channel(self):
+        c = FakeComm(size=2)
+        c.send(1.0, src=0, dst=1)
+        c.send(2.0, src=0, dst=1)
+        assert c.recv(src=0, dst=1) == 1.0
+        assert c.recv(src=0, dst=1) == 2.0
+
+    def test_missing_message_raises(self):
+        c = FakeComm(size=2)
+        with pytest.raises(LookupError):
+            c.recv(src=0, dst=1)
+
+    def test_invalid_ranks(self):
+        c = FakeComm(size=2)
+        with pytest.raises(ValueError):
+            c.send(1.0, src=0, dst=2)
+        with pytest.raises(ValueError):
+            c.send(1.0, src=1, dst=1)
+        with pytest.raises(ValueError):
+            FakeComm(size=0)
+
+    def test_alpha_beta_time(self):
+        c = FakeComm(size=2)
+        c.send(np.zeros(1000), src=0, dst=1)
+        t = simulated_network_seconds(c, alpha_us=10.0, beta_ns_per_word=5.0)
+        # busiest rank: 1 message, 1000 words.
+        assert t == pytest.approx(10e-6 + 1000 * 5e-9)
+
+
+class TestDistributedTSQR:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8, 16])
+    def test_correct_factorization(self, rng, p):
+        A = rng.standard_normal((600, 10))
+        res = distributed_tsqr(A, p)
+        R_np = np.triu(np.linalg.qr(A, mode="r"))
+        assert np.allclose(np.abs(np.diag(res.R)), np.abs(np.diag(R_np)), atol=1e-10)
+        Q = res.form_q()
+        assert np.allclose(Q @ res.R, A, atol=1e-10)
+        assert np.allclose(Q.T @ Q, np.eye(10), atol=1e-11)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_critical_path_is_log_p(self, rng, p):
+        A = rng.standard_normal((32 * 8, 4))
+        res = distributed_tsqr(A, p)
+        assert res.rounds == tsqr_message_lower_bound(p)
+
+    def test_total_messages_p_minus_1(self, rng):
+        """Every rank's R is eliminated exactly once: P - 1 messages."""
+        for p in (2, 5, 8, 13):
+            res = distributed_tsqr(rng.standard_normal((13 * 8, 6)), p)
+            assert res.comm.total_messages == p - 1
+
+    def test_message_size_is_triangle(self, rng):
+        n = 8
+        res = distributed_tsqr(rng.standard_normal((64, n)), 4)
+        assert res.comm.total_words == 3 * n * (n + 1) / 2
+
+    def test_tsqr_beats_householder_in_messages(self):
+        """The headline distributed claim: log P vs 2 n log P messages."""
+        for p in (16, 256):
+            for n in (32, 192):
+                assert householder_message_count(n, p) == 2 * n * tsqr_message_lower_bound(p)
+                assert tsqr_message_lower_bound(p) * 2 * n == householder_message_count(n, p)
+                assert tsqr_message_lower_bound(p) < householder_message_count(n, p) / 10
+
+    def test_rejects_too_few_rows(self, rng):
+        with pytest.raises(ValueError):
+            distributed_tsqr(rng.standard_normal((10, 4)), 4)
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            distributed_tsqr(rng.standard_normal((40, 4)), 0)
+        with pytest.raises(ValueError):
+            distributed_tsqr(np.zeros(5), 1)
+
+    def test_zero_communication_single_rank(self, rng):
+        res = distributed_tsqr(rng.standard_normal((50, 5)), 1)
+        assert res.comm.total_messages == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.integers(1, 12), n=st.integers(1, 8), seed=st.integers(0, 2**31))
+def test_property_distributed_matches_serial(p, n, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((p * n + rng.integers(0, 20), n))
+    res = distributed_tsqr(A, p)
+    R_np = np.triu(np.linalg.qr(A, mode="r"))[:n]
+    assert np.allclose(np.abs(np.diag(res.R)), np.abs(np.diag(R_np)), atol=1e-9)

@@ -1,0 +1,191 @@
+"""Tests of the s-step Krylov subpackage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.krylov import (
+    arnoldi,
+    basis_condition,
+    ca_gmres,
+    from_dense,
+    gmres,
+    hessenberg_from_basis,
+    laplacian_1d,
+    laplacian_2d,
+    leja_order,
+    monomial_basis,
+    newton_basis,
+    solve_hessenberg_lstsq,
+    sstep_arnoldi,
+    tridiagonal,
+)
+
+
+class TestOperators:
+    def test_laplacian_1d_matches_dense(self):
+        op = laplacian_1d(8)
+        A = op.to_dense()
+        expected = 2 * np.eye(8) - np.eye(8, k=1) - np.eye(8, k=-1)
+        assert np.array_equal(A, expected)
+
+    def test_laplacian_2d_symmetric_positive(self):
+        op = laplacian_2d(5, 6)
+        A = op.to_dense()
+        assert np.allclose(A, A.T)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+    def test_tridiagonal(self):
+        op = tridiagonal(-1.0, 3.0, 2.0, 5)
+        A = op.to_dense()
+        assert A[1, 0] == -1.0 and A[0, 0] == 3.0 and A[0, 1] == 2.0
+
+    def test_from_dense_roundtrip(self, rng):
+        A = rng.standard_normal((6, 6))
+        op = from_dense(A)
+        v = rng.standard_normal(6)
+        assert np.allclose(op(v), A @ v)
+
+    def test_shape_checks(self, rng):
+        op = laplacian_1d(4)
+        with pytest.raises(ValueError):
+            op(np.zeros(5))
+        with pytest.raises(ValueError):
+            from_dense(rng.standard_normal((3, 4)))
+
+
+class TestBases:
+    def test_monomial_columns_normalized(self, rng):
+        op = laplacian_1d(50)
+        V = monomial_basis(op, rng.standard_normal(50), 6)
+        assert np.allclose(np.linalg.norm(V, axis=0), 1.0)
+
+    def test_monomial_condition_explodes(self, rng):
+        op = laplacian_2d(15, 15)
+        v = rng.standard_normal(op.n)
+        c4 = basis_condition(monomial_basis(op, v, 4))
+        c12 = basis_condition(monomial_basis(op, v, 12))
+        assert c12 > 100 * c4
+
+    def test_newton_beats_monomial(self, rng):
+        op = laplacian_2d(15, 15)
+        v = rng.standard_normal(op.n)
+        s = 12
+        pre = arnoldi(op, v, s)
+        shifts = np.linalg.eigvals(pre.H[:s, :s]).real
+        c_mono = basis_condition(monomial_basis(op, v, s))
+        c_newt = basis_condition(newton_basis(op, v, s, shifts))
+        assert c_newt < c_mono / 100
+
+    def test_leja_order_starts_at_extreme(self):
+        shifts = np.array([1.0, 5.0, 2.0, -3.0])
+        ordered = leja_order(shifts)
+        assert ordered[0] == 5.0
+        assert sorted(ordered) == sorted(shifts)
+
+    def test_zero_start_rejected(self):
+        op = laplacian_1d(10)
+        with pytest.raises(ValueError):
+            monomial_basis(op, np.zeros(10), 3)
+
+    def test_too_few_shifts_rejected(self, rng):
+        op = laplacian_1d(10)
+        with pytest.raises(ValueError):
+            newton_basis(op, rng.standard_normal(10), 5, np.array([1.0]))
+
+
+class TestArnoldi:
+    def test_relation_holds(self, rng):
+        op = laplacian_2d(10, 10)
+        r = arnoldi(op, rng.standard_normal(op.n), 15)
+        assert r.relation_residual(op) < 1e-12
+        k = r.V.shape[1]
+        assert np.allclose(r.V.T @ r.V, np.eye(k), atol=1e-12)
+
+    def test_h_upper_hessenberg(self, rng):
+        op = laplacian_1d(40)
+        r = arnoldi(op, rng.standard_normal(40), 10)
+        H = r.H
+        for j in range(H.shape[1]):
+            assert np.allclose(H[j + 2 :, j], 0.0)
+
+    def test_breakdown_on_invariant_subspace(self):
+        # Start in an eigenvector: Krylov space is 1-dimensional.
+        op = from_dense(np.diag([1.0, 2.0, 3.0]))
+        v0 = np.array([1.0, 0.0, 0.0])
+        r = arnoldi(op, v0, 3)
+        assert r.breakdown == 1
+        assert r.V.shape[1] == 1
+
+    def test_sstep_matches_classical_subspace(self, rng):
+        op = laplacian_2d(8, 8)
+        b = rng.standard_normal(op.n)
+        rc = arnoldi(op, b, 12)
+        rs = sstep_arnoldi(op, b, s=4, n_blocks=3)
+        # Same Krylov subspace: projectors agree.
+        Pc = rc.V[:, :12] @ rc.V[:, :12].T
+        Ps = rs.V[:, :12] @ rs.V[:, :12].T
+        assert np.allclose(Pc, Ps, atol=1e-8)
+
+    def test_sstep_orthonormal(self, rng):
+        op = laplacian_2d(12, 12)
+        r = sstep_arnoldi(op, rng.standard_normal(op.n), s=6, n_blocks=4)
+        k = r.V.shape[1]
+        assert np.allclose(r.V.T @ r.V, np.eye(k), atol=1e-10)
+        assert r.relation_residual(op) < 1e-10
+
+    def test_hessenberg_from_basis_consistent(self, rng):
+        op = laplacian_1d(60)
+        r = arnoldi(op, rng.standard_normal(60), 8)
+        H2 = hessenberg_from_basis(op, r.V)
+        assert np.allclose(H2, r.H, atol=1e-10)
+
+    def test_invalid_args(self, rng):
+        op = laplacian_1d(10)
+        with pytest.raises(ValueError):
+            arnoldi(op, rng.standard_normal(10), 0)
+        with pytest.raises(ValueError):
+            sstep_arnoldi(op, np.zeros(10), 2, 2)
+
+
+class TestGMRES:
+    def test_hessenberg_lstsq_matches_numpy(self, rng):
+        m = 7
+        H = np.triu(rng.standard_normal((m + 1, m)), -1)
+        beta = 2.5
+        y, res = solve_hessenberg_lstsq(H, beta)
+        rhs = np.zeros(m + 1)
+        rhs[0] = beta
+        y_np, *_ = np.linalg.lstsq(H, rhs, rcond=None)
+        assert np.allclose(y, y_np, atol=1e-10)
+        assert res == pytest.approx(np.linalg.norm(rhs - H @ y_np), abs=1e-10)
+
+    def test_gmres_solves_spd_system(self, rng):
+        op = laplacian_2d(10, 10)
+        b = rng.standard_normal(op.n)
+        r = gmres(op, b, m=90, tol=1e-8)
+        assert r.converged
+        assert np.allclose(op.to_dense() @ r.x, b, atol=1e-5)
+
+    def test_ca_gmres_matches_gmres(self, rng):
+        op = laplacian_2d(10, 10)
+        b = rng.standard_normal(op.n)
+        g = gmres(op, b, m=48)
+        cg = ca_gmres(op, b, s=6, n_blocks=8)
+        assert cg.basis_size == g.basis_size
+        assert cg.relative_residual == pytest.approx(g.relative_residual, rel=1e-3, abs=1e-12)
+        assert np.allclose(cg.x, g.x, atol=1e-6)
+
+    def test_ca_gmres_converges_monotonically_in_blocks(self, rng):
+        op = laplacian_2d(8, 8)
+        b = rng.standard_normal(op.n)
+        res = [ca_gmres(op, b, s=4, n_blocks=k).relative_residual for k in (2, 4, 8)]
+        assert res[0] >= res[1] >= res[2]
+
+    def test_gmres_exact_in_n_steps(self, rng):
+        A = rng.standard_normal((12, 12)) + 6 * np.eye(12)
+        op = from_dense(A)
+        b = rng.standard_normal(12)
+        r = gmres(op, b, m=12, tol=1e-12)
+        assert r.relative_residual < 1e-10

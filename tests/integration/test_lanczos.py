@@ -1,0 +1,89 @@
+"""Tests of the Lanczos variants (classical and s-step/TSQR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.krylov import from_dense, laplacian_1d, laplacian_2d
+from repro.krylov.lanczos import LanczosResult, lanczos, ritz_values, sstep_lanczos
+
+
+class TestClassicalLanczos:
+    def test_tridiagonal_projection(self, rng):
+        op = laplacian_1d(60)
+        r = lanczos(op, rng.standard_normal(60), 12)
+        V = r.V[:, :12]
+        T_proj = V.T @ np.column_stack([op(V[:, j]) for j in range(12)])
+        assert np.allclose(T_proj, r.T, atol=1e-10)
+
+    def test_extremal_ritz_values_converge(self, rng):
+        op = laplacian_2d(15, 15)
+        true = np.linalg.eigvalsh(op.to_dense())
+        ritz = lanczos(op, rng.standard_normal(op.n), 40).ritz_values()
+        assert ritz[-1] == pytest.approx(true[-1], rel=1e-4)
+        assert ritz[0] == pytest.approx(true[0], rel=1e-2)
+
+    def test_ritz_values_interlace_within_spectrum(self, rng):
+        op = laplacian_1d(50)
+        true = np.linalg.eigvalsh(op.to_dense())
+        ritz = lanczos(op, rng.standard_normal(50), 15).ritz_values()
+        assert ritz.min() >= true.min() - 1e-10
+        assert ritz.max() <= true.max() + 1e-10
+
+    def test_reorthogonalization_matters(self, rng):
+        """The motivation for QR-based variants: orthogonality decays
+        without reorthogonalization."""
+        op = laplacian_2d(12, 12)
+        v0 = rng.standard_normal(op.n)
+        V_no = lanczos(op, v0, 60, reorthogonalize=False).V
+        V_yes = lanczos(op, v0, 60).V
+        err_no = np.linalg.norm(V_no.T @ V_no - np.eye(V_no.shape[1]))
+        err_yes = np.linalg.norm(V_yes.T @ V_yes - np.eye(V_yes.shape[1]))
+        assert err_yes < 1e-12
+        assert err_no > 100 * err_yes
+
+    def test_breakdown_on_invariant_start(self):
+        A = np.diag([1.0, 2.0, 5.0])
+        op = from_dense(A)
+        r = lanczos(op, np.array([0.0, 1.0, 0.0]), 3)
+        assert r.alpha.size == 1
+        assert r.ritz_values()[0] == pytest.approx(2.0)
+
+    def test_invalid_args(self, rng):
+        op = laplacian_1d(10)
+        with pytest.raises(ValueError):
+            lanczos(op, rng.standard_normal(10), 0)
+        with pytest.raises(ValueError):
+            lanczos(op, np.zeros(10), 3)
+
+
+class TestSStepLanczos:
+    def test_matches_classical_ritz_values(self, rng):
+        op = laplacian_2d(12, 12)
+        v0 = rng.standard_normal(op.n)
+        m = 24
+        classical = lanczos(op, v0, m).ritz_values()
+        sstep = sstep_lanczos(op, v0, s=6, n_blocks=4).ritz_values()
+        assert sstep.size == classical.size
+        assert np.allclose(sstep[[0, -1]], classical[[0, -1]], rtol=1e-6)
+
+    def test_basis_orthonormal(self, rng):
+        op = laplacian_1d(200)
+        r = sstep_lanczos(op, rng.standard_normal(200), s=5, n_blocks=5)
+        k = r.V.shape[1]
+        assert np.allclose(r.V.T @ r.V, np.eye(k), atol=1e-10)
+
+    def test_t_matrix_symmetric_by_construction(self, rng):
+        op = laplacian_1d(80)
+        r = sstep_lanczos(op, rng.standard_normal(80), s=4, n_blocks=4)
+        assert np.allclose(r.T, r.T.T)
+
+    def test_ritz_values_dispatcher(self, rng):
+        op = laplacian_2d(8, 8)
+        v0 = rng.standard_normal(op.n)
+        for method in ("classical", "classical-noreorth", "sstep"):
+            vals = ritz_values(op, v0, 16, method=method)
+            assert vals.size >= 1
+        with pytest.raises(ValueError):
+            ritz_values(op, v0, 16, method="magic")

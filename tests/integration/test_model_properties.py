@@ -1,0 +1,129 @@
+"""Property-based tests of the performance model itself.
+
+The calibrated constants could drift during refactoring; these pin the
+*structural* properties any sane model must have: monotonicity in both
+dimensions, linear scaling at the tall end, counter consistency, and
+schedule-count formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caqr_gpu import enumerate_caqr_launches, simulate_caqr
+from repro.core.householder import qr_flops
+from repro.core.tree import build_tree
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(256, 200_000), n=st.integers(8, 256))
+    def test_time_increases_with_rows(self, m, n):
+        t1 = simulate_caqr(m, n).seconds
+        t2 = simulate_caqr(2 * m, n).seconds
+        assert t2 > t1
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(4096, 100_000), n=st.integers(8, 128))
+    def test_time_increases_with_columns(self, m, n):
+        t1 = simulate_caqr(m, n).seconds
+        t2 = simulate_caqr(m, 2 * n).seconds
+        assert t2 > t1
+
+    def test_tall_end_scales_linearly(self):
+        t1 = simulate_caqr(500_000, 192).seconds
+        t2 = simulate_caqr(1_000_000, 192).seconds
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+
+class TestCounterConsistency:
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(1_000, 50_000), n=st.integers(8, 96))
+    def test_counted_flops_at_least_standard(self, m, n):
+        r = simulate_caqr(m, n)
+        assert r.counters.flops >= 0.95 * qr_flops(m, n)
+
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(1_000, 50_000), n=st.integers(8, 96))
+    def test_bytes_at_least_matrix_size(self, m, n):
+        r = simulate_caqr(m, n)
+        assert r.counters.gmem_bytes >= m * n * 4.0
+
+    def test_counters_linear_in_height(self):
+        c1 = simulate_caqr(250_000, 192).counters
+        c2 = simulate_caqr(500_000, 192).counters
+        assert c2.flops / c1.flops == pytest.approx(2.0, rel=0.02)
+        assert c2.gmem_bytes / c1.gmem_bytes == pytest.approx(2.0, rel=0.02)
+
+
+class TestScheduleFormulas:
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(64, 100_000), n=st.integers(1, 200))
+    def test_launch_count_formula(self, m, n):
+        """Launches per panel: transpose + factor + L tree levels +
+        (apply_qt_h + L apply levels when a trailing matrix exists)."""
+        cfg = REFERENCE_CONFIG
+        specs = list(enumerate_caqr_launches(m, n, cfg))
+        k = min(m, n)
+        expected = 0
+        pw = cfg.panel_width
+        for c0 in range(0, k, pw):
+            pw_p = min(pw, k - c0)
+            hp = m - c0
+            bh = max(cfg.block_rows, pw_p)
+            nb0 = math.ceil(hp / bh)
+            levels = build_tree(nb0, cfg.tree_shape).n_levels
+            expected += 2 + levels  # transpose + factor + tree
+            if n - (c0 + pw_p) > 0:
+                expected += 1 + levels
+        assert len(specs) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(nb=st.integers(1, 5000), arity=st.integers(2, 16))
+    def test_tree_group_total(self, nb, arity):
+        sched = build_tree(nb, f"arity:{arity}")
+        eliminated = sum(len(g) - 1 for lvl in sched.levels for g in lvl)
+        assert eliminated == max(0, nb - 1)
+
+    def test_factor_blocks_match_row_blocks(self):
+        specs = [s for s in enumerate_caqr_launches(100_000, 32) if s.kernel == "factor"]
+        assert specs[0].n_blocks == math.ceil(100_000 / 128)
+        assert specs[1].n_blocks == math.ceil((100_000 - 16) / 128)
+
+
+class TestConfigInvariance:
+    def test_simulation_deterministic(self):
+        a = simulate_caqr(123_456, 100)
+        b = simulate_caqr(123_456, 100)
+        assert a.seconds == b.seconds
+        assert a.counters.flops == b.counters.flops
+
+    def test_structured_tree_never_slower(self):
+        for m, n in ((10_000, 64), (500_000, 192), (8192, 1024)):
+            dense = simulate_caqr(m, n).seconds
+            struct = simulate_caqr(m, n, REFERENCE_CONFIG.with_(structured_tree=True)).seconds
+            assert struct <= dense * 1.001
+
+    def test_faster_device_is_faster(self):
+        from repro.gpusim.device import C2050
+
+        fast = C2050.with_(n_sm=28)
+        assert simulate_caqr(500_000, 192, dev=fast).seconds < simulate_caqr(500_000, 192).seconds
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        bh=st.sampled_from([32, 64, 128, 256]),
+        pw=st.sampled_from([8, 16, 32]),
+    )
+    def test_any_config_produces_valid_schedule(self, bh, pw):
+        if bh < pw:
+            return
+        cfg = KernelConfig(block_rows=bh, panel_width=pw)
+        r = simulate_caqr(20_000, 64, cfg)
+        assert r.seconds > 0
+        assert r.counters.kernel_launches == len(r.timeline.events)

@@ -1,0 +1,129 @@
+"""Tests of the analytic kernel launch costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import C2050
+from repro.gpusim.launch import occupancy_blocks_per_sm, time_launch
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+from repro.kernels.costs import (
+    apply_qt_h_launch,
+    apply_qt_tree_launch,
+    factor_launch,
+    factor_tree_launch,
+    transpose_launch,
+)
+
+CFG = REFERENCE_CONFIG
+DEV = C2050
+
+
+class TestConfig:
+    def test_reference_matches_paper_tuning(self):
+        assert CFG.block_rows == 128 and CFG.panel_width == 16
+        assert CFG.threads == 64
+        assert CFG.strategy == "regfile_transpose"
+
+    def test_quad_tree_for_64x16(self):
+        cfg = KernelConfig(block_rows=64, panel_width=16)
+        assert cfg.tree_arity == 4
+        assert cfg.tree_shape == "arity:4"
+
+    def test_arity_floor_two(self):
+        cfg = KernelConfig(block_rows=16, panel_width=16)
+        assert cfg.tree_arity == 2
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            KernelConfig(block_rows=8, panel_width=16)
+        with pytest.raises(ValueError):
+            KernelConfig(block_rows=0)
+        with pytest.raises(ValueError):
+            KernelConfig(threads=0)
+
+    def test_with_returns_copy(self):
+        cfg = CFG.with_(panel_width=8)
+        assert cfg.panel_width == 8 and CFG.panel_width == 16
+
+
+class TestFactorLaunch:
+    def test_flops_are_qr_flops(self):
+        spec = factor_launch(10, 128, 16, CFG, DEV)
+        assert spec.flops_per_block == pytest.approx(2 * 128 * 256 - 2 * 16**3 / 3)
+
+    def test_reads_and_writes_block(self):
+        spec = factor_launch(1, 128, 16, CFG, DEV)
+        assert spec.read_bytes_per_block == 128 * 16 * 4
+        assert spec.write_bytes_per_block == 128 * 16 * 4 + 16 * 4
+
+    def test_slower_than_apply_per_flop(self):
+        """Sequential column dependencies make factor less efficient."""
+        f = factor_launch(1, 128, 16, CFG, DEV)
+        a = apply_qt_h_launch(1, 128, 16, 16, CFG, DEV)
+        assert f.cycles_per_block / f.flops_per_block > a.cycles_per_block / a.flops_per_block
+
+    def test_fits_on_sm(self):
+        spec = factor_launch(100, 128, 16, CFG, DEV)
+        assert occupancy_blocks_per_sm(spec, DEV) >= 1
+
+
+class TestTreeLaunches:
+    def test_factor_tree_reads_triangles_only(self):
+        spec = factor_tree_launch(5, 4, 16, CFG, DEV)
+        assert spec.read_bytes_per_block == pytest.approx(4 * (16 * 17 / 2) * 4)
+
+    def test_tree_kernels_pay_gather_efficiency(self):
+        ft = factor_tree_launch(1, 4, 16, CFG, DEV)
+        at = apply_qt_tree_launch(1, 4, 16, 16, CFG, DEV)
+        assert ft.bw_efficiency == DEV.gather_bw_eff
+        assert at.bw_efficiency <= DEV.gather_bw_eff
+
+    def test_apply_tree_slower_than_apply_h_same_shape(self):
+        """Gather/scatter latency makes the tree update less efficient
+        than the horizontal update on equivalent work."""
+        h = apply_qt_h_launch(1, 64, 16, 16, CFG, DEV)
+        t = apply_qt_tree_launch(1, 4, 16, 16, CFG, DEV)  # 4*16 = 64 rows
+        assert t.flops_per_block == h.flops_per_block
+        assert t.cycles_per_block > h.cycles_per_block
+
+
+class TestApplyLaunch:
+    def test_traffic_counts_tile_and_v(self):
+        spec = apply_qt_h_launch(1, 128, 16, 16, CFG, DEV)
+        assert spec.read_bytes_per_block == (128 * 16 + 128 * 16) * 4
+        assert spec.write_bytes_per_block == 128 * 16 * 4
+
+    def test_wider_tile_more_flops(self):
+        a16 = apply_qt_h_launch(1, 128, 16, 16, CFG, DEV)
+        a64 = apply_qt_h_launch(1, 128, 16, 64, CFG, DEV)
+        assert a64.flops_per_block == 4 * a16.flops_per_block
+
+    def test_wider_tile_lower_occupancy(self):
+        a16 = apply_qt_h_launch(1, 128, 16, 16, CFG, DEV)
+        a64 = apply_qt_h_launch(1, 128, 16, 64, CFG, DEV)
+        assert occupancy_blocks_per_sm(a64, DEV) < occupancy_blocks_per_sm(a16, DEV)
+
+    def test_kernel_rate_below_microbenchmark(self):
+        """The in-kernel rate (stalls + prologue) must sit below the
+        resident-data microbenchmark's 388-GFLOPS-class rate."""
+        from repro.kernels.strategies import strategy_gflops
+
+        spec = apply_qt_h_launch(14 * 8 * 32, 128, 16, 16, CFG, DEV)
+        t = time_launch(spec, DEV)
+        rate = spec.flops_per_block * spec.n_blocks / (t.seconds - t.overhead_s) / 1e9
+        micro = strategy_gflops("regfile_transpose", 128, 16, DEV)
+        assert rate < micro
+        assert rate > 0.5 * micro
+
+
+class TestTransposeLaunch:
+    def test_pure_bandwidth_no_flops(self):
+        spec = transpose_launch(100_000, 16, CFG, DEV)
+        assert spec.flops_per_block == 0.0
+        total = (spec.read_bytes_per_block + spec.write_bytes_per_block) * spec.n_blocks
+        assert total == pytest.approx(2 * 100_000 * 16 * 4)
+
+    def test_memory_bound(self):
+        spec = transpose_launch(1_000_000, 16, CFG, DEV)
+        assert time_launch(spec, DEV).limiter == "memory"

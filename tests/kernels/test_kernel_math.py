@@ -1,0 +1,128 @@
+"""Tests of the four kernels' numerical behavior (Section IV-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.householder import extract_r, geqr2, orm2r
+from repro.kernels.apply_qt_h import apply_qt_h_block
+from repro.kernels.apply_qt_tree import apply_qt_tree_block
+from repro.kernels.factor import factor_block
+from repro.kernels.factor_tree import factor_tree_block
+from repro.kernels.layouts import (
+    from_transposed_panel,
+    panel_is_transposable,
+    to_transposed_panel,
+)
+
+
+class TestFactor:
+    def test_packed_output_reconstructs(self, rng):
+        A = rng.standard_normal((64, 16))
+        VR, tau, R = factor_block(A)
+        Q = orm2r(VR, tau, np.eye(64), transpose=False)
+        assert np.allclose(Q[:, :16] @ R, A, atol=1e-12)
+
+    def test_r_upper_triangular(self, rng):
+        _, _, R = factor_block(rng.standard_normal((128, 16)))
+        assert R.shape == (16, 16)
+        assert np.allclose(np.tril(R, -1), 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            factor_block(np.zeros((0, 4)))
+
+
+class TestFactorTree:
+    def test_stacked_elimination_matches_dense(self, rng):
+        rs = [np.triu(rng.standard_normal((16, 16))) for _ in range(4)]
+        VR, tau, R_new, heights = factor_tree_block(rs)
+        assert heights == (16, 16, 16, 16)
+        dense_R = extract_r(geqr2(np.vstack(rs))[0])
+        assert np.allclose(np.abs(np.diag(R_new)), np.abs(np.diag(dense_R)), atol=1e-10)
+
+    def test_unequal_heights(self, rng):
+        rs = [np.triu(rng.standard_normal((8, 8))), rng.standard_normal((3, 8))]
+        VR, tau, R_new, heights = factor_tree_block(rs)
+        assert heights == (8, 3)
+        assert R_new.shape == (8, 8)
+
+    def test_column_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            factor_tree_block([np.zeros((4, 4)), np.zeros((4, 5))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            factor_tree_block([])
+
+
+class TestApplyQtH:
+    def test_matches_orm2r(self, rng):
+        A = rng.standard_normal((64, 16))
+        VR, tau, _ = factor_block(A)
+        tile = rng.standard_normal((64, 16))
+        expected = orm2r(VR, tau, tile.copy(), transpose=True)
+        got = apply_qt_h_block(VR, tau, tile.copy())
+        assert np.allclose(got, expected, atol=1e-13)
+
+    def test_applied_to_own_panel_gives_r(self, rng):
+        A = rng.standard_normal((64, 16))
+        VR, tau, R = factor_block(A)
+        out = apply_qt_h_block(VR, tau, A.copy())
+        assert np.allclose(out[:16], R, atol=1e-12)
+
+    def test_row_mismatch_rejected(self, rng):
+        VR, tau, _ = factor_block(rng.standard_normal((32, 8)))
+        with pytest.raises(ValueError):
+            apply_qt_h_block(VR, tau, np.zeros((16, 8)))
+
+
+class TestApplyQtTree:
+    def test_gather_apply_scatter_roundtrip(self, rng):
+        rs = [np.triu(rng.standard_normal((16, 16))) for _ in range(2)]
+        VR, tau, _, heights = factor_tree_block(rs)
+        pieces = [rng.standard_normal((h, 5)) for h in heights]
+        updated = apply_qt_tree_block(VR, tau, pieces)
+        # Cross-check against a dense application to the stack.
+        stacked = np.vstack([p.copy() for p in pieces])
+        orm2r(VR, tau, stacked, transpose=True)
+        assert np.allclose(np.vstack(updated), stacked, atol=1e-13)
+        assert [u.shape for u in updated] == [p.shape for p in pieces]
+
+    def test_height_mismatch_rejected(self, rng):
+        rs = [np.triu(rng.standard_normal((8, 8))) for _ in range(2)]
+        VR, tau, _, _ = factor_tree_block(rs)
+        with pytest.raises(ValueError):
+            apply_qt_tree_block(VR, tau, [np.zeros((8, 2))])
+
+    def test_empty_pieces_rejected(self, rng):
+        rs = [np.triu(rng.standard_normal((4, 4))) for _ in range(2)]
+        VR, tau, _, _ = factor_tree_block(rs)
+        with pytest.raises(ValueError):
+            apply_qt_tree_block(VR, tau, [])
+
+
+class TestLayouts:
+    def test_roundtrip(self, rng):
+        P = rng.standard_normal((96, 16))
+        T = to_transposed_panel(P)
+        assert T.shape == (16, 96)
+        assert T.flags["C_CONTIGUOUS"]
+        back = from_transposed_panel(T)
+        assert np.array_equal(back, P)
+
+    def test_always_out_of_place(self, rng):
+        P = rng.standard_normal((8, 8))
+        T = to_transposed_panel(P)
+        assert T.base is None or T.base is not P
+
+    def test_transposable_only_square(self):
+        assert panel_is_transposable(16, 16)
+        assert not panel_is_transposable(128, 16)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            to_transposed_panel(np.zeros(4))
+        with pytest.raises(ValueError):
+            from_transposed_panel(np.zeros(4))

@@ -1,0 +1,71 @@
+"""Tests of the thread-level ``factor`` kernel (and its compositions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.householder import geqr2, orm2r
+from repro.kernels.simt import simt_apply_qt_h
+from repro.kernels.simt_factor import simt_factor
+
+
+class TestSimtFactor:
+    @pytest.mark.parametrize("mb,nb,T", [(64, 16, 64), (128, 16, 64), (32, 8, 32), (16, 4, 16), (128, 8, 64)])
+    def test_matches_geqr2_exactly(self, rng, mb, nb, T):
+        A = rng.standard_normal((mb, nb))
+        VR_ref, tau_ref = geqr2(A)
+        VR, tau, _ = simt_factor(A, threads=T)
+        assert np.allclose(VR, VR_ref, atol=1e-12)
+        assert np.allclose(tau, tau_ref, atol=1e-12)
+
+    def test_measured_flops_near_2mn2(self, rng):
+        A = rng.standard_normal((128, 16))
+        _, _, ctr = simt_factor(A)
+        assert ctr.flops == pytest.approx(2 * 128 * 16 * 16, rel=0.1)
+
+    def test_zero_column_handled(self, rng):
+        A = rng.standard_normal((32, 8))
+        A[:, 2] = 0.0
+        A[2:, 2] = 0.0  # fully zero below too
+        VR_ref, tau_ref = geqr2(A)
+        VR, tau, _ = simt_factor(A, threads=32)
+        assert np.allclose(VR, VR_ref, atol=1e-12)
+        assert np.allclose(tau, tau_ref, atol=1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            simt_factor(np.zeros((0, 4)))
+
+    def test_factor_tree_composition(self, rng):
+        """factor_tree == simt_factor on a stack of triangles."""
+        rs = [np.triu(rng.standard_normal((16, 16))) for _ in range(4)]
+        stacked = np.vstack(rs)  # 64 x 16 — one tree block
+        VR_ref, tau_ref = geqr2(stacked)
+        VR, tau, ctr = simt_factor(stacked, threads=64)
+        assert np.allclose(VR, VR_ref, atol=1e-12)
+        assert ctr.flops > 0
+
+    def test_full_tsqr_panel_from_simt_kernels(self, rng):
+        """A complete one-panel TSQR built only from the two SIMT kernels:
+        factor the blocks, eliminate the stacked Rs, apply the tree factor
+        to the stacked R rows — R must match a dense QR."""
+        A = rng.standard_normal((128, 16))
+        top, bot = A[:64], A[64:]
+        VR1, tau1, _ = simt_factor(top)
+        VR2, tau2, _ = simt_factor(bot)
+        R1, R2 = np.triu(VR1[:16]), np.triu(VR2[:16])
+        stacked = np.vstack([R1, R2])
+        VRt, taut, _ = simt_factor(stacked, threads=32)
+        R_final = np.triu(VRt[:16])
+        R_dense = np.triu(np.linalg.qr(A, mode="r"))
+        assert np.allclose(np.abs(np.diag(R_final)), np.abs(np.diag(R_dense)), atol=1e-10)
+
+    def test_apply_after_factor_roundtrip(self, rng):
+        """simt_factor + simt_apply_qt_h compose like geqr2 + orm2r."""
+        A = rng.standard_normal((64, 16))
+        VR, tau, _ = simt_factor(A)
+        tile = rng.standard_normal((64, 16))
+        got, _ = simt_apply_qt_h(VR, tau, tile)
+        want = orm2r(VR, tau, tile.copy(), transpose=True)
+        assert np.allclose(got, want, atol=1e-12)

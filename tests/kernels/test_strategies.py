@@ -1,0 +1,103 @@
+"""Calibration tests of the Section IV-E strategy micro-models.
+
+These pin the reproduction's central numbers: the four approaches must
+land in the paper's order with ratios inside the +-30% band, and the
+mechanism (what limits each strategy) must be the one the paper gives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import C2050, GTX480
+from repro.kernels.strategies import (
+    PAPER_STRATEGY_GFLOPS,
+    STRATEGIES,
+    strategy_block_cost,
+    strategy_gflops,
+)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", STRATEGIES)
+    def test_within_band_of_paper(self, name):
+        model = strategy_gflops(name, 128, 16, C2050)
+        paper = PAPER_STRATEGY_GFLOPS[name]
+        assert 0.7 * paper <= model <= 1.3 * paper, f"{name}: {model} vs {paper}"
+
+    def test_strict_ordering(self):
+        vals = [strategy_gflops(s, 128, 16, C2050) for s in STRATEGIES]
+        assert vals == sorted(vals), "55 < 168 < 194 < 388 ordering must hold"
+
+    def test_tuning_span_7x(self):
+        """Section IV-G: 'from 55 GFLOPS to 388 GFLOPS' — a ~7x span."""
+        lo = strategy_gflops("smem_parallel", 128, 16, C2050)
+        hi = strategy_gflops("regfile_transpose", 128, 16, C2050)
+        assert 5.0 <= hi / lo <= 10.0
+
+    def test_transpose_doubles_register_strategy(self):
+        """Approach 4 vs 3 is ~2x — coalescing, not extra arithmetic."""
+        s3 = strategy_gflops("regfile_serial", 128, 16, C2050)
+        s4 = strategy_gflops("regfile_transpose", 128, 16, C2050)
+        assert 1.6 <= s4 / s3 <= 2.6
+
+
+class TestMechanisms:
+    def test_regfile_serial_is_memory_bound(self):
+        """Strategy 3's limiter is uncoalesced global bandwidth."""
+        cost = strategy_block_cost("regfile_serial", 128, 16, C2050)
+        assert cost.bw_efficiency == C2050.uncoalesced_bw_eff
+        # Its compute rate alone would match strategy 4's.
+        c4 = strategy_block_cost("regfile_transpose", 128, 16, C2050)
+        assert cost.cycles == pytest.approx(c4.cycles)
+
+    def test_smem_strategies_have_more_smem_traffic(self):
+        smem = strategy_block_cost("smem_serial", 128, 16, C2050)
+        reg = strategy_block_cost("regfile_transpose", 128, 16, C2050)
+        # The register-file strategy keeps the matrix out of shared
+        # memory entirely; only u reads/partials remain.
+        assert smem.smem_transactions > 1.5 * reg.smem_transactions
+
+    def test_parallel_reduction_uses_one_thread_per_row(self):
+        cost = strategy_block_cost("smem_parallel", 128, 16, C2050)
+        assert cost.threads == 128
+
+    def test_flop_count_is_4mnw(self):
+        cost = strategy_block_cost("regfile_transpose", 128, 16, C2050)
+        assert cost.flops == 4.0 * 128 * 16 * 16
+
+    def test_trailing_width_scales_flops(self):
+        c1 = strategy_block_cost("regfile_transpose", 128, 16, C2050, trailing_width=16)
+        c2 = strategy_block_cost("regfile_transpose", 128, 16, C2050, trailing_width=32)
+        assert c2.flops == 2 * c1.flops
+        assert c2.cycles > c1.cycles
+
+    def test_n_vectors_scales_linearly(self):
+        c1 = strategy_block_cost("regfile_transpose", 128, 16, C2050, n_vectors=1)
+        c16 = strategy_block_cost("regfile_transpose", 128, 16, C2050, n_vectors=16)
+        assert c16.cycles == pytest.approx(16 * c1.cycles)
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_block_cost("magic", 128, 16, C2050)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_block_cost("smem_serial", 0, 16, C2050)
+
+    def test_gtx480_scales_with_clock_and_sms(self):
+        c = strategy_gflops("regfile_transpose", 128, 16, C2050)
+        g = strategy_gflops("regfile_transpose", 128, 16, GTX480)
+        expected = (GTX480.n_sm * GTX480.clock_ghz) / (C2050.n_sm * C2050.clock_ghz)
+        assert g / c == pytest.approx(expected, rel=0.02)
+
+    def test_narrow_blocks_become_memory_bound(self):
+        """Section IV-F: arithmetic intensity ~ width/3 — narrow blocks
+        can't stay compute-bound even with perfect kernels."""
+        narrow = strategy_gflops("regfile_transpose", 128, 4, C2050)
+        wide = strategy_gflops("regfile_transpose", 128, 16, C2050)
+        assert narrow < wide
+        ai = 4.0 * 4 / 12.0  # flops/byte at width 4
+        assert narrow <= ai * C2050.dram_bw_gbs * 1.001

@@ -1,0 +1,85 @@
+"""Tests of the chunked/online Robust PCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rpca import foreground_f1, generate_video, rpca_ialm
+from repro.rpca.online import OnlineRPCA
+
+
+@pytest.fixture(scope="module")
+def long_video():
+    return generate_video(height=20, width=24, n_frames=80, seed=13)
+
+
+class TestOnlineRPCA:
+    def test_chunks_cover_stream(self, long_video):
+        online = OnlineRPCA(chunk_frames=20)
+        chunks = online.process(long_video.M)
+        assert len(chunks) == 4
+        assert chunks[0].frame_start == 0
+        assert chunks[-1].frame_stop == 80
+        assert online.frames_seen == 80
+
+    def test_decomposition_sums_to_input(self, long_video):
+        online = OnlineRPCA(chunk_frames=20)
+        online.process(long_video.M)
+        res = online.assemble()
+        assert res.L.shape == long_video.M.shape
+        rel = np.linalg.norm(long_video.M - res.L - res.S) / np.linalg.norm(long_video.M)
+        assert rel < 1e-3
+
+    def test_recovery_quality_reasonable(self, long_video):
+        """Online trades some accuracy for throughput; the foreground
+        support must still be clearly recovered."""
+        online = OnlineRPCA(chunk_frames=20)
+        online.process(long_video.M)
+        res = online.assemble()
+        assert foreground_f1(res.S, long_video.S) > 0.7
+        bg_err = np.linalg.norm(res.L - long_video.L) / np.linalg.norm(long_video.L)
+        assert bg_err < 0.25
+
+    def test_carried_rank_bounded(self, long_video):
+        online = OnlineRPCA(chunk_frames=20, rank_cap=3)
+        online.process(long_video.M)
+        assert 1 <= online.background_rank <= 3
+
+    def test_ragged_final_chunk(self, long_video):
+        online = OnlineRPCA(chunk_frames=30)
+        chunks = online.process(long_video.M)
+        assert [c.frame_stop - c.frame_start for c in chunks] == [30, 30, 20]
+
+    def test_incremental_push_equals_process(self, long_video):
+        a = OnlineRPCA(chunk_frames=40)
+        a.process(long_video.M)
+        b = OnlineRPCA(chunk_frames=40)
+        b.push(long_video.M[:, :40])
+        b.push(long_video.M[:, 40:])
+        assert np.allclose(a.assemble().L, b.assemble().L)
+
+    def test_pixel_count_change_rejected(self, long_video, rng):
+        online = OnlineRPCA(chunk_frames=40)
+        online.push(long_video.M[:, :40])
+        with pytest.raises(ValueError):
+            online.push(rng.standard_normal((77, 10)))
+
+    def test_empty_assemble_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineRPCA().assemble()
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineRPCA().push(np.zeros(5))
+
+    def test_static_scene_warm_chunks_trivial(self, rng):
+        """A perfectly static, foreground-free stream: after warm-up the
+        residual is ~zero and warm chunks converge almost immediately."""
+        bg = rng.random((200, 1)) @ np.ones((1, 60))
+        online = OnlineRPCA(chunk_frames=20)
+        chunks = online.process(bg)
+        assert all(c.converged for c in chunks)
+        # Warm chunks see a ~1e-14-relative residual problem.
+        assert chunks[1].n_iterations <= 15
+        assert np.linalg.norm(chunks[1].S) < 1e-10

@@ -1,0 +1,81 @@
+"""Calibration tests of the Table II per-iteration timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rpca.timing import ITERATION_ENGINES, RPCAIterationModel
+
+PAPER = {"mkl_svd": 0.9, "blas2_qr": 8.7, "caqr": 27.0}
+
+
+class TestTable2Calibration:
+    @pytest.mark.parametrize("engine", ITERATION_ENGINES)
+    def test_within_band(self, engine):
+        ips = RPCAIterationModel(engine=engine).iterations_per_second()
+        assert 0.65 * PAPER[engine] <= ips <= 1.35 * PAPER[engine]
+
+    def test_ordering(self):
+        ips = {e: RPCAIterationModel(engine=e).iterations_per_second() for e in ITERATION_ENGINES}
+        assert ips["mkl_svd"] < ips["blas2_qr"] < ips["caqr"]
+
+    def test_caqr_vs_blas2_about_3x(self):
+        """Section VI-D: 'an additional speedup of about 3x when using
+        CAQR as compared to the BLAS2 QR'."""
+        c = RPCAIterationModel(engine="caqr").iterations_per_second()
+        b = RPCAIterationModel(engine="blas2_qr").iterations_per_second()
+        assert 2.0 <= c / b <= 4.5
+
+    def test_caqr_vs_mkl_about_30x(self):
+        c = RPCAIterationModel(engine="caqr").iterations_per_second()
+        m = RPCAIterationModel(engine="mkl_svd").iterations_per_second()
+        assert 15.0 <= c / m <= 45.0
+
+    def test_full_run_nine_minutes_to_seconds(self):
+        """'from over nine minutes to 17 seconds' for the 500-iter run."""
+        mkl = 500 / RPCAIterationModel(engine="mkl_svd").iterations_per_second()
+        caqr = 500 / RPCAIterationModel(engine="caqr").iterations_per_second()
+        assert mkl > 6 * 60  # multiple minutes
+        assert caqr < 35  # tens of seconds
+
+    def test_amdahl_qr_fraction(self):
+        """Even though the QR sped up >3x, the app gains ~3x (Amdahl):
+        non-QR time must be a visible fraction of the CAQR iteration."""
+        model = RPCAIterationModel(engine="caqr")
+        model.iteration_seconds(110_592, 100)
+        qr_time = model.breakdown["qr"] + model.breakdown["form_q"]
+        total = sum(model.breakdown.values())
+        assert 0.05 < 1 - qr_time / total < 0.5
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            RPCAIterationModel(engine="gpu_magic").iteration_seconds(1000, 100)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            RPCAIterationModel(engine="caqr").iteration_seconds(50, 100)
+
+    def test_breakdown_populated(self):
+        model = RPCAIterationModel(engine="blas2_qr")
+        t = model.iteration_seconds(110_592, 100)
+        assert t == pytest.approx(sum(model.breakdown.values()))
+        assert {"qr", "form_q", "small_svd", "gemm", "elementwise"} <= set(model.breakdown)
+
+
+class TestExtensionEngines:
+    def test_adaptive_engine_much_faster(self):
+        """The rank-adaptive partial-SVD engine (library extension) is
+        bounded by the elementwise passes, not the QR."""
+        base = RPCAIterationModel(engine="caqr").iterations_per_second()
+        adaptive = RPCAIterationModel(engine="caqr_adaptive").iterations_per_second()
+        assert adaptive > 4 * base
+
+    def test_adaptive_breakdown_elementwise_bound(self):
+        m = RPCAIterationModel(engine="caqr_adaptive")
+        m.iteration_seconds(110_592, 100)
+        assert m.breakdown["elementwise"] == max(m.breakdown.values())
+
+    def test_adaptive_rank_scales_cost(self):
+        lo = RPCAIterationModel(engine="caqr_adaptive", adaptive_rank=2).iteration_seconds(110_592, 100)
+        hi = RPCAIterationModel(engine="caqr_adaptive", adaptive_rank=40).iteration_seconds(110_592, 100)
+        assert hi > lo

@@ -1,0 +1,107 @@
+"""Tests of the video generator and end-to-end background subtraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rpca.background import foreground_f1, subtract_background
+from repro.rpca.video import frames_to_matrix, generate_video, matrix_to_frames
+
+
+class TestVideoGenerator:
+    def test_shapes(self):
+        v = generate_video(height=20, width=30, n_frames=15)
+        assert v.M.shape == (600, 15)
+        assert v.L.shape == v.M.shape and v.S.shape == v.M.shape
+        assert v.n_pixels == 600
+
+    def test_decomposition_identity_without_noise(self):
+        v = generate_video(noise_std=0.0)
+        assert np.allclose(v.M, v.L + v.S)
+
+    def test_background_is_low_rank(self):
+        v = generate_video(illumination_drift=0.05)
+        s = np.linalg.svd(v.L, compute_uv=False)
+        assert np.sum(s > 1e-8 * s[0]) <= 2  # static scene + drift mode
+
+    def test_foreground_is_sparse(self):
+        v = generate_video(height=36, width=48, n_frames=40, n_objects=2)
+        density = np.count_nonzero(v.S) / v.S.size
+        assert density < 0.15
+
+    def test_paper_geometry_supported(self):
+        # Shape-only check for the full ViSOR geometry (fast: no RPCA).
+        v = generate_video(height=288, width=384, n_frames=4, n_objects=1)
+        assert v.M.shape == (110_592, 4)
+
+    def test_deterministic_per_seed(self):
+        a = generate_video(seed=7)
+        b = generate_video(seed=7)
+        assert np.array_equal(a.M, b.M)
+        c = generate_video(seed=8)
+        assert not np.array_equal(a.M, c.M)
+
+    def test_noise_recorded(self):
+        v = generate_video(noise_std=0.01, seed=3)
+        assert np.linalg.norm(v.noise) > 0
+        assert np.allclose(v.M, v.L + v.S + v.noise)
+
+    def test_frame_view(self):
+        v = generate_video(height=10, width=12, n_frames=5)
+        f = v.frame(2)
+        assert f.shape == (10, 12)
+        assert np.array_equal(f.ravel(), v.M[:, 2])
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            generate_video(height=2, width=10, n_frames=10)
+        with pytest.raises(ValueError):
+            generate_video(n_frames=1)
+
+
+class TestFrameMatrixRoundtrip:
+    def test_roundtrip(self, rng):
+        frames = rng.standard_normal((6, 9, 11))
+        M = frames_to_matrix(frames)
+        assert M.shape == (99, 6)
+        assert np.array_equal(matrix_to_frames(M, 9, 11), frames)
+
+    def test_column_is_a_frame(self, rng):
+        frames = rng.standard_normal((3, 4, 5))
+        M = frames_to_matrix(frames)
+        assert np.array_equal(M[:, 1], frames[1].ravel())
+
+    def test_bad_shapes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            frames_to_matrix(rng.standard_normal((3, 4)))
+        with pytest.raises(ValueError):
+            matrix_to_frames(rng.standard_normal((10, 3)), 4, 4)
+
+
+class TestBackgroundSubtraction:
+    def test_recovers_background_and_foreground(self):
+        v = generate_video(height=24, width=32, n_frames=30, seed=1)
+        bs = subtract_background(v, tol=1e-6, max_iter=120)
+        assert bs.result.converged
+        assert bs.background_error < 0.05
+        assert foreground_f1(bs.result.S, v.S) > 0.8
+
+    def test_background_rank_small(self):
+        v = generate_video(height=20, width=24, n_frames=25, seed=2)
+        bs = subtract_background(v, max_iter=120)
+        assert bs.result.final_rank <= 5
+
+    def test_frame_outputs_shaped(self):
+        v = generate_video(height=16, width=20, n_frames=12, seed=3)
+        bs = subtract_background(v, max_iter=60)
+        assert bs.background.shape == (12, 16, 20)
+        assert bs.foreground.shape == (12, 16, 20)
+
+    def test_robust_to_noise(self):
+        v = generate_video(height=20, width=24, n_frames=25, noise_std=0.01, seed=4)
+        bs = subtract_background(v, tol=1e-4, max_iter=120)
+        assert bs.background_error < 0.1
+
+    def test_f1_zero_when_nothing_found(self):
+        assert foreground_f1(np.zeros((5, 5)), np.ones((5, 5))) == 0.0

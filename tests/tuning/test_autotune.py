@@ -1,0 +1,111 @@
+"""Tests of the block-size autotuner (Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import C2050
+from repro.kernels.config import REFERENCE_CONFIG
+from repro.tuning import (
+    TuningCache,
+    apply_qt_h_kernel_gflops,
+    autotune,
+    candidate_blocks,
+    is_feasible,
+    sweep_block_sizes,
+)
+
+
+class TestFeasibility:
+    def test_paper_block_feasible(self):
+        assert is_feasible(128, 16, REFERENCE_CONFIG, C2050)
+
+    def test_giant_blocks_infeasible(self):
+        # 1024x64 needs a 256 KB register tile: cannot fit.
+        assert not is_feasible(1024, 64, REFERENCE_CONFIG, C2050)
+
+    def test_wider_than_tall_infeasible(self):
+        assert not is_feasible(16, 64, REFERENCE_CONFIG, C2050)
+
+    def test_candidates_all_feasible(self):
+        for c in candidate_blocks(REFERENCE_CONFIG, C2050):
+            assert is_feasible(c.height, c.width, REFERENCE_CONFIG, C2050)
+
+    def test_candidate_config_roundtrip(self):
+        c = candidate_blocks(REFERENCE_CONFIG, C2050)[0]
+        cfg = c.config(REFERENCE_CONFIG)
+        assert cfg.block_rows == c.height and cfg.panel_width == c.width
+
+
+class TestSweep:
+    def test_sweep_sorted_descending(self):
+        entries = sweep_block_sizes()
+        g = [e.gflops for e in entries]
+        assert g == sorted(g, reverse=True)
+
+    def test_paper_optimum_is_competitive(self):
+        """Figure 7: 128x16 gives 'our best overall performance' (388).
+        The model must rank it within 5% of its global best and near the
+        paper's number."""
+        entries = sweep_block_sizes()
+        best = entries[0].gflops
+        e128 = next(e for e in entries if (e.height, e.width) == (128, 16))
+        assert e128.gflops >= 0.95 * best
+        assert 0.7 * 388 <= e128.gflops <= 1.3 * 388
+
+    def test_interior_optimum_in_width(self):
+        """Section IV-F: 'the optimal solution is somewhere between the
+        two extremes' — at height 128, neither the narrowest nor the
+        widest feasible width wins."""
+        entries = sweep_block_sizes()
+        at128 = {e.width: e.gflops for e in entries if e.height == 128}
+        widths = sorted(at128)
+        best_w = max(at128, key=at128.get)
+        assert best_w not in (widths[0], widths[-1])
+
+    def test_narrow_widths_memory_bound(self):
+        assert apply_qt_h_kernel_gflops(128, 4) < apply_qt_h_kernel_gflops(128, 16)
+
+    def test_oversized_heights_lose_occupancy(self):
+        assert apply_qt_h_kernel_gflops(512, 16) < apply_qt_h_kernel_gflops(128, 16)
+
+    def test_custom_grid(self):
+        entries = sweep_block_sizes(heights=(64, 128), widths=(8, 16))
+        assert {(e.height, e.width) for e in entries} == {(64, 8), (64, 16), (128, 8), (128, 16)}
+
+
+class TestAutotune:
+    def test_returns_tuned_config(self):
+        tuned, entries = autotune()
+        assert tuned.block_rows == entries[0].height
+        assert tuned.panel_width == entries[0].width
+        assert entries
+
+    def test_best_beats_reference_within_model(self):
+        tuned, entries = autotune()
+        ref = apply_qt_h_kernel_gflops(REFERENCE_CONFIG.block_rows, REFERENCE_CONFIG.panel_width)
+        assert entries[0].gflops >= ref * 0.999
+
+
+class TestCache:
+    def test_roundtrip_in_memory(self):
+        cache = TuningCache()
+        _, entries = autotune()
+        cache.put("C2050", "regfile_transpose", entries[:5])
+        got = cache.get("C2050", "regfile_transpose")
+        assert got == entries[:5]
+        assert cache.best("C2050", "regfile_transpose") == entries[0]
+
+    def test_missing_key(self):
+        cache = TuningCache()
+        assert cache.get("X", "y") is None
+        assert cache.best("X", "y") is None
+
+    def test_persistence(self, tmp_path):
+        path = tmp_path / "tune.json"
+        cache = TuningCache(path)
+        _, entries = autotune()
+        cache.put("C2050", "regfile_transpose", entries[:3])
+        reloaded = TuningCache(path)
+        assert reloaded.get("C2050", "regfile_transpose") == entries[:3]
+        assert len(reloaded) == 1
