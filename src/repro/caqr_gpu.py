@@ -204,13 +204,16 @@ def caqr_gpu_factor(
     A: np.ndarray,
     cfg: KernelConfig = REFERENCE_CONFIG,
     dev: DeviceSpec = C2050,
+    batched: bool = True,
 ) -> tuple[CAQRFactors, CAQRGpuResult]:
     """Execute CAQR numerically *and* produce its simulated GPU timeline.
 
     The factor structure (panel row-blocking and reduction-tree schedule)
     is built by the same :mod:`repro.core` helpers the launch enumerator
     uses, so the counts agree by construction; a structural-parity test
-    pins this.
+    pins this.  ``batched`` selects the host-side numeric strategy only;
+    the simulated timeline depends purely on shapes and is identical
+    either way.
     """
     A = np.asarray(A, dtype=float)
     m, n = A.shape
@@ -220,6 +223,7 @@ def caqr_gpu_factor(
         block_rows=cfg.block_rows,
         tree_shape=cfg.tree_shape,
         structured=cfg.structured_tree,
+        batched=batched,
     )
     result = simulate_caqr(m, n, cfg, dev)
     return factors, result

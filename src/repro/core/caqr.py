@@ -46,6 +46,7 @@ class CAQRFactors:
     tree_shape: str
     panels: list[PanelFactor]
     R: np.ndarray  # min(m, n) x n upper trapezoidal
+    batched: bool = True
 
     def apply_qt(self, B: np.ndarray) -> np.ndarray:
         """Compute ``Q^T B`` in place (B must have ``m`` rows)."""
@@ -79,6 +80,7 @@ def caqr(
     block_rows: int = 64,
     tree_shape: str = "quad",
     structured: bool = False,
+    batched: bool = True,
 ) -> CAQRFactors:
     """Factor a matrix with CAQR (Figure 3 / the host pseudocode of Figure 4).
 
@@ -90,6 +92,10 @@ def caqr(
         tree_shape: TSQR reduction-tree shape (paper: quad-tree on the GPU).
         structured: use the sparsity-exploiting stacked-triangle
             elimination at tree nodes (see :mod:`repro.core.structured`).
+        batched: route panel factorization and all trailing / Q updates
+            through the level-batched compact-WY path (default).  The
+            ``False`` path is the seed per-node reference implementation,
+            kept for validation and as the benchmark baseline.
 
     Returns:
         :class:`CAQRFactors` with the implicit Q (per-panel TSQR factors)
@@ -108,7 +114,13 @@ def caqr(
         pw = min(panel_width, k - col_start)
         row_start = col_start  # grid redrawn lower by the panel width
         panel_view = W[row_start:, col_start : col_start + pw]
-        f = tsqr(panel_view, block_rows=block_rows, tree_shape=tree_shape, structured=structured)
+        f = tsqr(
+            panel_view,
+            block_rows=block_rows,
+            tree_shape=tree_shape,
+            structured=structured,
+            batched=batched,
+        )
         # The trailing matrix update: apply Q^T of the panel across the
         # remaining columns (apply_qt_h + apply_qt_tree in the GPU code).
         trailing = W[row_start:, col_start + pw :]
@@ -131,6 +143,7 @@ def caqr(
         tree_shape=tree_shape,
         panels=panels,
         R=R,
+        batched=batched,
     )
 
 
@@ -140,9 +153,15 @@ def caqr_qr(
     block_rows: int = 64,
     tree_shape: str = "quad",
     structured: bool = False,
+    batched: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: explicit thin ``(Q, R)`` via CAQR."""
     f = caqr(
-        A, panel_width=panel_width, block_rows=block_rows, tree_shape=tree_shape, structured=structured
+        A,
+        panel_width=panel_width,
+        block_rows=block_rows,
+        tree_shape=tree_shape,
+        structured=structured,
+        batched=batched,
     )
     return f.form_q(), f.R

@@ -25,6 +25,7 @@ def randomized_range_finder(
     power_iters: int = 1,
     rng: np.random.Generator | None = None,
     block_rows: int = 256,
+    batched: bool = True,
 ) -> np.ndarray:
     """Orthonormal basis approximately spanning A's leading k-range.
 
@@ -39,12 +40,16 @@ def randomized_range_finder(
     ell = min(k + oversample, n)
     rng = rng or np.random.default_rng(0)
     Y = A @ rng.standard_normal((n, ell))
-    Q, _ = tsqr_qr(Y, block_rows=block_rows)
+    Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched)
     for _ in range(power_iters):
         Z = A.T @ Q
-        Zq, _ = np.linalg.qr(Z) if n < block_rows else tsqr_qr(Z, block_rows=block_rows)
+        Zq, _ = (
+            np.linalg.qr(Z)
+            if n < block_rows
+            else tsqr_qr(Z, block_rows=block_rows, batched=batched)
+        )
         Y = A @ Zq
-        Q, _ = tsqr_qr(Y, block_rows=block_rows)
+        Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched)
     return Q
 
 
@@ -54,6 +59,7 @@ def randomized_svd(
     oversample: int = 8,
     power_iters: int = 1,
     rng: np.random.Generator | None = None,
+    batched: bool = True,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Approximate rank-k thin SVD ``A ~= U diag(s) V^T``.
 
@@ -64,9 +70,9 @@ def randomized_svd(
     A = np.asarray(A, dtype=float)
     m, n = A.shape
     if m < n:
-        U, s, Vt = randomized_svd(A.T, k, oversample, power_iters, rng)
+        U, s, Vt = randomized_svd(A.T, k, oversample, power_iters, rng, batched=batched)
         return Vt.T, s, U.T
-    Q = randomized_range_finder(A, k, oversample, power_iters, rng)
+    Q = randomized_range_finder(A, k, oversample, power_iters, rng, batched=batched)
     B = Q.T @ A  # ell x n, small
     Ub, s, Vt = jacobi_svd(B.T)  # jacobi wants tall: factor B^T
     # B = (Vt.T * s) @ Ub.T  =>  B's left vectors are Vt.T's columns.

@@ -48,6 +48,7 @@ class StreamingTSQR:
     _steps: list[_StreamStep] = field(default_factory=list)
     _R: np.ndarray | None = None
     _rows_seen: int = 0
+    _dtype: np.dtype | None = None  # stream working dtype, fixed per push
 
     @property
     def m(self) -> int:
@@ -78,12 +79,20 @@ class StreamingTSQR:
             raise ValueError("block must have at least one row")
         start = self._rows_seen
         stop = start + block.shape[0]
+        # Normalize the stream's working dtype once per promotion instead
+        # of re-casting the running R on every push: all retained step
+        # factors share one dtype, so later applies never cast per step.
+        dt = np.result_type(block.dtype) if self._dtype is None else np.result_type(self._dtype, block.dtype)
+        if dt != self._dtype:
+            self._dtype = dt
+            if self._R is not None:
+                self._R = self._R.astype(dt)
+        block = block.astype(dt, copy=False)
         if self._R is None:
             stacked = block
             r_rows = 0
         else:
-            dt = working_dtype(self._R, block)
-            stacked = np.vstack([self._R.astype(dt, copy=False), block.astype(dt, copy=False)])
+            stacked = np.vstack([self._R, block])
             r_rows = self._R.shape[0]
         VR, tau = geqr2(stacked)
         k = min(stacked.shape[0], self.n_cols)

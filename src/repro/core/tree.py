@@ -16,8 +16,9 @@ the NumPy execution path and the GPU simulator's launch-cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
 
-__all__ = ["TreeSchedule", "build_tree", "TREE_SHAPES"]
+__all__ = ["TreeSchedule", "build_tree", "batch_level", "TREE_SHAPES"]
 
 TREE_SHAPES = ("binary", "quad", "binomial", "flat")
 
@@ -110,6 +111,25 @@ def _binomial_levels(n_blocks: int) -> list[tuple[tuple[int, ...], ...]]:
         levels.append(tuple(groups))
         stride *= 2
     return levels
+
+
+def batch_level(
+    level: Sequence[tuple[int, ...]],
+    key: Callable[[tuple[int, ...]], Hashable] = len,
+) -> dict[Hashable, list[int]]:
+    """Partition one level's groups into same-shape batches.
+
+    Maps ``key(group)`` (default: the group's arity) to the positions of
+    the groups sharing it, preserving first-appearance and within-batch
+    order.  Groups in one batch stack into a single ``(nodes, h, w)``
+    array, which is what lets the batched execution path factor and apply
+    an entire tree level with one kernel call per batch — on a uniform
+    grid every level collapses to exactly one batch.
+    """
+    batches: dict[Hashable, list[int]] = {}
+    for pos, group in enumerate(level):
+        batches.setdefault(key(group), []).append(pos)
+    return batches
 
 
 def build_tree(n_blocks: int, shape: str = "quad") -> TreeSchedule:

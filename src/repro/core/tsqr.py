@@ -7,22 +7,43 @@ The Q factor is left *implicit* as the collection of per-block and
 per-tree-node Householder factors (the "series of small Us" of Figure 2),
 from which Q or Q^T can be applied, or the explicit thin Q formed.
 
+Two numeric execution strategies coexist:
+
+``batched=True`` (default)
+    The whole hot path is vectorized.  Level 0 is factored as one padded
+    ``(blocks, block_rows, n)`` batch (a short last block is zero-padded —
+    exact, since Householder reflectors never touch all-zero pad rows);
+    every tree level is factored with one blocked batched QR per
+    heights-signature, stacking all nodes of the level.  Q applications
+    run through a precomputed :class:`_WyPlan`: fancy-index gather /
+    scatter row maps plus cached compact-WY ``(V, T)`` factors, so each
+    level of the tree is three batched GEMMs (``C -= V (T' (V' C))``)
+    instead of a Python loop of per-reflector rank-1 updates.
+
+``batched=False``
+    The seed per-node reference path, kept verbatim: per-block loops,
+    ``np.vstack`` gathers and BLAS2 reflector sweeps.  It is the
+    correctness oracle for the property tests and the baseline the
+    real-time benchmark measures speedups against.
+
 This module is the pure-numerics implementation; the GPU-simulated
 execution (launch costs, timing) reuses these factor objects through
-:mod:`repro.caqr_gpu`.
+:mod:`repro.caqr_gpu` — the simulator timeline depends only on shapes,
+so both strategies produce the identical launch stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .dtypes import as_float_array, working_dtype
 from .householder import geqr2, orm2r
 from repro.smallblas.batched import batched_apply_blocked, batched_geqr2
+from repro.smallblas.wy import apply_wy, geqr2_blocked, wy_factors
 from .structured import StructuredStackFactor, structured_stack_qr
-from .tree import TreeSchedule, build_tree
+from .tree import TreeSchedule, batch_level, build_tree
 
 __all__ = ["row_blocks", "TSQRFactors", "tsqr", "tsqr_qr"]
 
@@ -82,6 +103,187 @@ class _TreeFactor:
 
 
 @dataclass
+class _WyPlan:
+    """Precomputed batched application schedule for one dtype.
+
+    Built once per factorization (or lazily for factors loaded from disk)
+    and reused by every ``apply_qt`` / ``apply_q`` / ``form_q`` call.
+
+    * Level 0: the uniform block prefix is applied through a zero-copy
+      ``(count, h, w)`` reshape of the target's leading rows; a ragged
+      tail block is applied as an exact-height batch of one.
+    * Each tree level is a list of entries, one per heights-signature
+      batch: a ``(nodes, H)`` fancy-index row map plus the stacked
+      compact-WY ``(V, T)``.  Entries within a level touch disjoint rows.
+    """
+
+    dtype: np.dtype
+    l0_count: int
+    l0_h: int
+    l0_V: np.ndarray | None
+    l0_T: np.ndarray | None
+    # (row_start, real_height, V, T); V may be taller than real_height,
+    # in which case the extra reflector rows are exact zeros (padding).
+    l0_tail: list[tuple[int, int, np.ndarray, np.ndarray]]
+    # per level: [("wy", idx, V, T) | ("structured", tree_factor, idx)]
+    levels: list[list[tuple]]
+
+
+def _member_rows(
+    blocks: list[_LevelZeroFactor], group: tuple[int, ...], heights: tuple[int, ...]
+) -> np.ndarray:
+    """1-D row indices a tree node's stacked R occupies in the panel."""
+    parts = [
+        np.arange(blocks[i].rows[0], blocks[i].rows[0] + h, dtype=np.intp)
+        for i, h in zip(group, heights)
+    ]
+    return np.concatenate(parts)
+
+
+def _level_row_index(
+    blocks: list[_LevelZeroFactor],
+    groups: list[tuple[int, ...]],
+    sig: tuple[int, ...],
+) -> np.ndarray:
+    """``(len(groups), sum(sig))`` gather/scatter map for one level batch."""
+    if len(set(sig)) == 1:
+        hr = sig[0]
+        starts = np.fromiter(
+            (blocks[i].rows[0] for grp in groups for i in grp),
+            dtype=np.intp,
+            count=len(groups) * len(sig),
+        )
+        return (starts[:, None] + np.arange(hr, dtype=np.intp)).reshape(
+            len(groups), len(sig) * hr
+        )
+    return np.stack([_member_rows(blocks, grp, sig) for grp in groups])
+
+
+def _convert_plan(src: _WyPlan, dt: np.dtype) -> _WyPlan:
+    """Re-key an apply plan to a new working dtype (arrays cast once)."""
+
+    def cast(a: np.ndarray | None) -> np.ndarray | None:
+        return None if a is None else a.astype(dt)
+
+    tail = [(s, h, V.astype(dt), T.astype(dt)) for s, h, V, T in src.l0_tail]
+    levels = []
+    for entries in src.levels:
+        out = []
+        for entry in entries:
+            if entry[0] == "wy":
+                _, idx, V, T = entry
+                out.append(("wy", idx, V.astype(dt), T.astype(dt)))
+            else:
+                out.append(entry)
+        levels.append(out)
+    return _WyPlan(
+        dtype=dt,
+        l0_count=src.l0_count,
+        l0_h=src.l0_h,
+        l0_V=cast(src.l0_V),
+        l0_T=cast(src.l0_T),
+        l0_tail=tail,
+        levels=levels,
+    )
+
+
+def _plan_from_factors(f: "TSQRFactors", dt: np.dtype) -> _WyPlan:
+    """Build an apply plan from stored per-node factors.
+
+    Used for factors that were not produced by the batched factorization
+    (loaded from disk via :mod:`repro.io`, or factored with
+    ``batched=False`` and then applied with ``batched=True``).
+    """
+    count, h = f._uniform_prefix()
+    V0 = T0 = None
+    if count > 0:
+        VRs = np.stack([f.blocks[i].VR for i in range(count)])
+        taus = np.stack([f.blocks[i].tau for i in range(count)])
+        if VRs.dtype != dt:
+            VRs = VRs.astype(dt)
+            taus = taus.astype(dt)
+        V0, T0 = wy_factors(VRs, taus)
+    tail = []
+    for blk in f.blocks[count:]:
+        s, e = blk.rows
+        VR1 = blk.VR[None]
+        tau1 = blk.tau[None]
+        if VR1.dtype != dt:
+            VR1 = VR1.astype(dt)
+            tau1 = tau1.astype(dt)
+        V1, T1 = wy_factors(VR1, tau1)
+        tail.append((s, e - s, V1, T1))
+    levels: list[list[tuple]] = []
+    for level_factors in f.tree_factors:
+        entries: list[tuple] = []
+        dense: dict[tuple[int, ...], list[_TreeFactor]] = {}
+        for tf in level_factors:
+            if tf.structured is not None:
+                entries.append(("structured", tf, _member_rows(f.blocks, tf.group, tf.heights)))
+            else:
+                dense.setdefault(tuple(tf.heights), []).append(tf)
+        for sig, tfs in dense.items():
+            VRs = np.stack([tf.VR for tf in tfs])
+            taus = np.stack([tf.tau for tf in tfs])
+            if VRs.dtype != dt:
+                VRs = VRs.astype(dt)
+                taus = taus.astype(dt)
+            V, T = wy_factors(VRs, taus)
+            idx = _level_row_index(f.blocks, [tf.group for tf in tfs], sig)
+            entries.append(("wy", idx, V, T))
+        levels.append(entries)
+    return _WyPlan(
+        dtype=dt, l0_count=count, l0_h=h, l0_V=V0, l0_T=T0, l0_tail=tail, levels=levels
+    )
+
+
+def _plan_apply_level0(plan: _WyPlan, B: np.ndarray, transpose: bool) -> None:
+    """Level-0 compact-WY application (``apply_qt_h``), batched."""
+    w = B.shape[1]
+    if plan.l0_count:
+        count, h = plan.l0_count, plan.l0_h
+        seg = B[: count * h]
+        tiles = seg.reshape(count, h, w)
+        if np.shares_memory(tiles, B):
+            # Zero-copy: GEMM reads/writes straight through the strided
+            # view — no gather, no scatter.
+            apply_wy(plan.l0_V, plan.l0_T, tiles, transpose=transpose)
+        else:
+            tiles = np.ascontiguousarray(seg).reshape(count, h, w)
+            apply_wy(plan.l0_V, plan.l0_T, tiles, transpose=transpose)
+            seg[:] = tiles.reshape(count * h, w)
+    for start, h_real, V1, T1 in plan.l0_tail:
+        hv = V1.shape[1]
+        if hv == h_real:
+            apply_wy(V1, T1, B[start : start + h_real][None], transpose=transpose)
+        else:
+            # Padded batch of one: the V rows past h_real are exact zeros,
+            # so the update on the pad rows is a no-op.
+            sub = np.zeros((1, hv, w), dtype=B.dtype)
+            sub[0, :h_real] = B[start : start + h_real]
+            apply_wy(V1, T1, sub, transpose=transpose)
+            B[start : start + h_real] = sub[0, :h_real]
+
+
+def _plan_apply_level(entries: list[tuple], B: np.ndarray, transpose: bool) -> None:
+    """One tree level (``apply_qt_tree``): gather, batched WY, scatter."""
+    for entry in entries:
+        if entry[0] == "wy":
+            _, idx, V, T = entry
+            sub = B[idx]
+            apply_wy(V, T, sub, transpose=transpose)
+            B[idx] = sub
+        else:
+            _, tf, idx = entry
+            sub = B[idx]
+            if transpose:
+                tf.apply_qt_stack(sub)
+            else:
+                tf.apply_q_stack(sub)
+            B[idx] = sub
+
+
+@dataclass
 class TSQRFactors:
     """Implicit Q of a TSQR factorization.
 
@@ -89,6 +291,11 @@ class TSQRFactors:
     paper's trailing-matrix update: ``apply_qt_h`` for the level-0 factors
     and ``apply_qt_tree`` for the tree factors) and forming the explicit
     thin Q (the SORGQR-equivalent).
+
+    ``batched`` selects the execution strategy for applications: the
+    compact-WY plan path (default) or the seed per-node reference loop.
+    Apply plans are cached per working dtype in ``_wy_plan``; factors
+    loaded from disk build theirs lazily on first use.
     """
 
     m: int
@@ -97,6 +304,9 @@ class TSQRFactors:
     tree: TreeSchedule
     tree_factors: list[list[_TreeFactor]]  # one list per tree level
     R: np.ndarray  # final min(m, n) x n upper-triangular factor
+    batched: bool = True
+    _wy_plan: dict = field(default_factory=dict, repr=False, compare=False)
+    _l0_ref: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- internal helpers -------------------------------------------------
 
@@ -112,21 +322,50 @@ class TSQRFactors:
             count += 1
         return count, h
 
+    def _plan_for(self, dt: np.dtype) -> _WyPlan:
+        """Apply plan for working dtype ``dt`` (cached; built on demand)."""
+        dt = np.dtype(dt)
+        plan = self._wy_plan.get(dt)
+        if plan is None:
+            fdt = np.dtype(working_dtype(self.R))
+            src = self._wy_plan.get(fdt)
+            if src is None:
+                src = _plan_from_factors(self, fdt)
+                self._wy_plan[fdt] = src
+            plan = src if dt == fdt else _convert_plan(src, dt)
+            self._wy_plan[dt] = plan
+        return plan
+
+    def _level0_ref(self, dt: np.dtype):
+        """Dtype-normalized stacked level-0 factors for the reference path.
+
+        The seed rebuilt (and re-``astype``d) these stacks on every apply;
+        they are now normalized once per dtype and cached.
+        """
+        key = np.dtype(dt)
+        ent = self._l0_ref.get(key)
+        if ent is None:
+            count, h = self._uniform_prefix()
+            if count > 1:
+                VRs = np.stack([self.blocks[i].VR for i in range(count)])
+                taus = np.stack([self.blocks[i].tau for i in range(count)])
+                if VRs.dtype != key:
+                    VRs = VRs.astype(key)
+                    taus = taus.astype(key)
+                ent = (count, h, np.ascontiguousarray(VRs), np.ascontiguousarray(taus))
+            else:
+                ent = (0, h, None, None)
+            self._l0_ref[key] = ent
+        return ent
+
     def _apply_level0(self, B: np.ndarray, transpose: bool) -> None:
         """Level-0 application, batched over the uniform block prefix."""
-        count, h = self._uniform_prefix()
-        if count > 1:
-            VRs = np.stack([self.blocks[i].VR for i in range(count)])
-            taus = np.stack([self.blocks[i].tau for i in range(count)])
+        count, h, VRs, taus = self._level0_ref(B.dtype)
+        if count:
             seg = B[: count * h]
             stacked = np.ascontiguousarray(seg).reshape(count, h, B.shape[1])
-            if stacked.dtype != VRs.dtype:
-                VRs = VRs.astype(stacked.dtype)
-                taus = taus.astype(stacked.dtype)
             batched_apply_blocked(VRs, taus, stacked, transpose=transpose)
             seg[:] = stacked.reshape(count * h, B.shape[1])
-        else:
-            count = 0
         for blk in self.blocks[count:]:
             s, e = blk.rows
             orm2r(blk.VR, blk.tau, B[s:e], transpose=transpose)
@@ -160,14 +399,21 @@ class TSQRFactors:
         B = as_float_array(B)
         if B.shape[0] != self.m:
             raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
+        W = B[:, None] if B.ndim == 1 else B  # view: updates land in B
+        if self.batched:
+            plan = self._plan_for(W.dtype)
+            _plan_apply_level0(plan, W, transpose=True)
+            for entries in plan.levels:
+                _plan_apply_level(entries, W, transpose=True)
+            return B
         # Level 0: independent per-block applications (apply_qt_h).
-        self._apply_level0(B, transpose=True)
+        self._apply_level0(W, transpose=True)
         # Tree levels, bottom-up (apply_qt_tree).
         for level_factors in self.tree_factors:
             for tf in level_factors:
-                stacked, ranges = self._gather(B, tf)
+                stacked, ranges = self._gather(W, tf)
                 tf.apply_qt_stack(stacked)
-                self._scatter(B, stacked, ranges)
+                self._scatter(W, stacked, ranges)
         return B
 
     def apply_q(self, B: np.ndarray) -> np.ndarray:
@@ -175,12 +421,19 @@ class TSQRFactors:
         B = as_float_array(B)
         if B.shape[0] != self.m:
             raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
+        W = B[:, None] if B.ndim == 1 else B  # view: updates land in B
+        if self.batched:
+            plan = self._plan_for(W.dtype)
+            for entries in reversed(plan.levels):
+                _plan_apply_level(entries, W, transpose=False)
+            _plan_apply_level0(plan, W, transpose=False)
+            return B
         for level_factors in reversed(self.tree_factors):
             for tf in level_factors:
-                stacked, ranges = self._gather(B, tf)
+                stacked, ranges = self._gather(W, tf)
                 tf.apply_q_stack(stacked)
-                self._scatter(B, stacked, ranges)
-        self._apply_level0(B, transpose=False)
+                self._scatter(W, stacked, ranges)
+        self._apply_level0(W, transpose=False)
         return B
 
     def form_q(self) -> np.ndarray:
@@ -191,37 +444,125 @@ class TSQRFactors:
         return self.apply_q(Q)
 
 
-def tsqr(
+def _tsqr_batched(
     A: np.ndarray,
-    block_rows: int = 64,
-    tree_shape: str = "quad",
-    structured: bool = False,
+    m: int,
+    n: int,
+    block_rows: int,
+    ranges: list[tuple[int, int]],
+    tree: TreeSchedule,
+    structured: bool,
 ) -> TSQRFactors:
-    """Factor a tall-skinny matrix with TSQR (Figure 2).
+    """Fully-batched TSQR: one blocked QR per level, plan prebuilt."""
+    dt = A.dtype
+    nb = len(ranges)
+    h_last = ranges[-1][1] - ranges[-1][0]
+    ragged = nb > 1 and h_last != block_rows
+    l0_count = nb - 1 if ragged else nb
+    if nb == 1:
+        stack = A[None, :, :]
+    else:
+        # The full-height blocks are an axis-0 reshape — a view, no copy.
+        # A ragged last block is factored separately as a batch of one at
+        # its exact height, so neither the factor nor later Q applies
+        # ever touch pad rows.
+        stack = A[: l0_count * block_rows].reshape(l0_count, block_rows, n)
+    VRb, taub, Vb, Tb = geqr2_blocked(stack)
+    bh = stack.shape[1]
+    k0 = min(bh, n)
 
-    Args:
-        A: ``m x n`` matrix (any aspect ratio is accepted; TSQR pays off
-            for ``m >> n``).
-        block_rows: height of the level-0 row blocks.
-        tree_shape: reduction-tree shape (see :mod:`repro.core.tree`).
-        structured: eliminate the stacked Rs with the sparsity-exploiting
-            structured QR (~3x fewer tree flops) instead of the dense
-            ``factor_tree`` layout.
+    blocks: list[_LevelZeroFactor] = []
+    for i, (s, e) in enumerate(ranges[:l0_count]):
+        blocks.append(_LevelZeroFactor(rows=(s, e), VR=VRb[i], tau=taub[i]))
 
-    Returns:
-        A :class:`TSQRFactors` holding the implicit Q and the final R.
-    """
-    A = as_float_array(A)
-    if A.ndim != 2:
-        raise ValueError("A must be 2-D")
-    m, n = A.shape
-    # TSQR requires the block height to be at least the panel width so every
-    # level-0 R is a full n x n triangle and the final R lands contiguously
-    # in the first block (the paper always has block height 64 >= width 16).
-    block_rows = max(block_rows, n)
-    ranges = row_blocks(m, block_rows)
-    tree = build_tree(len(ranges), tree_shape)
+    Rb = np.triu(VRb[:, :k0, :])
+    current_r: dict[int, np.ndarray] = {}
+    for i in range(l0_count):
+        current_r[i] = Rb[i]
 
+    l0_tail = []
+    if ragged:
+        s, e = ranges[-1]
+        VRl, taul, Vl, Tl = geqr2_blocked(A[s:e][None, :, :])
+        blocks.append(_LevelZeroFactor(rows=(s, e), VR=VRl[0], tau=taul[0]))
+        kl = min(h_last, n)
+        current_r[nb - 1] = np.triu(VRl[0, :kl, :])
+        l0_tail.append((s, h_last, Vl, Tl))
+
+    tree_factors: list[list[_TreeFactor]] = []
+    plan_levels: list[list[tuple]] = []
+    for level in tree.levels:
+        level_factors: list[_TreeFactor | None] = [None] * len(level)
+        entries: list[tuple] = []
+        if structured:
+            for p, group in enumerate(level):
+                heights = tuple(current_r[i].shape[0] for i in group)
+                sf = structured_stack_qr([current_r[i] for i in group])
+                tf = _TreeFactor(group=group, heights=heights, structured=sf)
+                level_factors[p] = tf
+                entries.append(("structured", tf, _member_rows(blocks, group, heights)))
+                current_r[group[0]] = sf.R
+                for dead in group[1:]:
+                    del current_r[dead]
+        else:
+            sig_batches = batch_level(
+                level, key=lambda grp: tuple(current_r[i].shape[0] for i in grp)
+            )
+            for sig, poss in sig_batches.items():
+                groups = [level[p] for p in poss]
+                g = len(groups)
+                H = sum(sig)
+                if len(set(sig)) == 1:
+                    arrs = [current_r[i] for grp in groups for i in grp]
+                    stacked = np.stack(arrs).reshape(g, H, n)
+                else:
+                    stacked = np.stack(
+                        [np.vstack([current_r[i] for i in grp]) for grp in groups]
+                    )
+                VRt, taut, Vt, Tt = geqr2_blocked(stacked)
+                kt = min(H, n)
+                Rt = np.triu(VRt[:, :kt, :])
+                entries.append(("wy", _level_row_index(blocks, groups, sig), Vt, Tt))
+                for gi, (p, grp) in enumerate(zip(poss, groups)):
+                    level_factors[p] = _TreeFactor(
+                        group=grp, heights=sig, VR=VRt[gi], tau=taut[gi]
+                    )
+                    current_r[grp[0]] = Rt[gi]
+                    for dead in grp[1:]:
+                        del current_r[dead]
+        tree_factors.append(list(level_factors))
+        plan_levels.append(entries)
+
+    (survivor_idx,) = list(current_r)
+    R = current_r[survivor_idx]
+    k = min(m, n)
+    if R.shape[0] < k:
+        R = np.vstack([R, np.zeros((k - R.shape[0], n), dtype=R.dtype)])
+    f = TSQRFactors(
+        m=m, n=n, blocks=blocks, tree=tree, tree_factors=tree_factors, R=R[:k], batched=True
+    )
+    f._wy_plan[np.dtype(dt)] = _WyPlan(
+        dtype=np.dtype(dt),
+        l0_count=l0_count,
+        l0_h=bh,
+        l0_V=Vb[:l0_count],
+        l0_T=Tb[:l0_count],
+        l0_tail=l0_tail,
+        levels=plan_levels,
+    )
+    return f
+
+
+def _tsqr_reference(
+    A: np.ndarray,
+    m: int,
+    n: int,
+    block_rows: int,
+    ranges: list[tuple[int, int]],
+    tree: TreeSchedule,
+    structured: bool,
+) -> TSQRFactors:
+    """The seed per-node factorization path (correctness oracle)."""
     # Level 0: factor every row block independently.  Full-height blocks
     # are factored through the batched kernel (one "thread block" per
     # small QR, vectorized across the batch — Section I's many-small-QRs
@@ -272,7 +613,48 @@ def tsqr(
     k = min(m, n)
     if R.shape[0] < k:
         R = np.vstack([R, np.zeros((k - R.shape[0], n), dtype=R.dtype)])
-    return TSQRFactors(m=m, n=n, blocks=blocks, tree=tree, tree_factors=tree_factors, R=R[:k])
+    return TSQRFactors(
+        m=m, n=n, blocks=blocks, tree=tree, tree_factors=tree_factors, R=R[:k], batched=False
+    )
+
+
+def tsqr(
+    A: np.ndarray,
+    block_rows: int = 64,
+    tree_shape: str = "quad",
+    structured: bool = False,
+    batched: bool = True,
+) -> TSQRFactors:
+    """Factor a tall-skinny matrix with TSQR (Figure 2).
+
+    Args:
+        A: ``m x n`` matrix (any aspect ratio is accepted; TSQR pays off
+            for ``m >> n``).
+        block_rows: height of the level-0 row blocks.
+        tree_shape: reduction-tree shape (see :mod:`repro.core.tree`).
+        structured: eliminate the stacked Rs with the sparsity-exploiting
+            structured QR (~3x fewer tree flops) instead of the dense
+            ``factor_tree`` layout.
+        batched: vectorize the whole factorization and all later Q
+            applications (level-batched tree + compact-WY updates); the
+            ``False`` path is the seed per-node reference implementation.
+
+    Returns:
+        A :class:`TSQRFactors` holding the implicit Q and the final R.
+    """
+    A = as_float_array(A)
+    if A.ndim != 2:
+        raise ValueError("A must be 2-D")
+    m, n = A.shape
+    # TSQR requires the block height to be at least the panel width so every
+    # level-0 R is a full n x n triangle and the final R lands contiguously
+    # in the first block (the paper always has block height 64 >= width 16).
+    block_rows = max(block_rows, n)
+    ranges = row_blocks(m, block_rows)
+    tree = build_tree(len(ranges), tree_shape)
+    if batched:
+        return _tsqr_batched(A, m, n, block_rows, ranges, tree, structured)
+    return _tsqr_reference(A, m, n, block_rows, ranges, tree, structured)
 
 
 def tsqr_qr(
@@ -280,7 +662,10 @@ def tsqr_qr(
     block_rows: int = 64,
     tree_shape: str = "quad",
     structured: bool = False,
+    batched: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: explicit thin ``(Q, R)`` via TSQR."""
-    f = tsqr(A, block_rows=block_rows, tree_shape=tree_shape, structured=structured)
+    f = tsqr(
+        A, block_rows=block_rows, tree_shape=tree_shape, structured=structured, batched=batched
+    )
     return f.form_q(), f.R

@@ -36,6 +36,7 @@ class AdaptiveSVT:
     buffer: int = 5  # extra singular triplets beyond the predicted rank
     max_tries: int = 3
     seed: int = 0
+    batched: bool = True  # use the batched compact-WY TSQR inside the SVD
     predicted_rank: int = 1
     full_svd_calls: int = 0
     partial_svd_calls: int = 0
@@ -53,7 +54,7 @@ class AdaptiveSVT:
         for _ in range(self.max_tries):
             if k >= min(m, n):
                 break
-            U, s, Vt = randomized_svd(X, k=k, rng=self._rng)
+            U, s, Vt = randomized_svd(X, k=k, rng=self._rng, batched=self.batched)
             if s.size and s[-1] <= tau:
                 # The smallest computed value is already below the
                 # threshold: nothing surviving was truncated away.

@@ -1,4 +1,9 @@
-"""Batched small dense kernels (the "batched LAPACK" the paper hand-rolled)."""
+"""Batched small dense kernels (the "batched LAPACK" the paper hand-rolled).
+
+:mod:`.batched` holds the seed einsum kernels (the reference
+implementations); :mod:`.wy` holds the GEMM-based compact-WY kernels the
+batched execution path runs on.
+"""
 
 from .batched import (
     batched_apply_blocked,
@@ -9,6 +14,7 @@ from .batched import (
     batched_house,
     batched_larft,
 )
+from .wy import apply_wy, extract_v, geqr2_blocked, larft, wy_factors
 
 __all__ = [
     "batched_apply_blocked",
@@ -18,4 +24,9 @@ __all__ = [
     "batched_geqr2",
     "batched_house",
     "batched_larft",
+    "apply_wy",
+    "extract_v",
+    "geqr2_blocked",
+    "larft",
+    "wy_factors",
 ]

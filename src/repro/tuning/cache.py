@@ -8,6 +8,7 @@ cache stores the full sweep, keyed by ``(device name, strategy)``.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from .autotune import SweepEntry
@@ -16,13 +17,24 @@ __all__ = ["TuningCache"]
 
 
 class TuningCache:
-    """JSON-backed store of block-size sweeps."""
+    """JSON-backed store of block-size sweeps.
+
+    Writes are atomic (temp file + ``os.replace``), so a crash mid-write
+    never leaves a half-written cache, and a corrupt or truncated file on
+    disk — e.g. from an interrupted run of an older version — is treated
+    as an empty cache rather than an error.
+    """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else None
         self._data: dict[str, list[dict]] = {}
         if self.path is not None and self.path.exists():
-            self._data = json.loads(self.path.read_text())
+            try:
+                data = json.loads(self.path.read_text())
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                data = None
+            if isinstance(data, dict):
+                self._data = data
 
     @staticmethod
     def key(device_name: str, strategy: str) -> str:
@@ -33,7 +45,9 @@ class TuningCache:
             {"height": e.height, "width": e.width, "gflops": e.gflops} for e in entries
         ]
         if self.path is not None:
-            self.path.write_text(json.dumps(self._data, indent=1))
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(json.dumps(self._data, indent=1))
+            os.replace(tmp, self.path)
 
     def get(self, device_name: str, strategy: str) -> list[SweepEntry] | None:
         raw = self._data.get(self.key(device_name, strategy))

@@ -203,3 +203,106 @@ class TestBatchedBlockedApply:
         Q, R = tsqr_qr(A, block_rows=128)
         assert factorization_error(A, Q, R) < 1e-13
         assert orthogonality_error(Q) < 1e-12
+
+
+class TestCompactWY:
+    """The GEMM-based compact-WY kernels against the einsum reference."""
+
+    def test_extract_v_matches_reference(self, rng):
+        from repro.smallblas.batched import _extract_v_batch
+        from repro.smallblas.wy import extract_v
+
+        for shape in [(4, 20, 6), (3, 5, 9), (2, 1, 3), (5, 7, 7)]:
+            A = rng.standard_normal(shape)
+            VR, _ = batched_geqr2(A)
+            assert np.array_equal(extract_v(VR), _extract_v_batch(VR))
+
+    def test_larft_matches_reference(self, rng):
+        from repro.smallblas.batched import batched_larft
+        from repro.smallblas.wy import extract_v, larft
+
+        A = rng.standard_normal((6, 20, 5))
+        VR, tau = batched_geqr2(A)
+        assert np.allclose(
+            larft(extract_v(VR), tau), batched_larft(VR, tau), atol=1e-12
+        )
+
+    def test_apply_wy_matches_reference_and_writes_in_place(self, rng):
+        from repro.smallblas.batched import batched_apply_blocked
+        from repro.smallblas.wy import apply_wy, wy_factors
+
+        A = rng.standard_normal((8, 48, 12))
+        VR, tau = batched_geqr2(A)
+        V, T = wy_factors(VR, tau)
+        C = rng.standard_normal((8, 48, 7))
+        for transpose in (True, False):
+            ref = batched_apply_blocked(VR, tau, C.copy(), transpose=transpose)
+            got = C.copy()
+            ret = apply_wy(V, T, got, transpose=transpose)
+            assert ret is got  # in-place contract
+            assert np.allclose(got, ref, atol=1e-11)
+
+    def test_apply_wy_through_strided_view(self, rng):
+        """The zero-copy reshape path: apply through a view of a 2-D matrix."""
+        from repro.smallblas.batched import batched_apply_blocked
+        from repro.smallblas.wy import apply_wy, wy_factors
+
+        A = rng.standard_normal((6, 16, 4))
+        VR, tau = batched_geqr2(A)
+        V, T = wy_factors(VR, tau)
+        B = rng.standard_normal((96, 5))
+        tiles = B[:96].reshape(6, 16, 5)
+        assert np.shares_memory(tiles, B)
+        ref = batched_apply_blocked(VR, tau, np.ascontiguousarray(tiles))
+        apply_wy(V, T, tiles)
+        assert np.allclose(B.reshape(6, 16, 5), ref, atol=1e-11)
+
+    def test_geqr2_blocked_matches_reference(self, rng):
+        from repro.smallblas.wy import geqr2_blocked
+
+        for shape, ib in [
+            ((7, 20, 11), 4),
+            ((3, 6, 10), 4),  # wide
+            ((5, 64, 16), 8),
+            ((1, 8, 8), 3),
+            ((4, 1, 3), 2),  # single row
+            ((2, 9, 1), 4),  # single column
+            ((2, 5, 5), 1),
+        ]:
+            A = rng.standard_normal(shape)
+            if shape[1] > 2 and shape[0] > 1:
+                A[0, 1:, 0] = 0.0  # already-reduced column
+                A[1, :, :] = 0.0  # fully zero block
+            A0 = A.copy()
+            VR, tau, V, T = geqr2_blocked(A, ib=ib)
+            assert np.array_equal(A, A0), "input must not be mutated"
+            VR0, tau0 = batched_geqr2(A)
+            assert np.allclose(VR, VR0, atol=1e-11), shape
+            assert np.allclose(tau, tau0, atol=1e-11), shape
+
+    def test_geqr2_blocked_wy_reconstructs(self, rng):
+        from repro.smallblas.wy import apply_wy, geqr2_blocked
+
+        b, m, n = 5, 24, 9
+        A = rng.standard_normal((b, m, n))
+        VR, tau, V, T = geqr2_blocked(A, ib=4)
+        QR = np.concatenate(
+            [np.triu(VR[:, :n, :]), np.zeros((b, m - n, n))], axis=1
+        )
+        apply_wy(V, T, QR, transpose=False)  # Q @ [R; 0] == A
+        assert np.allclose(QR, A, atol=1e-11)
+
+    def test_geqr2_blocked_float32(self, rng):
+        from repro.smallblas.wy import geqr2_blocked
+
+        A = rng.standard_normal((4, 32, 8)).astype(np.float32)
+        VR, tau, V, T = geqr2_blocked(A)
+        assert VR.dtype == tau.dtype == V.dtype == T.dtype == np.float32
+        VR0, tau0 = batched_geqr2(A)
+        assert np.allclose(VR, VR0, atol=1e-4)
+
+    def test_geqr2_blocked_rejects_bad_shape(self):
+        from repro.smallblas.wy import geqr2_blocked
+
+        with np.testing.assert_raises(ValueError):
+            geqr2_blocked(np.zeros((4, 5)))

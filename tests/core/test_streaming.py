@@ -131,3 +131,26 @@ def test_property_streaming_matches_batch(n, seed, splits):
     R_np = np.triu(np.linalg.qr(A, mode="r"))
     k = min(m, n)
     assert np.allclose(np.abs(np.diag(stq.R)[:k]), np.abs(np.diag(R_np)[:k]), atol=1e-9)
+
+
+class TestStreamingDtype:
+    def test_dtype_fixed_across_uniform_pushes(self, rng):
+        stq = StreamingTSQR(n_cols=4)
+        stq.push(rng.standard_normal((6, 4)).astype(np.float32))
+        stq.push(rng.standard_normal((6, 4)).astype(np.float32))
+        assert stq.R.dtype == np.float32
+        assert all(step.VR.dtype == np.float32 for step in stq._steps)
+
+    def test_promotion_mid_stream(self, rng):
+        """A float64 block after float32 pushes promotes the running R
+        exactly once; results match an all-float64 stream to f32 accuracy."""
+        A = rng.standard_normal((18, 4))
+        stq = StreamingTSQR(n_cols=4)
+        stq.push(A[:6].astype(np.float32))
+        stq.push(A[6:12])  # promotes
+        stq.push(A[12:])
+        assert stq.R.dtype == np.float64
+        ref = StreamingTSQR(n_cols=4)
+        for i in range(0, 18, 6):
+            ref.push(A[i : i + 6])
+        assert np.allclose(np.abs(stq.R), np.abs(ref.R), atol=1e-5)

@@ -1,0 +1,62 @@
+"""Robustness of the tuning-cache persistence layer."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.tuning import TuningCache
+from repro.tuning.autotune import SweepEntry
+
+ENTRIES = [SweepEntry(64, 16, 120.0), SweepEntry(128, 16, 155.5)]
+
+
+class TestAtomicWrites:
+    def test_put_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = TuningCache(path)
+        cache.put("C2050", "default", ENTRIES)
+        assert path.exists()
+        assert os.listdir(tmp_path) == ["cache.json"]
+
+    def test_put_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = TuningCache(path)
+        cache.put("C2050", "default", ENTRIES)
+        cache.put("C2050", "default", ENTRIES[:1])
+        reloaded = TuningCache(path)
+        assert len(reloaded.get("C2050", "default")) == 1
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        TuningCache(path).put("C2050", "default", ENTRIES)
+        best = TuningCache(path).best("C2050", "default")
+        assert best == SweepEntry(128, 16, 155.5)
+
+
+class TestCorruptLoad:
+    def test_truncated_json_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        TuningCache(path).put("C2050", "default", ENTRIES)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a torn write
+        cache = TuningCache(path)
+        assert len(cache) == 0
+        assert cache.get("C2050", "default") is None
+
+    def test_garbage_bytes_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_bytes(b"\x00\xff\x00 not json")
+        assert len(TuningCache(path)) == 0
+
+    def test_non_dict_json_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert len(TuningCache(path)) == 0
+
+    def test_recovers_by_writing_over_corrupt_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{corrupt")
+        cache = TuningCache(path)
+        cache.put("C2050", "default", ENTRIES)
+        assert TuningCache(path).get("C2050", "default") == ENTRIES
