@@ -49,6 +49,9 @@ FULL_SHAPES = [
 QUICK_SHAPES = [
     (4096, 32, 64, 16),
 ]
+CHECK_SHAPES = [
+    (16384, 64, 64, 16),  # --check-lookahead perf smoke
+]
 
 
 def qr_gflops(m: int, n: int) -> float:
@@ -125,6 +128,25 @@ def bench_shape(m: int, n: int, br: int, pw: int, reps: int, seed: int = 7) -> d
             "max_residual_gap": max(abs(ferr_b - ferr_r), abs(oerr_b - oerr_r)),
         }
 
+    # Look-ahead executor (repro.graph) over the same batched kernels.
+    run_la = lambda: caqr(A, block_rows=br, panel_width=pw, lookahead=True)  # noqa: E731
+    t_la = time_best(run_la, reps)
+    fl = run_la()
+    ferr_l, oerr_l = residuals(A, fl)
+    results["caqr"].update(
+        {
+            "seconds_lookahead": t_la,
+            "gflops_lookahead": gf / t_la,
+            "speedup_lookahead": results["caqr"]["seconds_batched"] / t_la,
+            "ferr_lookahead": ferr_l,
+            "orth_lookahead": oerr_l,
+            "lookahead_residual_gap": max(
+                abs(ferr_l - results["caqr"]["ferr_batched"]),
+                abs(oerr_l - results["caqr"]["orth_batched"]),
+            ),
+        }
+    )
+
     count, digest = launch_fingerprint(m, n, br, pw)
     return {
         "m": m,
@@ -143,6 +165,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--quick", action="store_true", help="small shapes, 1 rep (CI smoke)")
     ap.add_argument("--reps", type=int, default=3, help="timed repetitions (best-of)")
     ap.add_argument(
+        "--check-lookahead",
+        action="store_true",
+        help="perf smoke: one mid-size shape, fail if the look-ahead "
+        "executor is slower than the serial batched path",
+    )
+    ap.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -151,10 +179,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    shapes = QUICK_SHAPES if args.quick else FULL_SHAPES
-    reps = 1 if args.quick else max(1, args.reps)
+    if args.check_lookahead:
+        shapes = CHECK_SHAPES
+        reps = max(1, args.reps)
+    elif args.quick:
+        shapes, reps = QUICK_SHAPES, 1
+    else:
+        shapes, reps = FULL_SHAPES, max(1, args.reps)
     out = args.out
-    if out is None and not args.quick:
+    if out is None and not (args.quick or args.check_lookahead):
         out = REPO_ROOT / "BENCH_caqr.json"
 
     rows = []
@@ -166,12 +199,22 @@ def main(argv: list[str] | None = None) -> int:
             f"caqr {r['caqr_seconds_batched']:.3f}s batched vs "
             f"{r['caqr_seconds_seed']:.3f}s seed -> {r['caqr_speedup']:.2f}x  "
             f"({r['caqr_gflops_batched']:.2f} GFLOP/s), "
+            f"lookahead {r['caqr_seconds_lookahead']:.3f}s "
+            f"({r['caqr_speedup_lookahead']:.2f}x vs batched), "
             f"tsqr {r['tsqr_speedup']:.2f}x, "
             f"residual gap {r['caqr_max_residual_gap']:.2e}, "
             f"{r['launches']} launches [{r['launch_stream_sha256_16']}]"
         )
         assert r["caqr_max_residual_gap"] < 1e-12, "execution paths diverged"
         assert r["tsqr_max_residual_gap"] < 1e-12, "execution paths diverged"
+        assert r["caqr_lookahead_residual_gap"] < 1e-14, "look-ahead path diverged"
+        if args.check_lookahead and r["caqr_speedup_lookahead"] < 1.0:
+            print(
+                f"FAIL: look-ahead CAQR slower than serial batched "
+                f"({r['caqr_seconds_lookahead']:.3f}s vs "
+                f"{r['caqr_seconds_batched']:.3f}s)"
+            )
+            return 1
 
     if out is not None:
         payload = {

@@ -1,0 +1,17 @@
+"""Benchmark: modeled multi-stream overlap on the Table-I shapes."""
+
+from __future__ import annotations
+
+from repro.experiments import overlap_study
+
+
+def test_bench_overlap(benchmark, archive):
+    rows = benchmark(overlap_study.run)
+    archive("overlap", overlap_study.format_results(rows))
+    for r in rows:
+        # Overlap never loses to the serial stream, never beats the
+        # dependency critical path.
+        assert r.critical_path_ms <= r.overlap_ms + 1e-12
+        assert r.speedup > 1.0
+    # At least one tall-skinny shape hides >= 20% of serial overheads.
+    assert max(r.speedup for r in rows) >= 1.2

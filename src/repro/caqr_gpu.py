@@ -59,17 +59,29 @@ __all__ = [
 
 @dataclass
 class CAQRGpuResult:
-    """Outcome of a simulated GPU CAQR factorization."""
+    """Outcome of a simulated GPU CAQR factorization.
+
+    ``overlap`` is populated only when the simulation was asked for
+    concurrent streams (``streams=``): it carries the launch DAG and the
+    list-scheduled multi-stream timing next to the serial ``timeline``
+    (which always remains the default, fingerprinted stream).
+    """
 
     m: int
     n: int
     config: KernelConfig
     device: DeviceSpec
     timeline: Timeline
+    overlap: "object | None" = None  # repro.graph.overlap.OverlapResult
 
     @property
     def seconds(self) -> float:
         return self.timeline.total_seconds
+
+    @property
+    def overlap_seconds(self) -> float | None:
+        """Modeled seconds on concurrent streams (None when serial-only)."""
+        return None if self.overlap is None else self.overlap.overlap_seconds
 
     @property
     def counters(self) -> Counters:
@@ -149,11 +161,11 @@ def enumerate_caqr_launches(
         if cfg.transpose_preprocess and cfg.strategy == "regfile_transpose":
             yield transpose_launch(hp, pw_p, cfg, dev, tag=tag)
         yield factor_launch(nb0, bh, pw_p, cfg, dev, tag=tag)
-        level_arities = []
+        level_arities = tree.level_arities()
         for lvl, level in enumerate(tree.levels):
-            arity = max(len(g) for g in level)
-            level_arities.append(arity)
-            yield factor_tree_launch(len(level), arity, pw_p, cfg, dev, tag=f"{tag}/L{lvl}")
+            yield factor_tree_launch(
+                len(level), level_arities[lvl], pw_p, cfg, dev, tag=f"{tag}/L{lvl}"
+            )
         wt = n - (c0 + pw_p)
         if wt > 0:
             tile_w = _tile_width(wt, bh, cfg, dev)
@@ -170,17 +182,34 @@ def simulate_caqr(
     n: int,
     cfg: KernelConfig = REFERENCE_CONFIG,
     dev: DeviceSpec = C2050,
+    streams: int | None = None,
+    lookahead: bool = True,
 ) -> CAQRGpuResult:
     """Simulate a full CAQR factorization of an ``m x n`` matrix.
 
     The matrix is assumed resident in GPU memory (the paper does not count
     the initial transfer; Section V-C).  Pure shape arithmetic — no arrays
     are materialized, so this runs at any paper scale.
+
+    ``streams`` (opt-in) additionally list-schedules the launch DAG onto
+    that many concurrent streams and attaches the
+    :class:`~repro.graph.overlap.OverlapResult` as ``result.overlap``;
+    ``lookahead`` controls whether the DAG carries the look-ahead edge or
+    the serial panel barrier.  The serial ``timeline`` is built the same
+    way regardless, so fingerprints never move.
     """
     tl = Timeline(device=dev)
     for spec in enumerate_caqr_launches(m, n, cfg, dev):
         tl.launch(spec)
-    return CAQRGpuResult(m=m, n=n, config=cfg, device=dev, timeline=tl)
+    res = CAQRGpuResult(m=m, n=n, config=cfg, device=dev, timeline=tl)
+    if streams is not None and streams > 1:
+        # Deferred: repro.graph sits above this module in the layering.
+        from repro.graph.overlap import simulate_caqr_overlap
+
+        res.overlap = simulate_caqr_overlap(
+            m, n, cfg, dev, streams=streams, lookahead=lookahead
+        )
+    return res
 
 
 def simulate_form_q(
@@ -205,6 +234,9 @@ def caqr_gpu_factor(
     cfg: KernelConfig = REFERENCE_CONFIG,
     dev: DeviceSpec = C2050,
     batched: bool = True,
+    lookahead: bool = False,
+    workers: int | None = None,
+    streams: int | None = None,
 ) -> tuple[CAQRFactors, CAQRGpuResult]:
     """Execute CAQR numerically *and* produce its simulated GPU timeline.
 
@@ -212,8 +244,11 @@ def caqr_gpu_factor(
     is built by the same :mod:`repro.core` helpers the launch enumerator
     uses, so the counts agree by construction; a structural-parity test
     pins this.  ``batched`` selects the host-side numeric strategy only;
-    the simulated timeline depends purely on shapes and is identical
-    either way.
+    ``lookahead``/``workers`` route the numerics through the look-ahead
+    task-graph executor (:mod:`repro.graph.executor`), and ``streams``
+    attaches the modeled multi-stream overlap to the result.  The serial
+    simulated timeline depends purely on shapes and is identical in every
+    mode.
     """
     A = np.asarray(A, dtype=float)
     m, n = A.shape
@@ -224,8 +259,10 @@ def caqr_gpu_factor(
         tree_shape=cfg.tree_shape,
         structured=cfg.structured_tree,
         batched=batched,
+        lookahead=lookahead,
+        workers=workers,
     )
-    result = simulate_caqr(m, n, cfg, dev)
+    result = simulate_caqr(m, n, cfg, dev, streams=streams)
     return factors, result
 
 

@@ -44,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("communication", help="DRAM words vs the communication lower bound")
     sub.add_parser("stability", help="orthogonality vs condition number, all algorithms")
     sub.add_parser("projection", help="headline results on projected future devices")
+
+    ov = sub.add_parser("overlap", help="modeled multi-stream overlap vs the serial stream")
+    ov.add_argument("--heights", type=str, default=None, help="comma-separated heights")
+    ov.add_argument("--streams", type=int, default=4)
+
     sub.add_parser("distributed", help="distributed TSQR vs Householder message counts")
 
     d = sub.add_parser("dispatch", help="model-driven engine choice for one shape")
@@ -73,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         projection,
         figure8,
         figure9,
+        overlap_study,
         sensitivity,
         stability,
         strategies_table,
@@ -124,6 +130,12 @@ def main(argv: list[str] | None = None) -> int:
         out.append(communication.format_results(communication.run()))
     elif args.command == "stability":
         out.append(stability.format_results(stability.run()))
+    elif args.command == "overlap":
+        heights = _ints(args.heights)
+        kwargs = {"streams": args.streams}
+        if heights:
+            kwargs["heights"] = heights
+        out.append(overlap_study.format_results(overlap_study.run(**kwargs)))
     elif args.command == "projection":
         out.append(projection.format_results(projection.run()))
     elif args.command == "distributed":

@@ -81,6 +81,8 @@ def caqr(
     tree_shape: str = "quad",
     structured: bool = False,
     batched: bool = True,
+    lookahead: bool = False,
+    workers: int | None = None,
 ) -> CAQRFactors:
     """Factor a matrix with CAQR (Figure 3 / the host pseudocode of Figure 4).
 
@@ -96,11 +98,33 @@ def caqr(
             through the level-batched compact-WY path (default).  The
             ``False`` path is the seed per-node reference implementation,
             kept for validation and as the benchmark baseline.
+        lookahead: execute the factorization as a dependency task graph
+            (:func:`repro.graph.executor.caqr_lookahead`) instead of the
+            serial panel loop.  Returns a duck-type-compatible
+            :class:`~repro.graph.executor.LookaheadCAQRFactors`.
+        workers: column tiles per trailing update / thread-pool width for
+            the look-ahead executor (implies ``lookahead``-style execution
+            when > 1).  Ignored by the serial paths.
 
     Returns:
         :class:`CAQRFactors` with the implicit Q (per-panel TSQR factors)
         and the explicit upper-trapezoidal R.
     """
+    if lookahead or (workers is not None and workers > 1):
+        if structured:
+            raise ValueError("structured tree elimination is not supported with lookahead")
+        if not batched:
+            raise ValueError("lookahead requires the batched execution path")
+        from repro.graph.executor import caqr_lookahead
+
+        return caqr_lookahead(
+            A,
+            panel_width=panel_width,
+            block_rows=block_rows,
+            tree_shape=tree_shape,
+            workers=workers,
+            lookahead=lookahead,
+        )
     A = as_float_array(A)
     if A.ndim != 2:
         raise ValueError("A must be 2-D")
@@ -154,6 +178,8 @@ def caqr_qr(
     tree_shape: str = "quad",
     structured: bool = False,
     batched: bool = True,
+    lookahead: bool = False,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: explicit thin ``(Q, R)`` via CAQR."""
     f = caqr(
@@ -163,5 +189,7 @@ def caqr_qr(
         tree_shape=tree_shape,
         structured=structured,
         batched=batched,
+        lookahead=lookahead,
+        workers=workers,
     )
     return f.form_q(), f.R

@@ -13,9 +13,20 @@ from __future__ import annotations
 import numpy as np
 
 from .jacobi_svd import jacobi_svd
-from .tsqr import tsqr_qr
+from .tsqr import tsqr, tsqr_qr
 
 __all__ = ["randomized_range_finder", "randomized_svd"]
+
+
+def _tsqr_q(Y: np.ndarray, block_rows: int, batched: bool, workers: int | None) -> np.ndarray:
+    """Explicit TSQR Q, threading its column formation when asked."""
+    if workers is not None and workers > 1:
+        from repro.graph.executor import form_q_columns
+
+        f = tsqr(Y, block_rows=block_rows, batched=batched)
+        return form_q_columns(f, workers=workers)
+    Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched)
+    return Q
 
 
 def randomized_range_finder(
@@ -26,12 +37,14 @@ def randomized_range_finder(
     rng: np.random.Generator | None = None,
     block_rows: int = 256,
     batched: bool = True,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Orthonormal basis approximately spanning A's leading k-range.
 
     ``Q = tsqr_qr(A @ Omega)`` with Gaussian ``Omega`` and optional
     power iterations (each one re-orthogonalized through TSQR for
-    stability).
+    stability).  ``workers > 1`` threads the explicit-Q formation through
+    :func:`repro.graph.executor.form_q_columns`.
     """
     A = np.asarray(A, dtype=float)
     m, n = A.shape
@@ -40,16 +53,15 @@ def randomized_range_finder(
     ell = min(k + oversample, n)
     rng = rng or np.random.default_rng(0)
     Y = A @ rng.standard_normal((n, ell))
-    Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched)
+    Q = _tsqr_q(Y, block_rows, batched, workers)
     for _ in range(power_iters):
         Z = A.T @ Q
-        Zq, _ = (
-            np.linalg.qr(Z)
-            if n < block_rows
-            else tsqr_qr(Z, block_rows=block_rows, batched=batched)
-        )
+        if n < block_rows:
+            Zq, _ = np.linalg.qr(Z)
+        else:
+            Zq = _tsqr_q(Z, block_rows, batched, workers)
         Y = A @ Zq
-        Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched)
+        Q = _tsqr_q(Y, block_rows, batched, workers)
     return Q
 
 
@@ -60,6 +72,7 @@ def randomized_svd(
     power_iters: int = 1,
     rng: np.random.Generator | None = None,
     batched: bool = True,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Approximate rank-k thin SVD ``A ~= U diag(s) V^T``.
 
@@ -70,9 +83,13 @@ def randomized_svd(
     A = np.asarray(A, dtype=float)
     m, n = A.shape
     if m < n:
-        U, s, Vt = randomized_svd(A.T, k, oversample, power_iters, rng, batched=batched)
+        U, s, Vt = randomized_svd(
+            A.T, k, oversample, power_iters, rng, batched=batched, workers=workers
+        )
         return Vt.T, s, U.T
-    Q = randomized_range_finder(A, k, oversample, power_iters, rng, batched=batched)
+    Q = randomized_range_finder(
+        A, k, oversample, power_iters, rng, batched=batched, workers=workers
+    )
     B = Q.T @ A  # ell x n, small
     Ub, s, Vt = jacobi_svd(B.T)  # jacobi wants tall: factor B^T
     # B = (Vt.T * s) @ Ub.T  =>  B's left vectors are Vt.T's columns.

@@ -48,6 +48,17 @@ class TreeSchedule:
         """Total number of stacked-R factorizations performed by the tree."""
         return sum(len(level) for level in self.levels)
 
+    def level_arities(self) -> tuple[int, ...]:
+        """Maximum group arity at each level.
+
+        This is the arity the launch models cost a level at: on a uniform
+        grid every group in a level has the same size, and a ragged tail
+        group is padded to the level's stacking height by the kernel.
+        Shared by the serial launch enumerator and the dependency-graph
+        builder so both describe identical kernels.
+        """
+        return tuple(max(len(g) for g in level) for level in self.levels)
+
     def survivors(self) -> list[int]:
         """Indices alive after the last level (length 1 when n_blocks >= 1)."""
         alive = list(range(self.n_blocks))

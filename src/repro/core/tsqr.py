@@ -45,7 +45,7 @@ from repro.smallblas.wy import apply_wy, geqr2_blocked, wy_factors
 from .structured import StructuredStackFactor, structured_stack_qr
 from .tree import TreeSchedule, batch_level, build_tree
 
-__all__ = ["row_blocks", "TSQRFactors", "tsqr", "tsqr_qr"]
+__all__ = ["row_blocks", "TSQRFactors", "tsqr", "tsqr_qr", "apply_wy_plan"]
 
 
 def row_blocks(m: int, block_rows: int) -> list[tuple[int, int]]:
@@ -265,6 +265,24 @@ def _plan_apply_level0(plan: _WyPlan, B: np.ndarray, transpose: bool) -> None:
             B[start : start + h_real] = sub[0, :h_real]
 
 
+def apply_wy_plan(plan: _WyPlan, B: np.ndarray, transpose: bool) -> None:
+    """Apply a planned implicit Q (``transpose=True`` for Q^T) to ``B``.
+
+    This is the whole batched application pipeline — level 0 through the
+    tree levels for Q^T, the reverse for Q — factored out so the
+    look-ahead executor (:mod:`repro.graph.executor`) can drive the same
+    arithmetic on trailing-matrix column tiles.
+    """
+    if transpose:
+        _plan_apply_level0(plan, B, transpose=True)
+        for entries in plan.levels:
+            _plan_apply_level(entries, B, transpose=True)
+    else:
+        for entries in reversed(plan.levels):
+            _plan_apply_level(entries, B, transpose=False)
+        _plan_apply_level0(plan, B, transpose=False)
+
+
 def _plan_apply_level(entries: list[tuple], B: np.ndarray, transpose: bool) -> None:
     """One tree level (``apply_qt_tree``): gather, batched WY, scatter."""
     for entry in entries:
@@ -401,10 +419,7 @@ class TSQRFactors:
             raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
         W = B[:, None] if B.ndim == 1 else B  # view: updates land in B
         if self.batched:
-            plan = self._plan_for(W.dtype)
-            _plan_apply_level0(plan, W, transpose=True)
-            for entries in plan.levels:
-                _plan_apply_level(entries, W, transpose=True)
+            apply_wy_plan(self._plan_for(W.dtype), W, transpose=True)
             return B
         # Level 0: independent per-block applications (apply_qt_h).
         self._apply_level0(W, transpose=True)
@@ -423,10 +438,7 @@ class TSQRFactors:
             raise ValueError(f"B must have {self.m} rows, got {B.shape[0]}")
         W = B[:, None] if B.ndim == 1 else B  # view: updates land in B
         if self.batched:
-            plan = self._plan_for(W.dtype)
-            for entries in reversed(plan.levels):
-                _plan_apply_level(entries, W, transpose=False)
-            _plan_apply_level0(plan, W, transpose=False)
+            apply_wy_plan(self._plan_for(W.dtype), W, transpose=False)
             return B
         for level_factors in reversed(self.tree_factors):
             for tf in level_factors:

@@ -11,6 +11,7 @@ implemented numerically in this library — actually runs it.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,18 +63,35 @@ class QRDispatcher:
         device: DeviceSpec = C2050,
         config: KernelConfig = REFERENCE_CONFIG,
         include_cpu: bool = True,
+        batched: bool = True,
+        lookahead: bool = False,
+        workers: int | None = None,
+        cache_size: int = 128,
     ) -> None:
         self.device = device
         self.config = config
         self.include_cpu = include_cpu
+        self.batched = batched
+        self.lookahead = lookahead
+        self.workers = workers
         self._magma = MAGMAQR(gpu=device)
         self._cula = CULAQR(gpu=device)
         self._mkl = MKLQR()
+        # (m, n) -> sorted predictions.  crossover_width probes O(log n)
+        # shapes per call and qr() re-predicts per matrix; the models are
+        # pure functions of the shape, so memoize them (LRU).
+        self._pred_cache: OrderedDict[tuple[int, int], list[EnginePrediction]] = OrderedDict()
+        self._cache_size = cache_size
 
     def predict(self, m: int, n: int) -> list[EnginePrediction]:
-        """Modeled runtimes, fastest first."""
+        """Modeled runtimes, fastest first (cached per shape)."""
         if m < 1 or n < 1:
             raise ValueError("matrix dimensions must be positive")
+        key = (m, n)
+        cached = self._pred_cache.get(key)
+        if cached is not None:
+            self._pred_cache.move_to_end(key)
+            return list(cached)
         preds = []
         r = simulate_caqr(m, n, self.config, self.device)
         preds.append(EnginePrediction("caqr", r.seconds, r.gflops))
@@ -84,7 +102,11 @@ class QRDispatcher:
         if self.include_cpu:
             b = self._mkl.simulate(m, n)
             preds.append(EnginePrediction("mkl", b.seconds, b.gflops))
-        return sorted(preds, key=lambda p: p.seconds)
+        preds.sort(key=lambda p: p.seconds)
+        self._pred_cache[key] = preds
+        while len(self._pred_cache) > self._cache_size:
+            self._pred_cache.popitem(last=False)
+        return list(preds)
 
     def choose(self, m: int, n: int) -> EnginePrediction:
         """The fastest engine for this shape under the models."""
@@ -126,6 +148,9 @@ class QRDispatcher:
                 block_rows=self.config.block_rows,
                 tree_shape=self.config.tree_shape,
                 structured=self.config.structured_tree,
+                batched=self.batched,
+                lookahead=self.lookahead,
+                workers=self.workers,
             )
         else:
             # Blocked Householder is the algorithm behind both the hybrid

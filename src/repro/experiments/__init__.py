@@ -13,6 +13,7 @@ ablations           tree shape, transpose, panel width, hybrid vs GPU-only
 sensitivity         DRAM-bw / PCIe-latency / launch-overhead sweeps
 communication       DRAM words vs the Omega(mn^2/sqrt(M)) lower bound
 stability           loss of orthogonality vs condition number
+overlap_study       modeled multi-stream overlap on the Table-I shapes
 projection          headline results on flops-outpace-bandwidth devices
 distributed_study   TSQR vs Householder messages on P simulated ranks
 ==================  ========================================================
@@ -26,6 +27,7 @@ from . import (
     figure7,
     figure8,
     figure9,
+    overlap_study,
     projection,
     sensitivity,
     stability,
@@ -41,6 +43,7 @@ __all__ = [
     "communication",
     "distributed_study",
     "export",
+    "overlap_study",
     "projection",
     "sensitivity",
     "stability",

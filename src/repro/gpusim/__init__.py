@@ -20,6 +20,7 @@ from .device import (
     PCIeLink,
 )
 from .block_machine import BlockCounters, BlockMachine, SharedMemory
+from .concurrent import ConcurrentTimeline, ScheduledLaunch, list_schedule, occupancy_weight
 from .schedule import EventSchedule, Task
 from .launch import LaunchSpec, LaunchTiming, occupancy_blocks_per_sm, time_launch
 from .timeline import Event, Timeline
@@ -41,6 +42,10 @@ __all__ = [
     "time_launch",
     "Event",
     "Timeline",
+    "ConcurrentTimeline",
+    "ScheduledLaunch",
+    "list_schedule",
+    "occupancy_weight",
     "BlockCounters",
     "BlockMachine",
     "SharedMemory",

@@ -32,10 +32,35 @@ class Event:
 
 @dataclass
 class Timeline:
-    """Ordered event log with aggregate views."""
+    """Ordered event log with aggregate views.
+
+    ``total_seconds`` and ``counters`` fold events into a running
+    aggregate incrementally: each event is reduced exactly once no matter
+    how often the properties are read (experiment sweeps poll them after
+    every launch, which used to re-reduce the full list each time).  The
+    aggregate tracks ``events`` by length, so appending — directly or via
+    :meth:`launch`/:meth:`extend` — is picked up lazily, and replacing
+    the list with a shorter one resets the fold.
+    """
 
     device: DeviceSpec
     events: list[Event] = field(default_factory=list)
+    _agg_n: int = field(default=0, repr=False, compare=False)
+    _agg_seconds: float = field(default=0.0, repr=False, compare=False)
+    _agg_counters: Counters = field(default_factory=Counters, repr=False, compare=False)
+
+    def _refresh(self) -> None:
+        """Fold any events appended since the last aggregate read."""
+        n = len(self.events)
+        if self._agg_n > n:  # the event list shrank: start over
+            self._agg_n = 0
+            self._agg_seconds = 0.0
+            self._agg_counters = Counters()
+        while self._agg_n < n:
+            e = self.events[self._agg_n]
+            self._agg_seconds += e.seconds
+            self._agg_counters.add(e.counters)
+            self._agg_n += 1
 
     # -- recording ---------------------------------------------------------
 
@@ -80,14 +105,14 @@ class Timeline:
 
     @property
     def total_seconds(self) -> float:
-        return sum(e.seconds for e in self.events)
+        self._refresh()
+        return self._agg_seconds
 
     @property
     def counters(self) -> Counters:
-        total = Counters()
-        for e in self.events:
-            total.add(e.counters)
-        return total
+        self._refresh()
+        # A fresh object, as before: callers may accumulate into it.
+        return Counters() + self._agg_counters
 
     def gflops(self, reference_flops: float | None = None) -> float:
         """GFLOP/s against ``reference_flops`` (default: counted flops).

@@ -1,0 +1,33 @@
+"""Launch-graph execution engine (dependency DAG over the Figure-4 stream).
+
+The paper's host driver is a *serial* stream of kernel launches, but the
+data dependencies between them are much looser: ``factor(k+1)`` only
+needs the first trailing tile of panel ``k``, and trailing-update
+launches for disjoint column tiles are mutually independent.  This
+subsystem makes those dependencies explicit:
+
+* :mod:`repro.graph.dag` — grows :func:`repro.caqr_gpu.enumerate_caqr_launches`
+  into a DAG of :class:`LaunchNode` s (the serial enumeration is untouched,
+  so launch-stream fingerprints and calibration cannot move).
+* :mod:`repro.graph.overlap` — list-schedules the DAG onto S concurrent
+  streams with :mod:`repro.gpusim.concurrent` and reports modeled overlap
+  seconds next to serial seconds.
+* :mod:`repro.graph.executor` — executes the same DAG numerically
+  (look-ahead CAQR over the batched compact-WY kernels), serially in
+  dependency order or on a thread pool.
+"""
+
+from .dag import LaunchGraph, LaunchNode, build_caqr_graph
+from .executor import LookaheadCAQRFactors, caqr_lookahead, form_q_columns
+from .overlap import OverlapResult, simulate_caqr_overlap
+
+__all__ = [
+    "LaunchGraph",
+    "LaunchNode",
+    "build_caqr_graph",
+    "LookaheadCAQRFactors",
+    "caqr_lookahead",
+    "form_q_columns",
+    "OverlapResult",
+    "simulate_caqr_overlap",
+]

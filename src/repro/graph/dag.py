@@ -1,0 +1,245 @@
+"""The CAQR launch stream as a dependency DAG.
+
+:func:`repro.caqr_gpu.enumerate_caqr_launches` yields the Figure-4 host
+stream in serial order; :func:`build_caqr_graph` produces the same
+kernels as nodes carrying their *data* dependencies:
+
+* ``factor -> factor_tree(L0) -> factor_tree(L1) -> ...`` within a panel
+  (each tree level eliminates the previous level's Rs);
+* ``apply_qt_h`` needs the panel's level-0 factors; each
+  ``apply_qt_tree`` level needs its tree factors plus the previous
+  update level *on the same columns*;
+* across panels, a launch touching columns ``[a, b)`` depends on the
+  previous panel's trailing updates that wrote any of those columns.
+
+The one structural change versus the serial stream is that each trailing
+update is split into a *first-tile* launch (the columns of the next
+panel) and a *rest* launch covering the remaining tiles.  Splitting
+preserves the total block count and the per-block cost, but exposes the
+look-ahead edge: ``factor(k+1)`` intersects only the first tile, so the
+panel critical path can run ahead while the wide rest of the trailing
+matrix is still updating.  With ``lookahead=False`` the next panel
+instead depends on *every* update of the previous panel — the serial
+driver's barrier, in graph form.
+
+The serial enumeration itself is untouched — fingerprints pinned in
+``BENCH_caqr.json`` hash that stream, and a structural test checks the
+graph merges back into it node for node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.tree import build_tree
+from repro.core.tsqr import row_blocks
+from repro.gpusim.device import C2050, DeviceSpec
+from repro.gpusim.launch import LaunchSpec, time_launch
+from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
+from repro.kernels.costs import (
+    apply_qt_h_split_launches,
+    apply_qt_tree_split_launches,
+    factor_launch,
+    factor_tree_launch,
+    transpose_launch,
+)
+
+__all__ = ["LaunchNode", "LaunchGraph", "build_caqr_graph"]
+
+
+@dataclass(frozen=True)
+class LaunchNode:
+    """One kernel launch with its explicit data dependencies.
+
+    Attributes:
+        id: position in program order (a valid topological order).
+        spec: the unchanged :class:`~repro.gpusim.launch.LaunchSpec`.
+        deps: ids of launches that must finish first (all ``< id``).
+        panel: panel index the launch belongs to.
+        level: tree level for ``factor_tree``/``apply_qt_tree``, else -1.
+        part: ``"t0"`` / ``"rest"`` for split trailing updates, else "".
+        cols: half-open column interval the launch reads+writes —
+            the panel's columns for factor-side kernels, the updated
+            trailing columns for apply-side kernels.
+    """
+
+    id: int
+    spec: LaunchSpec
+    deps: tuple[int, ...]
+    panel: int
+    level: int = -1
+    part: str = ""
+    cols: tuple[int, int] = (0, 0)
+
+    @property
+    def kernel(self) -> str:
+        return self.spec.kernel
+
+
+@dataclass
+class LaunchGraph:
+    """A CAQR launch DAG in program order."""
+
+    m: int
+    n: int
+    config: KernelConfig
+    lookahead: bool
+    nodes: list[LaunchNode] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def validate(self) -> None:
+        """Check ids are positional and every edge points backwards."""
+        for pos, node in enumerate(self.nodes):
+            if node.id != pos:
+                raise ValueError(f"node at position {pos} has id {node.id}")
+            for d in node.deps:
+                if not 0 <= d < pos:
+                    raise ValueError(f"node {pos} depends on {d} (not earlier)")
+            if len(set(node.deps)) != len(node.deps):
+                raise ValueError(f"node {pos} has duplicate deps")
+
+    def durations(self, dev: DeviceSpec = C2050) -> list[float]:
+        """Modeled seconds of each launch under the roofline+wave model."""
+        return [time_launch(node.spec, dev).seconds for node in self.nodes]
+
+    def serial_seconds(self, dev: DeviceSpec = C2050) -> float:
+        """Sum of the *split* launch durations (>= the unsplit serial
+        stream: splitting pays one extra launch overhead per update)."""
+        return sum(self.durations(dev))
+
+    def critical_path_seconds(self, dev: DeviceSpec = C2050) -> float:
+        """Longest dependency chain — the overlap lower bound (no
+        schedule on any number of streams can beat it)."""
+        dur = self.durations(dev)
+        finish = [0.0] * len(self.nodes)
+        for node in self.nodes:
+            start = max((finish[d] for d in node.deps), default=0.0)
+            finish[node.id] = start + dur[node.id]
+        return max(finish, default=0.0)
+
+
+def _tile_width(wt: int, bh: int, cfg: KernelConfig, dev: DeviceSpec) -> int:
+    # Deferred: caqr_gpu imports kernels/gpusim, and this module is below
+    # it in the layering; the tile-width policy must be *shared* (the
+    # split launches must tile exactly like the serial enumeration).
+    from repro.caqr_gpu import _tile_width as tw
+
+    return tw(wt, bh, cfg, dev)
+
+
+def build_caqr_graph(
+    m: int,
+    n: int,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+    lookahead: bool = True,
+) -> LaunchGraph:
+    """Build the dependency DAG of a CAQR factorization's launches.
+
+    Nodes appear in the serial program order (so ``nodes`` is already a
+    topological order); only the trailing updates are split into
+    first-tile / rest pairs as described in the module docstring.
+    """
+    if m < 1 or n < 1:
+        raise ValueError("matrix dimensions must be positive")
+    graph = LaunchGraph(m=m, n=n, config=cfg, lookahead=lookahead)
+    nodes = graph.nodes
+    k = min(m, n)
+    pw = cfg.panel_width
+
+    def add(spec, deps, panel, level=-1, part="", cols=(0, 0)) -> int:
+        nid = len(nodes)
+        nodes.append(
+            LaunchNode(
+                id=nid,
+                spec=spec,
+                deps=tuple(dict.fromkeys(deps)),
+                panel=panel,
+                level=level,
+                part=part,
+                cols=cols,
+            )
+        )
+        return nid
+
+    # Trailing-update nodes of the previous panel: (id, (col_lo, col_hi)).
+    prev_updates: list[tuple[int, tuple[int, int]]] = []
+
+    for panel, c0 in enumerate(range(0, k, pw)):
+        pw_p = min(pw, k - c0)
+        r0 = c0
+        hp = m - r0
+        bh = max(cfg.block_rows, pw_p)
+        nb0 = len(row_blocks(hp, bh))
+        tree = build_tree(nb0, cfg.tree_shape)
+        arities = tree.level_arities()
+        tag = f"panel{panel}"
+
+        def data_deps(lo: int, hi: int) -> list[int]:
+            """Previous-panel updates this column interval must wait for."""
+            if not lookahead:
+                return [nid for nid, _ in prev_updates]
+            return [nid for nid, (a, b) in prev_updates if a < hi and lo < b]
+
+        panel_cols = (c0, c0 + pw_p)
+        chain = data_deps(*panel_cols)
+        if cfg.transpose_preprocess and cfg.strategy == "regfile_transpose":
+            t_id = add(
+                transpose_launch(hp, pw_p, cfg, dev, tag=tag),
+                chain,
+                panel,
+                cols=panel_cols,
+            )
+            chain = [t_id]
+        f_id = add(factor_launch(nb0, bh, pw_p, cfg, dev, tag=tag), chain, panel, cols=panel_cols)
+        ft_ids: list[int] = []
+        prev = f_id
+        for lvl, level in enumerate(tree.levels):
+            prev = add(
+                factor_tree_launch(len(level), arities[lvl], pw_p, cfg, dev, tag=f"{tag}/L{lvl}"),
+                [prev],
+                panel,
+                level=lvl,
+                cols=panel_cols,
+            )
+            ft_ids.append(prev)
+
+        updates: list[tuple[int, tuple[int, int]]] = []
+        wt = n - (c0 + pw_p)
+        if wt > 0:
+            tile_w = _tile_width(wt, bh, cfg, dev)
+            tiles = math.ceil(wt / tile_w)
+            t0_cols = (c0 + pw_p, min(c0 + pw_p + tile_w, n))
+            rest_cols = (t0_cols[1], n)
+            h_first, h_rest = apply_qt_h_split_launches(
+                nb0, bh, pw_p, tile_w, tiles, cfg, dev, tag=tag
+            )
+            parts = [("t0", h_first, t0_cols)]
+            if h_rest is not None:
+                parts.append(("rest", h_rest, rest_cols))
+            # chains[part] tracks the latest update on that column slice.
+            chains: dict[str, int] = {}
+            for part, spec, cols in parts:
+                nid = add(spec, [f_id] + data_deps(*cols), panel, level=-1, part=part, cols=cols)
+                chains[part] = nid
+                updates.append((nid, cols))
+            for lvl, level in enumerate(tree.levels):
+                t_first, t_rest = apply_qt_tree_split_launches(
+                    len(level), arities[lvl], pw_p, tile_w, tiles, cfg, dev, tag=f"{tag}/L{lvl}"
+                )
+                lvl_parts = [("t0", t_first, t0_cols)]
+                if t_rest is not None:
+                    lvl_parts.append(("rest", t_rest, rest_cols))
+                for part, spec, cols in lvl_parts:
+                    nid = add(
+                        spec, [ft_ids[lvl], chains[part]], panel, level=lvl, part=part, cols=cols
+                    )
+                    chains[part] = nid
+                    updates.append((nid, cols))
+        prev_updates = updates
+
+    graph.validate()
+    return graph

@@ -26,6 +26,8 @@ __all__ = [
     "factor_tree_launch",
     "apply_qt_h_launch",
     "apply_qt_tree_launch",
+    "apply_qt_h_split_launches",
+    "apply_qt_tree_split_launches",
     "transpose_launch",
     "factor_block_cycles",
 ]
@@ -275,6 +277,60 @@ def apply_qt_tree_launch(
         bw_efficiency=min(dev.gather_bw_eff, bw_eff),
         tag=tag,
     )
+
+
+def apply_qt_h_split_launches(
+    n_row_blocks: int,
+    mb: int,
+    nb: int,
+    tile_w: int,
+    tiles: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> tuple[LaunchSpec, LaunchSpec | None]:
+    """Split one horizontal trailing update into (first-tile, rest) launches.
+
+    The serial enumeration issues a single ``apply_qt_h`` over all
+    ``tiles`` trailing tiles.  For the dependency graph the *first* tile
+    is special: it covers the next panel's columns, so the look-ahead
+    edge only needs that slice to finish before ``factor(k+1)`` can
+    start.  Splitting the launch in two keeps the per-block cost model
+    identical (same block shape, same cycles/bytes per block) while
+    exposing the edge; the total block count is preserved, so merging the
+    pair reproduces the serial launch exactly.
+    """
+    first = apply_qt_h_launch(n_row_blocks, mb, nb, tile_w, cfg, dev, tag=f"{tag}/t0")
+    if tiles <= 1:
+        return first, None
+    rest = apply_qt_h_launch(
+        n_row_blocks * (tiles - 1), mb, nb, tile_w, cfg, dev, tag=f"{tag}/rest"
+    )
+    return first, rest
+
+
+def apply_qt_tree_split_launches(
+    n_groups: int,
+    arity: int,
+    nb: int,
+    tile_w: int,
+    tiles: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> tuple[LaunchSpec, LaunchSpec | None]:
+    """Split one tree-level trailing update into (first-tile, rest) launches.
+
+    Same contract as :func:`apply_qt_h_split_launches`, for the
+    ``apply_qt_tree`` kernel.
+    """
+    first = apply_qt_tree_launch(n_groups, arity, nb, tile_w, cfg, dev, tag=f"{tag}/t0")
+    if tiles <= 1:
+        return first, None
+    rest = apply_qt_tree_launch(
+        n_groups * (tiles - 1), arity, nb, tile_w, cfg, dev, tag=f"{tag}/rest"
+    )
+    return first, rest
 
 
 def transpose_launch(

@@ -37,6 +37,7 @@ class AdaptiveSVT:
     max_tries: int = 3
     seed: int = 0
     batched: bool = True  # use the batched compact-WY TSQR inside the SVD
+    workers: int | None = None  # thread the TSQR Q formation (repro.graph)
     predicted_rank: int = 1
     full_svd_calls: int = 0
     partial_svd_calls: int = 0
@@ -54,7 +55,9 @@ class AdaptiveSVT:
         for _ in range(self.max_tries):
             if k >= min(m, n):
                 break
-            U, s, Vt = randomized_svd(X, k=k, rng=self._rng, batched=self.batched)
+            U, s, Vt = randomized_svd(
+                X, k=k, rng=self._rng, batched=self.batched, workers=self.workers
+            )
             if s.size and s[-1] <= tau:
                 # The smallest computed value is already below the
                 # threshold: nothing surviving was truncated away.

@@ -22,6 +22,8 @@ implementations; these routines are tested against them block by block.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.dtypes import working_dtype
@@ -32,17 +34,21 @@ __all__ = ["extract_v", "larft", "apply_wy", "geqr2_blocked", "wy_factors"]
 # reused by every apply_wy call.  The GEMM temporaries at paper scale are
 # ~100 MB per trailing update; reusing one buffer instead of allocating
 # fresh (page-faulting) memory each call is worth ~2x on a cold run.
-# Single-threaded by design, like the rest of the numerics.
-_WORK: dict[str, np.ndarray] = {}
+# Thread-local so the look-ahead executor can run independent trailing
+# updates concurrently without sharing (and corrupting) the buffer.
+_TLS = threading.local()
 
 
 def _scratch(count: int, dtype: np.dtype) -> np.ndarray:
     """Flat reusable buffer of at least ``count`` elements of ``dtype``."""
+    work: dict[str, np.ndarray] | None = getattr(_TLS, "work", None)
+    if work is None:
+        work = _TLS.work = {}
     key = np.dtype(dtype).str
-    buf = _WORK.get(key)
+    buf = work.get(key)
     if buf is None or buf.size < count:
         buf = np.empty(max(count, 1), dtype=dtype)
-        _WORK[key] = buf
+        work[key] = buf
     return buf
 
 

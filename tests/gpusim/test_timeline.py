@@ -104,3 +104,66 @@ class TestTimeline:
         tl = Timeline(device=C2050)
         assert tl.total_seconds == 0.0
         assert tl.gflops() == 0.0
+
+
+class TestIncrementalAggregates:
+    """total_seconds / counters fold incrementally and track list edits."""
+
+    def _spec(self, tag=""):
+        from repro.gpusim.launch import LaunchSpec
+
+        return LaunchSpec(
+            kernel="factor",
+            n_blocks=4,
+            threads_per_block=64,
+            cycles_per_block=1000.0,
+            flops_per_block=10.0,
+            read_bytes_per_block=64.0,
+            write_bytes_per_block=64.0,
+            tag=tag,
+        )
+
+    def test_repeated_reads_stable(self):
+        from repro.gpusim import C2050, Timeline
+
+        tl = Timeline(device=C2050)
+        for i in range(5):
+            tl.launch(self._spec(tag=str(i)))
+        first = tl.total_seconds
+        for _ in range(3):
+            assert tl.total_seconds == first
+            assert tl.counters.kernel_launches == 5
+
+    def test_appends_picked_up(self):
+        from repro.gpusim import C2050, Timeline
+
+        tl = Timeline(device=C2050)
+        tl.launch(self._spec())
+        t1 = tl.total_seconds
+        tl.launch(self._spec())
+        assert tl.total_seconds > t1
+        assert tl.counters.flops == 2 * 4 * 10.0
+
+    def test_extend_and_truncate(self):
+        from repro.gpusim import C2050, Timeline
+
+        a = Timeline(device=C2050)
+        b = Timeline(device=C2050)
+        for _ in range(3):
+            a.launch(self._spec())
+            b.launch(self._spec())
+        total_each = a.total_seconds
+        a.extend(b)
+        assert a.total_seconds == 2 * total_each
+        # Replacing with a shorter list resets the fold.
+        a.events = a.events[:2]
+        assert a.counters.kernel_launches == 2
+
+    def test_counters_returns_fresh_object(self):
+        from repro.gpusim import C2050, Timeline
+
+        tl = Timeline(device=C2050)
+        tl.launch(self._spec())
+        c = tl.counters
+        c.add(c)  # caller mutates its copy
+        assert tl.counters.kernel_launches == 1

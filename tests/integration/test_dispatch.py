@@ -47,6 +47,89 @@ class TestPrediction:
             dispatcher.predict(0, 5)
 
 
+class TestPredictionCache:
+    def test_predict_memoizes_per_shape(self, monkeypatch):
+        import repro.dispatch as dispatch_mod
+
+        calls = {"n": 0}
+        real = dispatch_mod.simulate_caqr
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(dispatch_mod, "simulate_caqr", counting)
+        d = QRDispatcher()
+        first = d.predict(50_000, 96)
+        again = d.predict(50_000, 96)
+        assert calls["n"] == 1
+        assert first == again
+        d.choose(50_000, 96)
+        assert calls["n"] == 1  # choose() hits the same cache entry
+        d.predict(50_000, 97)
+        assert calls["n"] == 2
+
+    def test_crossover_reuses_cached_predictions(self, monkeypatch):
+        import repro.dispatch as dispatch_mod
+
+        calls = {"n": 0}
+        real = dispatch_mod.simulate_caqr
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(dispatch_mod, "simulate_caqr", counting)
+        d = QRDispatcher()
+        d.crossover_width(8192)
+        probes = calls["n"]
+        d.crossover_width(8192)  # same probes, all cached now
+        assert calls["n"] == probes
+
+    def test_returned_list_is_a_copy(self):
+        d = QRDispatcher()
+        preds = d.predict(10_000, 64)
+        preds.clear()
+        assert len(d.predict(10_000, 64)) == 3
+
+    def test_lru_eviction(self):
+        d = QRDispatcher(cache_size=2)
+        d.predict(1000, 8)
+        d.predict(1000, 9)
+        d.predict(1000, 8)  # refresh: (1000, 9) is now least recent
+        d.predict(1000, 10)  # evicts (1000, 9)
+        assert set(d._pred_cache) == {(1000, 8), (1000, 10)}
+
+
+class TestLookaheadPlumbing:
+    def test_qr_forwards_execution_options(self, monkeypatch, rng):
+        import repro.dispatch as dispatch_mod
+
+        seen = {}
+        real = dispatch_mod.caqr_qr
+
+        def capturing(A, **kwargs):
+            seen.update(kwargs)
+            return real(A, **kwargs)
+
+        monkeypatch.setattr(dispatch_mod, "caqr_qr", capturing)
+        d = QRDispatcher(lookahead=True, workers=2)
+        A = rng.standard_normal((2000, 24))
+        out = d.qr(A)
+        assert out.engine == "caqr"
+        assert seen["lookahead"] is True and seen["workers"] == 2
+        assert seen["batched"] is True
+        assert factorization_error(A, out.Q, out.R) < 1e-12
+        assert orthogonality_error(out.Q) < 1e-12
+
+    def test_lookahead_matches_serial_dispatch(self, rng):
+        A = rng.standard_normal((1500, 32))
+        serial = QRDispatcher().qr(A)
+        overlap = QRDispatcher(lookahead=True, workers=2).qr(A)
+        assert serial.engine == overlap.engine == "caqr"
+        assert np.max(np.abs(serial.R - overlap.R)) < 1e-14 * np.linalg.norm(A)
+
+
 class TestDispatchedFactorization:
     def test_skinny_runs_caqr_and_is_accurate(self, dispatcher, rng):
         A = rng.standard_normal((2000, 24))
