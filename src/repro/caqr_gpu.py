@@ -46,6 +46,7 @@ from .kernels.costs import (
     factor_tree_launch,
     transpose_launch,
 )
+from .verify.guards import validate_matrix
 
 __all__ = [
     "CAQRGpuResult",
@@ -237,6 +238,7 @@ def caqr_gpu_factor(
     lookahead: bool = False,
     workers: int | None = None,
     streams: int | None = None,
+    nonfinite: str = "raise",
 ) -> tuple[CAQRFactors, CAQRGpuResult]:
     """Execute CAQR numerically *and* produce its simulated GPU timeline.
 
@@ -250,7 +252,7 @@ def caqr_gpu_factor(
     simulated timeline depends purely on shapes and is identical in every
     mode.
     """
-    A = np.asarray(A, dtype=float)
+    A = validate_matrix(A, where="caqr_gpu_factor", nonfinite=nonfinite)
     m, n = A.shape
     factors = caqr(
         A,
@@ -261,6 +263,7 @@ def caqr_gpu_factor(
         batched=batched,
         lookahead=lookahead,
         workers=workers,
+        nonfinite="propagate",
     )
     result = simulate_caqr(m, n, cfg, dev, streams=streams)
     return factors, result

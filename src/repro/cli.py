@@ -11,6 +11,7 @@ Usage::
     python -m repro ablations
     python -m repro sensitivity
     python -m repro dispatch --m 8192 --n 192
+    python -m repro verify --seed 0
 """
 
 from __future__ import annotations
@@ -57,6 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     e = sub.add_parser("export", help="write CSVs of every table/figure")
     e.add_argument("--out", type=str, default="exports")
+
+    v = sub.add_parser(
+        "verify",
+        help="differential fuzz: every CAQR path vs np.linalg.qr and each other",
+    )
+    v.add_argument("--seed", type=int, default=0, help="grid seed (default 0)")
+    v.add_argument("--quick", action="store_true", help="core grid only (CI smoke)")
+    v.add_argument(
+        "--cases", type=int, default=60, help="random cases beyond the core grid"
+    )
+    v.add_argument(
+        "--paths",
+        type=str,
+        default=None,
+        help="comma-separated subset of paths (default: all)",
+    )
     return p
 
 
@@ -68,6 +85,21 @@ def _ints(csv: str | None) -> tuple[int, ...] | None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "verify":
+        # Handled first: the correctness gate must not depend on the
+        # experiments stack, and it is the only command with a failure
+        # exit code (1 on any divergence).
+        from repro.verify.fuzz import run_grid
+
+        report = run_grid(
+            seed=args.seed,
+            quick=args.quick,
+            n_random=args.cases,
+            paths=[p for p in args.paths.split(",") if p] if args.paths else None,
+            progress=print,
+        )
+        print(report.format())
+        return 0 if report.ok else 1
     # Imports deferred so `--help` stays instant.
     from repro.experiments import (
         ablations,

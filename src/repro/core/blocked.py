@@ -119,9 +119,13 @@ def orgqr(VR: np.ndarray, tau: np.ndarray, n_cols: int | None = None, nb: int = 
     return ormqr(VR, tau, Q, transpose=False, nb=nb)
 
 
-def blocked_qr(A: np.ndarray, nb: int = 32) -> tuple[np.ndarray, np.ndarray]:
+def blocked_qr(
+    A: np.ndarray, nb: int = 32, nonfinite: str = "raise"
+) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: return explicit thin ``(Q, R)`` via blocked Householder."""
-    A = as_float_array(A)
+    from repro.verify.guards import validate_matrix
+
+    A = validate_matrix(A, where="blocked_qr", nonfinite=nonfinite)
     m, n = A.shape
     k = min(m, n)
     VR, tau = geqrf(A, nb=nb)

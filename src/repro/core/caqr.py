@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.verify.guards import validate_matrix
+
 from .dtypes import as_float_array, working_dtype
 from .tsqr import TSQRFactors, tsqr
 
@@ -83,6 +85,7 @@ def caqr(
     batched: bool = True,
     lookahead: bool = False,
     workers: int | None = None,
+    nonfinite: str = "raise",
 ) -> CAQRFactors:
     """Factor a matrix with CAQR (Figure 3 / the host pseudocode of Figure 4).
 
@@ -105,6 +108,9 @@ def caqr(
         workers: column tiles per trailing update / thread-pool width for
             the look-ahead executor (implies ``lookahead``-style execution
             when > 1).  Ignored by the serial paths.
+        nonfinite: non-finite input policy (``"raise"`` rejects NaN/Inf
+            with ``ValueError``; ``"propagate"`` lets them flow through).
+            See :mod:`repro.verify.guards`.
 
     Returns:
         :class:`CAQRFactors` with the implicit Q (per-panel TSQR factors)
@@ -124,10 +130,9 @@ def caqr(
             tree_shape=tree_shape,
             workers=workers,
             lookahead=lookahead,
+            nonfinite=nonfinite,
         )
-    A = as_float_array(A)
-    if A.ndim != 2:
-        raise ValueError("A must be 2-D")
+    A = validate_matrix(A, where="caqr", nonfinite=nonfinite)
     if panel_width < 1:
         raise ValueError("panel_width must be positive")
     m, n = A.shape
@@ -138,12 +143,15 @@ def caqr(
         pw = min(panel_width, k - col_start)
         row_start = col_start  # grid redrawn lower by the panel width
         panel_view = W[row_start:, col_start : col_start + pw]
+        # The input was validated once at this entry point; per-panel
+        # re-scans would only re-find (or miss) overflow created mid-run.
         f = tsqr(
             panel_view,
             block_rows=block_rows,
             tree_shape=tree_shape,
             structured=structured,
             batched=batched,
+            nonfinite="propagate",
         )
         # The trailing matrix update: apply Q^T of the panel across the
         # remaining columns (apply_qt_h + apply_qt_tree in the GPU code).
@@ -180,6 +188,7 @@ def caqr_qr(
     batched: bool = True,
     lookahead: bool = False,
     workers: int | None = None,
+    nonfinite: str = "raise",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: explicit thin ``(Q, R)`` via CAQR."""
     f = caqr(
@@ -191,5 +200,6 @@ def caqr_qr(
         batched=batched,
         lookahead=lookahead,
         workers=workers,
+        nonfinite=nonfinite,
     )
     return f.form_q(), f.R

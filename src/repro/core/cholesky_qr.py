@@ -27,7 +27,9 @@ def cholesky_qr(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     number.  Raises :class:`repro.core.triangular.SingularTriangularError`
     when the Gram matrix is not numerically positive definite.
     """
-    A = np.asarray(A, dtype=float)
+    from repro.verify.guards import validate_matrix
+
+    A = validate_matrix(A, where="cholesky_qr", dtype=np.float64)
     m, n = A.shape
     if m < n:
         raise ValueError("cholesky_qr requires m >= n")

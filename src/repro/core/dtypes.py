@@ -5,6 +5,12 @@ done using single-precision, which is adequate for our video
 application", Section IV).  The core routines therefore preserve
 ``float32`` inputs end to end, while defaulting everything else
 (float64, integers, lists) to double precision.
+
+Complex input is rejected here, at the normalization layer: the
+Householder kernels are real-arithmetic only, and the historical
+behaviour — ``astype`` truncating the imaginary part with nothing but a
+``ComplexWarning`` — silently corrupted every downstream factor.  See
+:mod:`repro.verify.guards` for the full input-validation policy.
 """
 
 from __future__ import annotations
@@ -22,8 +28,18 @@ def working_dtype(*arrays: np.ndarray) -> np.dtype:
 
 
 def as_float_array(A, copy: bool = False) -> np.ndarray:
-    """Coerce to the working float dtype, preserving float32 inputs."""
+    """Coerce to the working float dtype, preserving float32 inputs.
+
+    Raises:
+        TypeError: for complex input — truncating the imaginary part
+            would silently corrupt the factorization.
+    """
     A = np.asarray(A)
+    if np.iscomplexobj(A):
+        raise TypeError(
+            "complex input is not supported: the CAQR/TSQR kernels are "
+            "real-arithmetic only, and casting would discard the imaginary part"
+        )
     dt = working_dtype(A)
     if copy:
         return np.array(A, dtype=dt, copy=True)

@@ -63,7 +63,9 @@ def modified_gram_schmidt(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 def cgs2(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """CGS with one full reorthogonalization pass per column."""
-    A = np.asarray(A, dtype=float)
+    from repro.verify.guards import validate_matrix
+
+    A = validate_matrix(A, where="cgs2", dtype=np.float64)
     m, n = A.shape
     Q = np.zeros((m, n))
     R = np.zeros((n, n))

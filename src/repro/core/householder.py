@@ -20,6 +20,7 @@ import numpy as np
 from .dtypes import as_float_array, working_dtype
 
 __all__ = [
+    "norm_safe_range",
     "house",
     "apply_reflector",
     "geqr2",
@@ -32,13 +33,33 @@ __all__ = [
 ]
 
 
+def norm_safe_range(dtype, tail_len: int) -> tuple[float, float]:
+    """Magnitude window within which ``sum(x*x)`` is safe in ``dtype``.
+
+    Returns ``(big, tiny)``: entries above ``big`` risk overflowing the
+    squared-norm accumulation (including the sum over ``tail_len``
+    terms), entries below ``tiny`` risk underflowing it to zero — which
+    the unscaled reflector path would misread as an already-reduced
+    vector.  Outside the window, callers must rescale before squaring
+    (the ``slarfg`` idiom).
+    """
+    fin = np.finfo(dtype)
+    big = float(np.sqrt(fin.max / max(tail_len, 1))) / 4.0
+    tiny = float(np.sqrt(fin.tiny)) * 4.0
+    return big, tiny
+
+
 def house(x: np.ndarray) -> tuple[np.ndarray, float, float]:
     """Compute a Householder reflector for a vector.
 
     Returns ``(v, tau, beta)`` with ``v[0] == 1`` such that
     ``(I - tau * v v^T) x = beta * e_1`` and ``H = I - tau v v^T`` is
     orthogonal.  Follows ``slarfg``: ``beta = -sign(x[0]) * ||x||`` so the
-    transformation is numerically stable (no cancellation in ``x[0] - beta``).
+    transformation is numerically stable (no cancellation in ``x[0] - beta``),
+    and vectors whose squared norm would leave the working precision's
+    range are rescaled before squaring — float32 data at 1e30 (squares
+    1e60, far past float32 max) still yields a finite reflector, and
+    tiny vectors no longer collapse to a spurious identity reflector.
 
     For a zero (or length-1 already-reduced) vector, ``tau = 0`` and the
     reflector is the identity.
@@ -50,12 +71,20 @@ def house(x: np.ndarray) -> tuple[np.ndarray, float, float]:
     alpha = float(v[0])
     if v.size == 1:
         return np.ones(1, dtype=v.dtype), 0.0, float(alpha)
-    sigma = float(np.dot(v[1:], v[1:]))
-    if sigma == 0.0:
+    tail = v[1:]
+    amax = float(np.max(np.abs(tail)))
+    if amax == 0.0:
         # Already of the form alpha*e_1: identity reflector.
         v[0] = 1.0
         return v, 0.0, float(alpha)
-    norm_x = float(np.sqrt(alpha * alpha + sigma))
+    big, tiny = norm_safe_range(v.dtype, tail.size)
+    if max(abs(alpha), amax) > big or amax < tiny:
+        s = max(abs(alpha), amax)
+        w = tail / v.dtype.type(s)
+        norm_x = s * float(np.sqrt((alpha / s) ** 2 + np.dot(w, w)))
+    else:
+        sigma = float(np.dot(tail, tail))
+        norm_x = float(np.sqrt(alpha * alpha + sigma))
     beta = -np.copysign(norm_x, alpha)
     v0 = alpha - beta
     v[1:] /= v0

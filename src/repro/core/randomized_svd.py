@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.verify.guards import validate_matrix
+
 from .jacobi_svd import jacobi_svd
 from .tsqr import tsqr, tsqr_qr
 
@@ -19,13 +21,17 @@ __all__ = ["randomized_range_finder", "randomized_svd"]
 
 
 def _tsqr_q(Y: np.ndarray, block_rows: int, batched: bool, workers: int | None) -> np.ndarray:
-    """Explicit TSQR Q, threading its column formation when asked."""
+    """Explicit TSQR Q, threading its column formation when asked.
+
+    Internal only — the caller validated its input already, so the TSQR
+    guard runs in ``propagate`` mode.
+    """
     if workers is not None and workers > 1:
         from repro.graph.executor import form_q_columns
 
-        f = tsqr(Y, block_rows=block_rows, batched=batched)
+        f = tsqr(Y, block_rows=block_rows, batched=batched, nonfinite="propagate")
         return form_q_columns(f, workers=workers)
-    Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched)
+    Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched, nonfinite="propagate")
     return Q
 
 
@@ -38,15 +44,17 @@ def randomized_range_finder(
     block_rows: int = 256,
     batched: bool = True,
     workers: int | None = None,
+    nonfinite: str = "raise",
 ) -> np.ndarray:
     """Orthonormal basis approximately spanning A's leading k-range.
 
     ``Q = tsqr_qr(A @ Omega)`` with Gaussian ``Omega`` and optional
     power iterations (each one re-orthogonalized through TSQR for
     stability).  ``workers > 1`` threads the explicit-Q formation through
-    :func:`repro.graph.executor.form_q_columns`.
+    :func:`repro.graph.executor.form_q_columns`.  The SVD pipeline
+    computes in float64 regardless of input precision.
     """
-    A = np.asarray(A, dtype=float)
+    A = validate_matrix(A, where="randomized_range_finder", nonfinite=nonfinite, dtype=np.float64)
     m, n = A.shape
     if k < 1:
         raise ValueError("target rank k must be >= 1")
@@ -73,6 +81,7 @@ def randomized_svd(
     rng: np.random.Generator | None = None,
     batched: bool = True,
     workers: int | None = None,
+    nonfinite: str = "raise",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Approximate rank-k thin SVD ``A ~= U diag(s) V^T``.
 
@@ -80,15 +89,29 @@ def randomized_svd(
     bounds: near-exact when A's spectrum decays past rank k (exactly the
     Robust PCA situation, where L is low-rank by construction).
     """
-    A = np.asarray(A, dtype=float)
+    A = validate_matrix(A, where="randomized_svd", nonfinite=nonfinite, dtype=np.float64)
     m, n = A.shape
     if m < n:
         U, s, Vt = randomized_svd(
-            A.T, k, oversample, power_iters, rng, batched=batched, workers=workers
+            A.T,
+            k,
+            oversample,
+            power_iters,
+            rng,
+            batched=batched,
+            workers=workers,
+            nonfinite="propagate",
         )
         return Vt.T, s, U.T
     Q = randomized_range_finder(
-        A, k, oversample, power_iters, rng, batched=batched, workers=workers
+        A,
+        k,
+        oversample,
+        power_iters,
+        rng,
+        batched=batched,
+        workers=workers,
+        nonfinite="propagate",
     )
     B = Q.T @ A  # ell x n, small
     Ub, s, Vt = jacobi_svd(B.T)  # jacobi wants tall: factor B^T

@@ -636,6 +636,7 @@ def tsqr(
     tree_shape: str = "quad",
     structured: bool = False,
     batched: bool = True,
+    nonfinite: str = "raise",
 ) -> TSQRFactors:
     """Factor a tall-skinny matrix with TSQR (Figure 2).
 
@@ -650,13 +651,17 @@ def tsqr(
         batched: vectorize the whole factorization and all later Q
             applications (level-batched tree + compact-WY updates); the
             ``False`` path is the seed per-node reference implementation.
+        nonfinite: non-finite input policy (``"raise"`` default /
+            ``"propagate"``); see :mod:`repro.verify.guards`.  Callers
+            that validated already (e.g. :func:`repro.core.caqr.caqr`
+            factoring each panel) pass ``"propagate"``.
 
     Returns:
         A :class:`TSQRFactors` holding the implicit Q and the final R.
     """
-    A = as_float_array(A)
-    if A.ndim != 2:
-        raise ValueError("A must be 2-D")
+    from repro.verify.guards import validate_matrix
+
+    A = validate_matrix(A, where="tsqr", nonfinite=nonfinite)
     m, n = A.shape
     # TSQR requires the block height to be at least the panel width so every
     # level-0 R is a full n x n triangle and the final R lands contiguously
@@ -675,9 +680,15 @@ def tsqr_qr(
     tree_shape: str = "quad",
     structured: bool = False,
     batched: bool = True,
+    nonfinite: str = "raise",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: explicit thin ``(Q, R)`` via TSQR."""
     f = tsqr(
-        A, block_rows=block_rows, tree_shape=tree_shape, structured=structured, batched=batched
+        A,
+        block_rows=block_rows,
+        tree_shape=tree_shape,
+        structured=structured,
+        batched=batched,
+        nonfinite=nonfinite,
     )
     return f.form_q(), f.R

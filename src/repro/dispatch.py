@@ -22,6 +22,7 @@ from .core.blocked import blocked_qr
 from .core.caqr import caqr_qr
 from .gpusim.device import C2050, DeviceSpec
 from .kernels.config import REFERENCE_CONFIG, KernelConfig
+from .verify.guards import validate_matrix, validate_nonfinite_policy
 
 __all__ = ["EnginePrediction", "DispatchedQR", "QRDispatcher"]
 
@@ -67,6 +68,7 @@ class QRDispatcher:
         lookahead: bool = False,
         workers: int | None = None,
         cache_size: int = 128,
+        nonfinite: str = "raise",
     ) -> None:
         self.device = device
         self.config = config
@@ -74,6 +76,7 @@ class QRDispatcher:
         self.batched = batched
         self.lookahead = lookahead
         self.workers = workers
+        self.nonfinite = validate_nonfinite_policy(nonfinite, "QRDispatcher")
         self._magma = MAGMAQR(gpu=device)
         self._cula = CULAQR(gpu=device)
         self._mkl = MKLQR()
@@ -135,9 +138,7 @@ class QRDispatcher:
 
     def qr(self, A: np.ndarray) -> DispatchedQR:
         """Pick the engine for ``A``'s shape and run the factorization."""
-        A = np.asarray(A)
-        if A.ndim != 2:
-            raise ValueError("A must be 2-D")
+        A = validate_matrix(A, where="QRDispatcher.qr", nonfinite=self.nonfinite)
         m, n = A.shape
         preds = self.predict(m, n)
         engine = preds[0].engine
@@ -151,9 +152,10 @@ class QRDispatcher:
                 batched=self.batched,
                 lookahead=self.lookahead,
                 workers=self.workers,
+                nonfinite="propagate",
             )
         else:
             # Blocked Householder is the algorithm behind both the hybrid
             # GPU libraries and MKL; numerically they coincide.
-            Q, R = blocked_qr(A, nb=64)
+            Q, R = blocked_qr(A, nb=64, nonfinite="propagate")
         return DispatchedQR(engine=engine, Q=Q, R=R, predictions=preds)

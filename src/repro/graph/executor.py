@@ -47,6 +47,7 @@ from repro.core.dtypes import as_float_array, working_dtype
 from repro.core.tree import batch_level, build_tree
 from repro.core.tsqr import _WyPlan, apply_wy_plan, row_blocks, tsqr
 from repro.smallblas.wy import extract_v, larft
+from repro.verify.guards import validate_matrix
 
 __all__ = ["LookaheadCAQRFactors", "caqr_lookahead", "form_q_columns"]
 
@@ -252,7 +253,7 @@ def _factor_panel(
     hp, width = Wp.shape
     rec = _recipe(hp, width, bh, tree_shape)
     if rec is None:
-        f = tsqr(Wp, block_rows=bh, tree_shape=tree_shape, batched=True)
+        f = tsqr(Wp, block_rows=bh, tree_shape=tree_shape, batched=True, nonfinite="propagate")
         pp._fallback = f
         pp.R = f.R[:width, :]
         if eager:
@@ -446,6 +447,10 @@ def _col_tiles(lo: int, hi: int, first_w: int, workers: int) -> list[tuple[int, 
 def _run_threaded(tasks: list[_Task], workers: int) -> None:
     """Dependency-counting execution of ``tasks`` on a thread pool."""
     n = len(tasks)
+    if n == 0:
+        # A degenerate factorization (0 panels) has no tasks; waiting on
+        # the completion event would block forever.
+        return
     dependents: list[list[int]] = [[] for _ in range(n)]
     indegree = [0] * n
     for i, t in enumerate(tasks):
@@ -496,6 +501,7 @@ def caqr_lookahead(
     workers: int | None = None,
     threaded: bool | None = None,
     lookahead: bool = True,
+    nonfinite: str = "raise",
 ) -> LookaheadCAQRFactors:
     """Factor ``A`` with CAQR executed as a dependency graph.
 
@@ -512,13 +518,13 @@ def caqr_lookahead(
         lookahead: wire ``factor(p+1)`` to depend only on panel ``p``'s
             first-tile update (the look-ahead edge); ``False`` restores
             the serial driver's panel barrier.
+        nonfinite: non-finite input policy (``"raise"`` default /
+            ``"propagate"``); see :mod:`repro.verify.guards`.
 
     Returns:
         :class:`LookaheadCAQRFactors` with the implicit Q and explicit R.
     """
-    A = as_float_array(A)
-    if A.ndim != 2:
-        raise ValueError("A must be 2-D")
+    A = validate_matrix(A, where="caqr_lookahead", nonfinite=nonfinite)
     if panel_width < 1:
         raise ValueError("panel_width must be positive")
     if workers is None:

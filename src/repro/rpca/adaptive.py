@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.randomized_svd import randomized_svd
 from repro.core.ts_svd import tall_skinny_svd
+from repro.verify.guards import validate_matrix, validate_nonfinite_policy
 
 from .shrinkage import shrink
 
@@ -38,6 +39,7 @@ class AdaptiveSVT:
     seed: int = 0
     batched: bool = True  # use the batched compact-WY TSQR inside the SVD
     workers: int | None = None  # thread the TSQR Q formation (repro.graph)
+    nonfinite: str = "raise"  # input guard policy (repro.verify.guards)
     predicted_rank: int = 1
     full_svd_calls: int = 0
     partial_svd_calls: int = 0
@@ -46,17 +48,23 @@ class AdaptiveSVT:
     def __post_init__(self) -> None:
         if self.buffer < 1 or self.max_tries < 1:
             raise ValueError("buffer and max_tries must be >= 1")
+        validate_nonfinite_policy(self.nonfinite, "AdaptiveSVT")
         self._rng = np.random.default_rng(self.seed)
 
     def __call__(self, X: np.ndarray, tau: float) -> tuple[np.ndarray, int]:
-        X = np.asarray(X, dtype=float)
+        X = validate_matrix(X, where="AdaptiveSVT", nonfinite=self.nonfinite, dtype=np.float64)
         m, n = X.shape
         k = min(self.predicted_rank + self.buffer, min(m, n))
         for _ in range(self.max_tries):
             if k >= min(m, n):
                 break
             U, s, Vt = randomized_svd(
-                X, k=k, rng=self._rng, batched=self.batched, workers=self.workers
+                X,
+                k=k,
+                rng=self._rng,
+                batched=self.batched,
+                workers=self.workers,
+                nonfinite="propagate",
             )
             if s.size and s[-1] <= tau:
                 # The smallest computed value is already below the

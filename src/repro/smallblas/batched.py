@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dtypes import working_dtype
+from repro.core.householder import norm_safe_range
 
 __all__ = [
     "batched_house",
@@ -65,10 +66,23 @@ def batched_house(X: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     if V.shape[1] == 1:
         V[:, 0] = 1.0
         return V, np.zeros(V.shape[0], dtype=dt), alpha
-    sigma = np.einsum("bi,bi->b", V[:, 1:], V[:, 1:])
-    norm_x = np.sqrt(alpha * alpha + sigma)
+    amax = np.max(np.abs(V[:, 1:]), axis=1)
+    # Same rescaling as the scalar house(): lanes whose squared norm
+    # would overflow (or underflow to a spurious identity reflector)
+    # are renormalized by their largest entry before squaring.
+    big, tiny = norm_safe_range(dt, V.shape[1] - 1)
+    scaled = (np.maximum(np.abs(alpha), amax) > big) | ((amax < tiny) & (amax > 0.0))
+    with np.errstate(over="ignore", invalid="ignore"):
+        sigma = np.einsum("bi,bi->b", V[:, 1:], V[:, 1:])
+        norm_x = np.sqrt(alpha * alpha + sigma)
+    if scaled.any():
+        s = np.maximum(np.abs(alpha[scaled]), amax[scaled])
+        W = V[scaled, 1:] / s[:, None]
+        norm_x[scaled] = s * np.sqrt(
+            (alpha[scaled] / s) ** 2 + np.einsum("bi,bi->b", W, W)
+        )
     beta = -np.copysign(norm_x, alpha)
-    active = sigma != 0.0
+    active = amax != 0.0
     # Avoid divide-by-zero on inactive lanes; their V rows are reset below.
     v0 = np.where(active, alpha - beta, 1.0)
     V[:, 1:] /= v0[:, None]

@@ -1,0 +1,52 @@
+"""Correctness subsystem: input guards, invariants, differential fuzzing.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.verify.guards` — the single input-validation policy every
+  public factorization entry point enforces (complex rejection,
+  non-finite detection, dtype/layout normalization).
+* :mod:`repro.verify.invariants` — reusable QR invariant checks
+  (orthogonality, residual, triangularity, shape/dtype contracts, launch
+  -stream fingerprints) shared by the tests, the benchmarks and the fuzz
+  harness.
+* :mod:`repro.verify.fuzz` — the differential fuzz harness behind
+  ``python -m repro verify``: a seeded grid of shapes, dtypes, layouts
+  and path flags, cross-checked against ``np.linalg.qr`` and against
+  each other.  Imported lazily so the guard layer stays dependency-free
+  for the core modules that import it at definition time.
+"""
+
+from __future__ import annotations
+
+from .guards import NONFINITE_POLICIES, GuardError, validate_matrix
+from .invariants import (
+    QRInvariantReport,
+    check_qr,
+    expected_qr_shapes,
+    launch_fingerprint,
+    qr_invariants,
+)
+
+__all__ = [
+    "NONFINITE_POLICIES",
+    "GuardError",
+    "validate_matrix",
+    "QRInvariantReport",
+    "check_qr",
+    "expected_qr_shapes",
+    "launch_fingerprint",
+    "qr_invariants",
+    "FuzzCase",
+    "FuzzReport",
+    "run_grid",
+]
+
+
+def __getattr__(name: str):
+    # repro.verify.fuzz imports repro.core.caqr, which itself imports the
+    # guard layer; loading it lazily keeps that cycle open.
+    if name in ("FuzzCase", "FuzzReport", "run_grid"):
+        from . import fuzz
+
+        return getattr(fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,112 @@
+"""Input guard rails for every public factorization entry point.
+
+One validation policy, enforced in one place (this module) and wired
+through ``caqr`` / ``caqr_qr``, ``tsqr`` / ``tsqr_qr``,
+``caqr_gpu_factor``, ``caqr_lookahead``, ``QRDispatcher.qr``,
+``randomized_svd`` / ``randomized_range_finder``, ``AdaptiveSVT`` and
+the numeric baselines (``blocked_qr``, ``cholesky_qr``, ``cgs2``):
+
+* **Complex dtypes are rejected** with ``TypeError``.  The kernels are
+  real-arithmetic only; the historical behaviour (truncate the imaginary
+  part under a ``ComplexWarning``) produced a plausible-looking Q/R built
+  from corrupted data.
+* **Non-finite entries are detected** under a configurable policy:
+  ``"raise"`` (the default) reports the offending entry with a
+  ``ValueError``; ``"propagate"`` opts out for callers — benchmarks,
+  failure-injection studies — that knowingly feed non-finite data.
+* **Dtype and layout are normalized**: Python lists, integers and booleans
+  become float64, float32 is preserved end to end (the paper computes in
+  single precision), every other real float widens to float64.  Strided
+  and Fortran-order views are accepted everywhere; the layer that needs a
+  contiguous buffer makes its own copy, so no entry point ever mutates a
+  caller's array through an aliased view.
+
+Internal calls between entry points (e.g. ``caqr`` factoring each panel
+through ``tsqr``) pass ``nonfinite="propagate"`` after validating once at
+the public boundary, so inputs are scanned exactly once per call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NONFINITE_POLICIES", "GuardError", "validate_matrix", "validate_nonfinite_policy"]
+
+NONFINITE_POLICIES = ("raise", "propagate")
+
+
+class GuardError(ValueError):
+    """A guard-policy misconfiguration (not a data problem)."""
+
+
+def validate_nonfinite_policy(nonfinite: str, where: str = "validate_matrix") -> str:
+    """Check that ``nonfinite`` names a known policy; return it."""
+    if nonfinite not in NONFINITE_POLICIES:
+        raise GuardError(
+            f"{where}: nonfinite policy must be one of {NONFINITE_POLICIES}, "
+            f"got {nonfinite!r}"
+        )
+    return nonfinite
+
+
+def _raise_on_nonfinite(A: np.ndarray, where: str) -> None:
+    if A.size == 0:
+        return
+    finite = np.isfinite(A)
+    if finite.all():
+        return
+    bad = np.argwhere(~finite)
+    idx = tuple(int(x) for x in bad[0])
+    value = A[idx]
+    kind = "nan" if np.isnan(value) else "inf"
+    raise ValueError(
+        f"{where}: input contains {bad.shape[0]} non-finite entr"
+        f"{'y' if bad.shape[0] == 1 else 'ies'}; first is {kind} at index {idx}. "
+        "Pass nonfinite='propagate' to skip this check."
+    )
+
+
+def validate_matrix(
+    A,
+    where: str,
+    nonfinite: str = "raise",
+    dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Validate and normalize one matrix input at a public entry point.
+
+    Args:
+        A: the caller's matrix (array-like).
+        where: the entry point's name — prefixed to every diagnostic so a
+            failure names the API the bad data reached, not an internal.
+        nonfinite: ``"raise"`` (default) or ``"propagate"``.
+        dtype: force this floating dtype instead of the default
+            float32-preserving promotion (the SVD-based paths compute in
+            float64 regardless of input precision).
+
+    Returns:
+        The validated array in its working float dtype.  No copy is made
+        when the input already has that dtype; layout (C/F/strided) is
+        preserved — downstream code copies where it needs contiguity.
+
+    Raises:
+        TypeError: complex input.
+        ValueError: non-2-D input, or non-finite entries under ``"raise"``.
+        GuardError: unknown ``nonfinite`` policy.
+    """
+    # Lazy: repro.core's modules import this guard layer at definition
+    # time, so importing repro.core here at module level would cycle.
+    from repro.core.dtypes import as_float_array
+
+    validate_nonfinite_policy(nonfinite, where)
+    A = np.asarray(A)
+    if np.iscomplexobj(A):
+        raise TypeError(f"{where}: complex input is not supported")
+    if A.ndim != 2:
+        raise ValueError(f"{where}: input must be 2-D, got {A.ndim}-D shape {A.shape}")
+    if dtype is not None:
+        out = np.asarray(A, dtype=np.dtype(dtype))
+    else:
+        out = as_float_array(A)
+    if nonfinite == "raise":
+        _raise_on_nonfinite(out, where)
+    return out

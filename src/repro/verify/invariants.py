@@ -1,0 +1,190 @@
+"""Reusable QR invariant checks.
+
+The invariants a correct thin QR must satisfy, packaged so the tests,
+the benchmarks and the differential fuzz harness all measure the same
+quantities with the same tolerances:
+
+* orthogonality ``||Q^T Q - I||_F``
+* relative reconstruction residual ``||A - Q R||_F / ||A||_F``
+* upper-triangularity of R
+* shape and dtype contracts against ``np.linalg.qr(mode="reduced")``
+* launch-stream fingerprint stability of the GPU cost model (the serial
+  kernel-launch sequence is pure shape arithmetic and must never move
+  when numeric execution strategies change)
+
+Tolerances scale with the *input's* working precision: a float32
+factorization is held to float32's Householder bound, not float64's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dtypes import working_dtype
+from repro.core.validation import (
+    factorization_error,
+    orthogonality_error,
+    triangularity_error,
+)
+
+__all__ = [
+    "QRInvariantReport",
+    "qr_invariants",
+    "check_qr",
+    "expected_qr_shapes",
+    "qr_tolerance",
+    "launch_fingerprint",
+]
+
+
+def expected_qr_shapes(m: int, n: int) -> tuple[tuple[int, int], tuple[int, int]]:
+    """The ``(Q.shape, R.shape)`` contract of a reduced QR: k = min(m, n)."""
+    k = min(m, n)
+    return (m, k), (k, n)
+
+
+def qr_tolerance(m: int, n: int, dtype, factor: float = 100.0) -> float:
+    """Householder backward-error bound for an ``m x n`` factorization.
+
+    ``factor * eps * sqrt(max(m * n, 1))`` in the working precision of
+    ``dtype`` — the same generous bound
+    :func:`repro.core.validation.is_factorization_accurate` uses, made
+    dtype-aware.
+    """
+    eps = float(np.finfo(working_dtype(np.empty(0, dtype=dtype))).eps)
+    return factor * eps * max(float(np.sqrt(m * n)), 1.0)
+
+
+@dataclass(frozen=True)
+class QRInvariantReport:
+    """Measured invariants of one ``(A, Q, R)`` triple."""
+
+    m: int
+    n: int
+    orthogonality: float
+    residual: float
+    triangularity: float
+    q_shape: tuple[int, int]
+    r_shape: tuple[int, int]
+    q_dtype: str
+    r_dtype: str
+    a_dtype: str
+    tol: float
+    q_finite: bool = True
+    r_finite: bool = True
+
+    @property
+    def shapes_ok(self) -> bool:
+        eq, er = expected_qr_shapes(self.m, self.n)
+        return self.q_shape == eq and self.r_shape == er
+
+    @property
+    def dtypes_ok(self) -> bool:
+        """Q and R carry the input's working precision (float32 in,
+        float32 out — the paper's single-precision pipeline end to end)."""
+        want = str(np.dtype(working_dtype(np.empty(0, dtype=self.a_dtype))))
+        return self.q_dtype == want and self.r_dtype == want
+
+    def failures(self) -> list[str]:
+        """Human-readable list of violated invariants (empty when clean)."""
+        out = []
+        # Checked first and explicitly: NaN metrics compare False against
+        # every tolerance, so without this a NaN-filled Q/R would pass.
+        if not self.q_finite:
+            out.append("Q contains non-finite entries")
+        if not self.r_finite:
+            out.append("R contains non-finite entries")
+        if not self.shapes_ok:
+            eq, er = expected_qr_shapes(self.m, self.n)
+            out.append(
+                f"shape mismatch: Q {self.q_shape} R {self.r_shape}, "
+                f"expected Q {eq} R {er}"
+            )
+        if not self.dtypes_ok:
+            out.append(
+                f"dtype not preserved: A {self.a_dtype} -> Q {self.q_dtype}, R {self.r_dtype}"
+            )
+        if self.orthogonality > self.tol * max(1.0, float(np.sqrt(self.n))):
+            out.append(f"orthogonality {self.orthogonality:.3e} > tol {self.tol:.3e}")
+        if self.residual > self.tol:
+            out.append(f"residual {self.residual:.3e} > tol {self.tol:.3e}")
+        if self.triangularity != 0.0:
+            out.append(f"R not upper-triangular (strict-lower norm {self.triangularity:.3e})")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+
+def qr_invariants(
+    A: np.ndarray, Q: np.ndarray, R: np.ndarray, factor: float = 100.0
+) -> QRInvariantReport:
+    """Measure every invariant of a reduced QR of ``A``."""
+    A = np.asarray(A)
+    m, n = A.shape
+    return QRInvariantReport(
+        m=m,
+        n=n,
+        orthogonality=orthogonality_error(Q) if Q.size else 0.0,
+        residual=factorization_error(A, Q, R),
+        triangularity=triangularity_error(R) if R.size else 0.0,
+        q_shape=tuple(Q.shape),
+        r_shape=tuple(R.shape),
+        q_dtype=str(Q.dtype),
+        r_dtype=str(R.dtype),
+        a_dtype=str(A.dtype),
+        tol=qr_tolerance(m, n, A.dtype, factor=factor),
+        q_finite=bool(np.isfinite(Q).all()) if Q.size else True,
+        r_finite=bool(np.isfinite(R).all()) if R.size else True,
+    )
+
+
+def check_qr(A: np.ndarray, Q: np.ndarray, R: np.ndarray, factor: float = 100.0) -> None:
+    """Raise ``AssertionError`` listing every violated invariant."""
+    report = qr_invariants(A, Q, R, factor=factor)
+    failures = report.failures()
+    if failures:
+        raise AssertionError(
+            f"QR invariants violated for {report.m} x {report.n} ({report.a_dtype}):\n  "
+            + "\n  ".join(failures)
+        )
+
+
+def launch_fingerprint(m: int, n: int, cfg=None, dev=None) -> str:
+    """SHA-256 fingerprint of the serial CAQR kernel-launch stream.
+
+    The launch sequence is pure shape arithmetic — it must be identical
+    no matter which numeric execution strategy (seed, batched, look-ahead,
+    structured) runs the arithmetic, and must not move when perf PRs
+    reorganize the numerics.  Tests pin fingerprints of reference shapes;
+    the fuzz harness asserts stability across repeated enumeration.
+    """
+    # Imported lazily: repro.caqr_gpu imports repro.core.caqr, which
+    # imports the guard layer of this package.
+    from repro.caqr_gpu import enumerate_caqr_launches
+    from repro.gpusim.device import C2050
+    from repro.kernels.config import REFERENCE_CONFIG
+
+    cfg = REFERENCE_CONFIG if cfg is None else cfg
+    dev = C2050 if dev is None else dev
+    h = hashlib.sha256()
+    for spec in enumerate_caqr_launches(m, n, cfg, dev):
+        h.update(
+            repr(
+                (
+                    spec.kernel,
+                    spec.n_blocks,
+                    spec.threads_per_block,
+                    round(spec.cycles_per_block, 9),
+                    round(spec.flops_per_block, 9),
+                    round(spec.read_bytes_per_block, 9),
+                    round(spec.write_bytes_per_block, 9),
+                    spec.tag,
+                )
+            ).encode()
+        )
+    return h.hexdigest()

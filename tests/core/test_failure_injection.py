@@ -1,9 +1,12 @@
 """Failure-injection tests: non-finite data, degenerate shapes, misuse.
 
-LAPACK's contract is that non-finite inputs propagate (garbage in,
-NaN out) rather than hang or silently produce plausible numbers; the
-validation metrics must then flag the result.  These tests pin that
-behavior across the library, plus the explicit errors for misuse.
+The default guard policy (:mod:`repro.verify.guards`) rejects non-finite
+inputs with ``ValueError`` at every public entry point.  With
+``nonfinite="propagate"`` the library follows LAPACK's contract instead:
+non-finite inputs propagate (garbage in, NaN out) rather than hang or
+silently produce plausible numbers, and the validation metrics must then
+flag the result.  These tests pin both behaviors, plus the explicit
+errors for misuse.
 """
 
 from __future__ import annotations
@@ -24,10 +27,18 @@ from repro.rpca import rpca_ialm
 class TestNonFinitePropagation:
     @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
     @pytest.mark.parametrize("qr", [tsqr_qr, caqr_qr, blocked_qr])
+    def test_qr_rejects_nonfinite_by_default(self, rng, qr, bad):
+        A = rng.standard_normal((64, 8))
+        A[17, 3] = bad
+        with pytest.raises(ValueError, match="non-finite"):
+            qr(A)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    @pytest.mark.parametrize("qr", [tsqr_qr, caqr_qr, blocked_qr])
     def test_qr_propagates_and_validation_flags(self, rng, qr, bad):
         A = rng.standard_normal((64, 8))
         A[17, 3] = bad
-        Q, R = qr(A)
+        Q, R = qr(A, nonfinite="propagate")
         assert not np.all(np.isfinite(Q)) or not np.all(np.isfinite(R))
         assert not is_factorization_accurate(A, Q, R)
 
@@ -35,7 +46,7 @@ class TestNonFinitePropagation:
         """Columns left of a NaN column factor normally (column order)."""
         A = rng.standard_normal((40, 6))
         A[5, 4] = np.nan
-        Q, R = blocked_qr(A, nb=2)
+        Q, R = blocked_qr(A, nb=2, nonfinite="propagate")
         # Leading 4x4 triangle involves only clean columns.
         R_clean = np.triu(np.linalg.qr(A[:, :4], mode="r"))
         assert np.allclose(np.abs(np.diag(R[:4, :4])), np.abs(np.diag(R_clean)), atol=1e-10)

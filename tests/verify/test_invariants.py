@@ -1,0 +1,117 @@
+"""The reusable invariant checks themselves: they must catch corruption.
+
+A checker that silently passes corrupted factors is worse than no
+checker, so each class of corruption gets a test proving detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify.invariants import (
+    check_qr,
+    expected_qr_shapes,
+    launch_fingerprint,
+    qr_invariants,
+    qr_tolerance,
+)
+
+
+class TestCleanFactorizationsPass:
+    @pytest.mark.parametrize("shape", [(30, 5), (5, 5), (3, 7), (1, 1)])
+    def test_numpy_qr_passes(self, rng, shape):
+        A = rng.standard_normal(shape)
+        Q, R = np.linalg.qr(A, mode="reduced")
+        check_qr(A, Q, R)  # must not raise
+
+    def test_empty_matrices_pass(self):
+        for shape in [(0, 5), (5, 0), (0, 0)]:
+            A = np.zeros(shape)
+            Q, R = np.linalg.qr(A, mode="reduced")
+            check_qr(A, Q, R)
+
+    def test_float32_held_to_float32_tolerance(self, rng):
+        A = rng.standard_normal((64, 8)).astype(np.float32)
+        Q, R = np.linalg.qr(A, mode="reduced")
+        rep = qr_invariants(A, Q, R)
+        assert rep.ok
+        # The tolerance is float32's, not float64's: ~7 orders looser.
+        assert rep.tol > 1e5 * qr_tolerance(64, 8, np.float64)
+
+
+class TestCorruptionIsCaught:
+    def test_non_orthogonal_q_flagged(self, rng):
+        A = rng.standard_normal((30, 5))
+        Q, R = np.linalg.qr(A, mode="reduced")
+        Qbad = Q.copy()
+        Qbad[:, 0] *= 1.001
+        failures = qr_invariants(A, Qbad, R).failures()
+        assert any("orthogonality" in f for f in failures)
+
+    def test_wrong_reconstruction_flagged(self, rng):
+        A = rng.standard_normal((30, 5))
+        Q, R = np.linalg.qr(A, mode="reduced")
+        Rbad = R.copy()
+        Rbad[0, 1] += 0.01 * abs(R[0, 0])
+        failures = qr_invariants(A, Q, Rbad).failures()
+        assert any("residual" in f for f in failures)
+
+    def test_lower_triangle_contamination_flagged(self, rng):
+        A = rng.standard_normal((30, 5))
+        Q, R = np.linalg.qr(A, mode="reduced")
+        Rbad = R.copy()
+        Rbad[3, 0] = 1e-8
+        failures = qr_invariants(A, Q, Rbad).failures()
+        assert any("triangular" in f for f in failures)
+
+    def test_wrong_shapes_flagged(self, rng):
+        A = rng.standard_normal((30, 5))
+        Q, R = np.linalg.qr(A, mode="complete")  # complete, not reduced: 30x30 Q
+        failures = qr_invariants(A, Q, R).failures()
+        assert any("shape" in f for f in failures)
+
+    def test_dtype_drift_flagged(self, rng):
+        A = rng.standard_normal((30, 5)).astype(np.float32)
+        Q, R = np.linalg.qr(A.astype(np.float64), mode="reduced")
+        failures = qr_invariants(A, Q, R).failures()
+        assert any("dtype" in f for f in failures)
+
+    def test_nan_factors_flagged_despite_nan_metrics(self, rng):
+        """Regression: NaN metrics compare False against every tolerance,
+        so without explicit finiteness fields a NaN-filled Q passed."""
+        A = rng.standard_normal((30, 5))
+        Q, R = np.linalg.qr(A, mode="reduced")
+        Qbad = np.full_like(Q, np.nan)
+        rep = qr_invariants(A, Qbad, R)
+        assert not rep.q_finite
+        assert any("non-finite" in f for f in rep.failures())
+        with pytest.raises(AssertionError, match="non-finite"):
+            check_qr(A, Qbad, R)
+
+    def test_inf_in_r_flagged(self, rng):
+        A = rng.standard_normal((30, 5))
+        Q, R = np.linalg.qr(A, mode="reduced")
+        Rbad = R.copy()
+        Rbad[0, 0] = np.inf
+        assert not qr_invariants(A, Q, Rbad).r_finite
+
+
+class TestShapeContract:
+    @pytest.mark.parametrize(
+        "m,n", [(0, 5), (5, 0), (0, 0), (1, 1), (3, 7), (7, 3), (30, 5)]
+    )
+    def test_matches_numpy_reduced(self, m, n):
+        A = np.zeros((m, n))
+        Q, R = np.linalg.qr(A, mode="reduced")
+        eq, er = expected_qr_shapes(m, n)
+        assert Q.shape == eq and R.shape == er
+
+
+class TestLaunchFingerprint:
+    def test_stable_across_calls(self):
+        assert launch_fingerprint(4096, 128) == launch_fingerprint(4096, 128)
+
+    def test_sensitive_to_shape(self):
+        assert launch_fingerprint(4096, 128) != launch_fingerprint(4096, 64)
+        assert launch_fingerprint(4096, 128) != launch_fingerprint(8192, 128)
