@@ -15,6 +15,11 @@ single-process, single-core measurement).  The seed per-node execution
 path is kept callable behind ``batched=False`` precisely so this
 comparison stays honest as the batched path evolves.
 
+Beyond the per-call paths, the benchmark times ``plan.factor`` on a
+prebuilt :func:`repro.runtime.plan_qr` plan — the amortized regime where
+one shape is factored repeatedly (streaming RPCA frames) and validation,
+panel geometry and the look-ahead schedule are paid once up front.
+
 Usage::
 
     python benchmarks/bench_realtime.py             # full sweep -> BENCH_caqr.json
@@ -39,6 +44,7 @@ from repro.caqr_gpu import enumerate_caqr_launches  # noqa: E402
 from repro.core.caqr import caqr  # noqa: E402
 from repro.core.tsqr import tsqr  # noqa: E402
 from repro.kernels.config import KernelConfig  # noqa: E402
+from repro.runtime import ExecutionPolicy, plan_qr  # noqa: E402
 
 # (m, n, block_rows, panel_width)
 FULL_SHAPES = [
@@ -104,10 +110,13 @@ def bench_shape(m: int, n: int, br: int, pw: int, reps: int, seed: int = 7) -> d
     A = rng.standard_normal((m, n))
     gf = qr_gflops(m, n)
 
+    def path_policy(path: str, **extra) -> ExecutionPolicy:
+        return ExecutionPolicy(path=path, block_rows=br, panel_width=pw, **extra)
+
     results: dict[str, dict] = {}
     for op, run in [
-        ("caqr", lambda b: caqr(A, block_rows=br, panel_width=pw, batched=b)),
-        ("tsqr", lambda b: tsqr(A, block_rows=br, batched=b)),
+        ("caqr", lambda b: caqr(A, policy=path_policy("batched" if b else "seed"))),
+        ("tsqr", lambda b: tsqr(A, policy=path_policy("batched" if b else "seed"))),
     ]:
         t_batched = time_best(lambda: run(True), reps)
         t_seed = time_best(lambda: run(False), reps)
@@ -129,7 +138,8 @@ def bench_shape(m: int, n: int, br: int, pw: int, reps: int, seed: int = 7) -> d
         }
 
     # Look-ahead executor (repro.graph) over the same batched kernels.
-    run_la = lambda: caqr(A, block_rows=br, panel_width=pw, lookahead=True)  # noqa: E731
+    la_policy = path_policy("lookahead")
+    run_la = lambda: caqr(A, policy=la_policy)  # noqa: E731
     t_la = time_best(run_la, reps)
     fl = run_la()
     ferr_l, oerr_l = residuals(A, fl)
@@ -144,6 +154,22 @@ def bench_shape(m: int, n: int, br: int, pw: int, reps: int, seed: int = 7) -> d
                 abs(ferr_l - results["caqr"]["ferr_batched"]),
                 abs(oerr_l - results["caqr"]["orth_batched"]),
             ),
+        }
+    )
+
+    # Amortized regime: one plan_qr() per shape, then repeated factor()
+    # calls (validation + geometry + the look-ahead schedule paid once).
+    plan = plan_qr(m, n, dtype=A.dtype, policy=la_policy)
+    t_plan = time_best(lambda: plan.factor(A), reps)
+    fp = plan.factor(A)
+    ferr_p, oerr_p = residuals(A, fp)
+    results["caqr"].update(
+        {
+            "seconds_plan_reuse": t_plan,
+            "gflops_plan_reuse": gf / t_plan,
+            "plan_reuse_speedup": results["caqr"]["seconds_batched"] / t_plan,
+            "plan_reuse_vs_lookahead": t_la / t_plan,
+            "plan_residual_gap": max(abs(ferr_p - ferr_l), abs(oerr_p - oerr_l)),
         }
     )
 
@@ -171,6 +197,12 @@ def main(argv: list[str] | None = None) -> int:
         "executor is slower than the serial batched path",
     )
     ap.add_argument(
+        "--check-plan-reuse",
+        action="store_true",
+        help="perf smoke: one mid-size shape, fail if repeated "
+        "plan.factor() is not at least as fast as per-call entry points",
+    )
+    ap.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -179,7 +211,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    if args.check_lookahead:
+    check_mode = args.check_lookahead or args.check_plan_reuse
+    if check_mode:
         shapes = CHECK_SHAPES
         reps = max(1, args.reps)
     elif args.quick:
@@ -187,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         shapes, reps = FULL_SHAPES, max(1, args.reps)
     out = args.out
-    if out is None and not (args.quick or args.check_lookahead):
+    if out is None and not (args.quick or check_mode):
         out = REPO_ROOT / "BENCH_caqr.json"
 
     rows = []
@@ -201,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
             f"({r['caqr_gflops_batched']:.2f} GFLOP/s), "
             f"lookahead {r['caqr_seconds_lookahead']:.3f}s "
             f"({r['caqr_speedup_lookahead']:.2f}x vs batched), "
+            f"plan reuse {r['caqr_seconds_plan_reuse']:.3f}s "
+            f"({r['caqr_plan_reuse_speedup']:.2f}x vs batched), "
             f"tsqr {r['tsqr_speedup']:.2f}x, "
             f"residual gap {r['caqr_max_residual_gap']:.2e}, "
             f"{r['launches']} launches [{r['launch_stream_sha256_16']}]"
@@ -208,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         assert r["caqr_max_residual_gap"] < 1e-12, "execution paths diverged"
         assert r["tsqr_max_residual_gap"] < 1e-12, "execution paths diverged"
         assert r["caqr_lookahead_residual_gap"] < 1e-14, "look-ahead path diverged"
+        assert r["caqr_plan_residual_gap"] == 0.0, "plan path diverged from one-shot"
         if args.check_lookahead and r["caqr_speedup_lookahead"] < 1.0:
             print(
                 f"FAIL: look-ahead CAQR slower than serial batched "
@@ -215,6 +251,24 @@ def main(argv: list[str] | None = None) -> int:
                 f"{r['caqr_seconds_batched']:.3f}s)"
             )
             return 1
+        if args.check_plan_reuse:
+            # Reused plans skip planning + schedule construction, so a
+            # warm factor() must not lose to the one-shot entry points
+            # (15% head-room absorbs single-process timing noise).
+            if r["caqr_seconds_plan_reuse"] > 1.15 * r["caqr_seconds_lookahead"]:
+                print(
+                    f"FAIL: plan.factor() slower than one-shot look-ahead "
+                    f"({r['caqr_seconds_plan_reuse']:.3f}s vs "
+                    f"{r['caqr_seconds_lookahead']:.3f}s)"
+                )
+                return 1
+            if r["caqr_plan_reuse_speedup"] < 1.0:
+                print(
+                    f"FAIL: plan.factor() slower than serial batched "
+                    f"({r['caqr_seconds_plan_reuse']:.3f}s vs "
+                    f"{r['caqr_seconds_batched']:.3f}s)"
+                )
+                return 1
 
     if out is not None:
         payload = {

@@ -26,6 +26,10 @@ Subpackages
 ``repro.krylov``
     s-step Krylov methods (matrix-powers bases, TSQR-orthogonalized
     Arnoldi, CA-GMRES) — the intro's most extreme tall-skinny workload.
+``repro.runtime``
+    Execution policies and reusable QR plans: ``ExecutionPolicy`` names
+    *how* a factorization runs; ``plan_qr`` precomputes everything
+    shape-dependent once for repeated ``plan.execute(A)`` calls.
 ``repro.dispatch``
     Model-driven QR engine selection (the Section V-C autotuning
     framework suggestion).
@@ -70,6 +74,7 @@ from .core import (
 from .dispatch import QRDispatcher
 from .gpusim import C2050, GTX480, DeviceSpec
 from .kernels import REFERENCE_CONFIG, KernelConfig
+from .runtime import ExecutionPolicy, QRPlan, plan_qr
 
 __version__ = "1.0.0"
 
@@ -96,6 +101,9 @@ __all__ = [
     "tsqr",
     "tsqr_qr",
     "QRDispatcher",
+    "ExecutionPolicy",
+    "QRPlan",
+    "plan_qr",
     "C2050",
     "GTX480",
     "DeviceSpec",

@@ -25,12 +25,13 @@ identical by construction:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 import numpy as np
 
 from .core.caqr import CAQRFactors, caqr
+from .runtime.policy import UNSET, ExecutionPolicy, resolve_policy
 from .core.householder import qr_flops
 from .core.tree import build_tree
 from .core.tsqr import row_blocks
@@ -234,37 +235,53 @@ def caqr_gpu_factor(
     A: np.ndarray,
     cfg: KernelConfig = REFERENCE_CONFIG,
     dev: DeviceSpec = C2050,
-    batched: bool = True,
-    lookahead: bool = False,
-    workers: int | None = None,
+    batched: bool = UNSET,
+    lookahead: bool = UNSET,
+    workers: int | None = UNSET,
     streams: int | None = None,
-    nonfinite: str = "raise",
+    nonfinite: str = UNSET,
+    policy: ExecutionPolicy | None = None,
 ) -> tuple[CAQRFactors, CAQRGpuResult]:
     """Execute CAQR numerically *and* produce its simulated GPU timeline.
 
     The factor structure (panel row-blocking and reduction-tree schedule)
     is built by the same :mod:`repro.core` helpers the launch enumerator
     uses, so the counts agree by construction; a structural-parity test
-    pins this.  ``batched`` selects the host-side numeric strategy only;
-    ``lookahead``/``workers`` route the numerics through the look-ahead
-    task-graph executor (:mod:`repro.graph.executor`), and ``streams``
-    attaches the modeled multi-stream overlap to the result.  The serial
-    simulated timeline depends purely on shapes and is identical in every
-    mode.
+    pins this.  The numeric execution strategy comes from ``policy`` (or
+    the deprecated ``batched``/``lookahead``/``workers``/``nonfinite``
+    shims); the panel geometry always follows ``cfg``, keeping numerics
+    and modeled timeline on the same schedule.  ``streams`` attaches the
+    modeled multi-stream overlap to the result.  The serial simulated
+    timeline depends purely on shapes and is identical in every mode.
     """
-    A = validate_matrix(A, where="caqr_gpu_factor", nonfinite=nonfinite)
-    m, n = A.shape
-    factors = caqr(
-        A,
+    default = ExecutionPolicy(
+        path="structured" if cfg.structured_tree else "batched",
         panel_width=cfg.panel_width,
         block_rows=cfg.block_rows,
         tree_shape=cfg.tree_shape,
-        structured=cfg.structured_tree,
+        device=dev,
+        config=cfg,
+    )
+    policy = resolve_policy(
+        "caqr_gpu_factor",
+        policy,
         batched=batched,
         lookahead=lookahead,
         workers=workers,
-        nonfinite="propagate",
+        nonfinite=nonfinite,
+        default=default,
     )
+    # The timeline below is enumerated from ``cfg``; pin the numeric
+    # geometry to it so both always run the same schedule.
+    policy = replace(
+        policy,
+        panel_width=cfg.panel_width,
+        block_rows=cfg.block_rows,
+        tree_shape=cfg.tree_shape,
+    )
+    A = validate_matrix(A, where="caqr_gpu_factor", nonfinite=policy.nonfinite)
+    m, n = A.shape
+    factors = caqr(A, policy=policy.with_nonfinite("propagate"))
     result = simulate_caqr(m, n, cfg, dev, streams=streams)
     return factors, result
 

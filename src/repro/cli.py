@@ -11,6 +11,7 @@ Usage::
     python -m repro ablations
     python -m repro sensitivity
     python -m repro dispatch --m 8192 --n 192
+    python -m repro plan --m 110592 --n 100 --path lookahead
     python -m repro verify --seed 0
 """
 
@@ -56,6 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--m", type=int, required=True)
     d.add_argument("--n", type=int, required=True)
 
+    pl = sub.add_parser("plan", help="build and describe a reusable QR plan")
+    pl.add_argument("--m", type=int, required=True)
+    pl.add_argument("--n", type=int, required=True)
+    pl.add_argument("--dtype", type=str, default="float64")
+    pl.add_argument(
+        "--path",
+        type=str,
+        default="batched",
+        help="execution path: seed | batched | structured | lookahead",
+    )
+    pl.add_argument("--workers", type=int, default=None, help="look-ahead worker count")
+
     e = sub.add_parser("export", help="write CSVs of every table/figure")
     e.add_argument("--out", type=str, default="exports")
 
@@ -100,6 +113,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(report.format())
         return 0 if report.ok else 1
+    if args.command == "plan":
+        import numpy as np
+
+        from repro.runtime import ExecutionPolicy, plan_qr
+
+        policy = ExecutionPolicy(path=args.path, workers=args.workers)
+        plan = plan_qr(args.m, args.n, dtype=np.dtype(args.dtype), policy=policy)
+        print(plan.describe())
+        return 0
     # Imports deferred so `--help` stays instant.
     from repro.experiments import (
         ablations,

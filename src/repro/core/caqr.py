@@ -19,10 +19,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.verify.guards import validate_matrix
 
 from .dtypes import as_float_array, working_dtype
-from .tsqr import TSQRFactors, tsqr
+from .tsqr import TSQRFactors, _tsqr_impl
 
 __all__ = ["PanelFactor", "CAQRFactors", "caqr", "caqr_qr"]
 
@@ -76,82 +77,29 @@ class CAQRFactors:
         return self.apply_q(Q)
 
 
-def caqr(
-    A: np.ndarray,
-    panel_width: int = 16,
-    block_rows: int = 64,
-    tree_shape: str = "quad",
-    structured: bool = False,
-    batched: bool = True,
-    lookahead: bool = False,
-    workers: int | None = None,
-    nonfinite: str = "raise",
-) -> CAQRFactors:
-    """Factor a matrix with CAQR (Figure 3 / the host pseudocode of Figure 4).
+def _caqr_serial(A: np.ndarray, policy: ExecutionPolicy) -> CAQRFactors:
+    """The serial panel loop on an *already validated* matrix.
 
-    Args:
-        A: ``m x n`` matrix.
-        panel_width: width of each column panel (the paper's reference GPU
-            configuration uses 16, matching the 64x16 block).
-        block_rows: height of the level-0 row blocks within each panel.
-        tree_shape: TSQR reduction-tree shape (paper: quad-tree on the GPU).
-        structured: use the sparsity-exploiting stacked-triangle
-            elimination at tree nodes (see :mod:`repro.core.structured`).
-        batched: route panel factorization and all trailing / Q updates
-            through the level-batched compact-WY path (default).  The
-            ``False`` path is the seed per-node reference implementation,
-            kept for validation and as the benchmark baseline.
-        lookahead: execute the factorization as a dependency task graph
-            (:func:`repro.graph.executor.caqr_lookahead`) instead of the
-            serial panel loop.  Returns a duck-type-compatible
-            :class:`~repro.graph.executor.LookaheadCAQRFactors`.
-        workers: column tiles per trailing update / thread-pool width for
-            the look-ahead executor (implies ``lookahead``-style execution
-            when > 1).  Ignored by the serial paths.
-        nonfinite: non-finite input policy (``"raise"`` rejects NaN/Inf
-            with ``ValueError``; ``"propagate"`` lets them flow through).
-            See :mod:`repro.verify.guards`.
-
-    Returns:
-        :class:`CAQRFactors` with the implicit Q (per-panel TSQR factors)
-        and the explicit upper-trapezoidal R.
+    Shared by the public :func:`caqr` shim and :class:`repro.runtime.plan.QRPlan`
+    (which pre-validates), so both drive the identical arithmetic.  Each
+    panel goes straight to :func:`~repro.core.tsqr._tsqr_impl`: the input
+    was validated exactly once at the public entry point, so per-panel
+    re-scans never happen.
     """
-    if lookahead or (workers is not None and workers > 1):
-        if structured:
-            raise ValueError("structured tree elimination is not supported with lookahead")
-        if not batched:
-            raise ValueError("lookahead requires the batched execution path")
-        from repro.graph.executor import caqr_lookahead
-
-        return caqr_lookahead(
-            A,
-            panel_width=panel_width,
-            block_rows=block_rows,
-            tree_shape=tree_shape,
-            workers=workers,
-            lookahead=lookahead,
-            nonfinite=nonfinite,
-        )
-    A = validate_matrix(A, where="caqr", nonfinite=nonfinite)
-    if panel_width < 1:
-        raise ValueError("panel_width must be positive")
     m, n = A.shape
     k = min(m, n)
     W = A.copy()
     panels: list[PanelFactor] = []
-    for col_start in range(0, k, panel_width):
-        pw = min(panel_width, k - col_start)
+    for col_start in range(0, k, policy.panel_width):
+        pw = min(policy.panel_width, k - col_start)
         row_start = col_start  # grid redrawn lower by the panel width
         panel_view = W[row_start:, col_start : col_start + pw]
-        # The input was validated once at this entry point; per-panel
-        # re-scans would only re-find (or miss) overflow created mid-run.
-        f = tsqr(
+        f = _tsqr_impl(
             panel_view,
-            block_rows=block_rows,
-            tree_shape=tree_shape,
-            structured=structured,
-            batched=batched,
-            nonfinite="propagate",
+            block_rows=policy.block_rows,
+            tree_shape=policy.tree_shape,
+            structured=policy.uses_structured,
+            batched=policy.uses_batched,
         )
         # The trailing matrix update: apply Q^T of the panel across the
         # remaining columns (apply_qt_h + apply_qt_tree in the GPU code).
@@ -170,25 +118,93 @@ def caqr(
     return CAQRFactors(
         m=m,
         n=n,
+        panel_width=policy.panel_width,
+        block_rows=policy.block_rows,
+        tree_shape=policy.tree_shape,
+        panels=panels,
+        R=R,
+        batched=policy.uses_batched,
+    )
+
+
+def caqr(
+    A: np.ndarray,
+    panel_width: int = UNSET,
+    block_rows: int = UNSET,
+    tree_shape: str = UNSET,
+    structured: bool = UNSET,
+    batched: bool = UNSET,
+    lookahead: bool = UNSET,
+    workers: int | None = UNSET,
+    nonfinite: str = UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
+) -> CAQRFactors:
+    """Factor a matrix with CAQR (Figure 3 / the host pseudocode of Figure 4).
+
+    Prefer ``policy=`` (an :class:`~repro.runtime.policy.ExecutionPolicy`
+    naming the execution path, geometry, worker count and guard
+    behaviour); reusable shape plans come from
+    :func:`repro.runtime.plan.plan_qr`.  The loose kwargs remain as
+    deprecation shims mapped by
+    :func:`~repro.runtime.policy.resolve_policy`:
+
+    Args:
+        A: ``m x n`` matrix.
+        panel_width: width of each column panel (the paper's reference GPU
+            configuration uses 16, matching the 64x16 block).
+        block_rows: height of the level-0 row blocks within each panel.
+        tree_shape: TSQR reduction-tree shape (paper: quad-tree on the GPU).
+        structured: (deprecated) maps to ``path="structured"``.
+        batched: (deprecated) ``False`` maps to the seed reference path.
+        lookahead: (deprecated) maps to ``path="lookahead"`` — the
+            dependency-task-graph executor
+            (:func:`repro.graph.executor.caqr_lookahead`); returns a
+            duck-type-compatible
+            :class:`~repro.graph.executor.LookaheadCAQRFactors`.
+        workers: (deprecated) column tiles per trailing update /
+            thread-pool width; > 1 implies the look-ahead path.
+        nonfinite: (deprecated) non-finite input policy (``"raise"``
+            rejects NaN/Inf; ``"propagate"`` lets them flow through).
+        policy: the execution policy; mutually exclusive with the legacy
+            kwargs above.
+
+    Returns:
+        :class:`CAQRFactors` with the implicit Q (per-panel TSQR factors)
+        and the explicit upper-trapezoidal R.
+    """
+    policy = resolve_policy(
+        "caqr",
+        policy,
+        batched=batched,
+        structured=structured,
+        lookahead=lookahead,
+        workers=workers,
+        nonfinite=nonfinite,
         panel_width=panel_width,
         block_rows=block_rows,
         tree_shape=tree_shape,
-        panels=panels,
-        R=R,
-        batched=batched,
     )
+    if policy.path == "lookahead":
+        from repro.graph.executor import caqr_lookahead
+
+        return caqr_lookahead(A, policy=policy)
+    A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
+    return _caqr_serial(A, policy)
 
 
 def caqr_qr(
     A: np.ndarray,
-    panel_width: int = 16,
-    block_rows: int = 64,
-    tree_shape: str = "quad",
-    structured: bool = False,
-    batched: bool = True,
-    lookahead: bool = False,
-    workers: int | None = None,
-    nonfinite: str = "raise",
+    panel_width: int = UNSET,
+    block_rows: int = UNSET,
+    tree_shape: str = UNSET,
+    structured: bool = UNSET,
+    batched: bool = UNSET,
+    lookahead: bool = UNSET,
+    workers: int | None = UNSET,
+    nonfinite: str = UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: explicit thin ``(Q, R)`` via CAQR."""
     f = caqr(
@@ -201,5 +217,6 @@ def caqr_qr(
         lookahead=lookahead,
         workers=workers,
         nonfinite=nonfinite,
+        policy=policy,
     )
     return f.form_q(), f.R

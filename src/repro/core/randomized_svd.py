@@ -12,27 +12,57 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.verify.guards import validate_matrix
 
 from .jacobi_svd import jacobi_svd
-from .tsqr import tsqr, tsqr_qr
+from .tsqr import _tsqr_impl
 
 __all__ = ["randomized_range_finder", "randomized_svd"]
 
+# The range finder samples thin (k + oversample wide) matrices, so the
+# paper's 64-row blocks would make needlessly deep trees: 256 rows is the
+# pre-policy default, kept as this module's base policy.
+_RSVD_DEFAULT = ExecutionPolicy(block_rows=256)
 
-def _tsqr_q(Y: np.ndarray, block_rows: int, batched: bool, workers: int | None) -> np.ndarray:
-    """Explicit TSQR Q, threading its column formation when asked.
 
-    Internal only — the caller validated its input already, so the TSQR
-    guard runs in ``propagate`` mode.
+def _tsqr_q(Y: np.ndarray, policy: ExecutionPolicy) -> np.ndarray:
+    """Explicit TSQR Q under ``policy``, threading its column formation
+    when the policy carries workers.
+
+    Internal only — the caller validated its input already, so this goes
+    straight to :func:`~repro.core.tsqr._tsqr_impl` (no guard re-scan).
     """
-    if workers is not None and workers > 1:
+    f = _tsqr_impl(
+        Y,
+        block_rows=policy.block_rows,
+        tree_shape=policy.tree_shape,
+        structured=policy.uses_structured,
+        batched=policy.uses_batched,
+    )
+    if policy.effective_workers > 1:
         from repro.graph.executor import form_q_columns
 
-        f = tsqr(Y, block_rows=block_rows, batched=batched, nonfinite="propagate")
-        return form_q_columns(f, workers=workers)
-    Q, _ = tsqr_qr(Y, block_rows=block_rows, batched=batched, nonfinite="propagate")
-    return Q
+        return form_q_columns(f, workers=policy.effective_workers)
+    return f.form_q()
+
+
+def _resolve_rsvd_policy(where, policy, batched, workers, nonfinite, block_rows=UNSET):
+    """Shared legacy-kwarg shim for the SVD pipeline entry points.
+
+    ``workers`` here threads the explicit-Q formation
+    (:func:`repro.graph.executor.form_q_columns`), which the policy layer
+    models as the look-ahead path's worker count.
+    """
+    return resolve_policy(
+        where,
+        policy,
+        batched=batched,
+        workers=workers,
+        nonfinite=nonfinite,
+        block_rows=block_rows,
+        default=_RSVD_DEFAULT,
+    )
 
 
 def randomized_range_finder(
@@ -41,35 +71,42 @@ def randomized_range_finder(
     oversample: int = 8,
     power_iters: int = 1,
     rng: np.random.Generator | None = None,
-    block_rows: int = 256,
-    batched: bool = True,
-    workers: int | None = None,
-    nonfinite: str = "raise",
+    block_rows: int = UNSET,
+    batched: bool = UNSET,
+    workers: int | None = UNSET,
+    nonfinite: str = UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> np.ndarray:
     """Orthonormal basis approximately spanning A's leading k-range.
 
     ``Q = tsqr_qr(A @ Omega)`` with Gaussian ``Omega`` and optional
     power iterations (each one re-orthogonalized through TSQR for
-    stability).  ``workers > 1`` threads the explicit-Q formation through
-    :func:`repro.graph.executor.form_q_columns`.  The SVD pipeline
-    computes in float64 regardless of input precision.
+    stability).  A ``policy`` with ``workers > 1`` threads the explicit-Q
+    formation through :func:`repro.graph.executor.form_q_columns`.  The
+    SVD pipeline computes in float64 regardless of input precision.
     """
-    A = validate_matrix(A, where="randomized_range_finder", nonfinite=nonfinite, dtype=np.float64)
+    policy = _resolve_rsvd_policy(
+        "randomized_range_finder", policy, batched, workers, nonfinite, block_rows
+    )
+    A = validate_matrix(
+        A, where="randomized_range_finder", nonfinite=policy.nonfinite, dtype=np.float64
+    )
     m, n = A.shape
     if k < 1:
         raise ValueError("target rank k must be >= 1")
     ell = min(k + oversample, n)
     rng = rng or np.random.default_rng(0)
     Y = A @ rng.standard_normal((n, ell))
-    Q = _tsqr_q(Y, block_rows, batched, workers)
+    Q = _tsqr_q(Y, policy)
     for _ in range(power_iters):
         Z = A.T @ Q
-        if n < block_rows:
+        if n < policy.block_rows:
             Zq, _ = np.linalg.qr(Z)
         else:
-            Zq = _tsqr_q(Z, block_rows, batched, workers)
+            Zq = _tsqr_q(Z, policy)
         Y = A @ Zq
-        Q = _tsqr_q(Y, block_rows, batched, workers)
+        Q = _tsqr_q(Y, policy)
     return Q
 
 
@@ -79,9 +116,11 @@ def randomized_svd(
     oversample: int = 8,
     power_iters: int = 1,
     rng: np.random.Generator | None = None,
-    batched: bool = True,
-    workers: int | None = None,
-    nonfinite: str = "raise",
+    batched: bool = UNSET,
+    workers: int | None = UNSET,
+    nonfinite: str = UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Approximate rank-k thin SVD ``A ~= U diag(s) V^T``.
 
@@ -89,7 +128,8 @@ def randomized_svd(
     bounds: near-exact when A's spectrum decays past rank k (exactly the
     Robust PCA situation, where L is low-rank by construction).
     """
-    A = validate_matrix(A, where="randomized_svd", nonfinite=nonfinite, dtype=np.float64)
+    policy = _resolve_rsvd_policy("randomized_svd", policy, batched, workers, nonfinite)
+    A = validate_matrix(A, where="randomized_svd", nonfinite=policy.nonfinite, dtype=np.float64)
     m, n = A.shape
     if m < n:
         U, s, Vt = randomized_svd(
@@ -98,9 +138,7 @@ def randomized_svd(
             oversample,
             power_iters,
             rng,
-            batched=batched,
-            workers=workers,
-            nonfinite="propagate",
+            policy=policy.with_nonfinite("propagate"),
         )
         return Vt.T, s, U.T
     Q = randomized_range_finder(
@@ -109,9 +147,7 @@ def randomized_svd(
         oversample,
         power_iters,
         rng,
-        batched=batched,
-        workers=workers,
-        nonfinite="propagate",
+        policy=policy.with_nonfinite("propagate"),
     )
     B = Q.T @ A  # ell x n, small
     Ub, s, Vt = jacobi_svd(B.T)  # jacobi wants tall: factor B^T

@@ -40,6 +40,7 @@ import numpy as np
 
 from .dtypes import as_float_array, working_dtype
 from .householder import geqr2, orm2r
+from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.smallblas.batched import batched_apply_blocked, batched_geqr2
 from repro.smallblas.wy import apply_wy, geqr2_blocked, wy_factors
 from .structured import StructuredStackFactor, structured_stack_qr
@@ -630,38 +631,20 @@ def _tsqr_reference(
     )
 
 
-def tsqr(
+def _tsqr_impl(
     A: np.ndarray,
-    block_rows: int = 64,
-    tree_shape: str = "quad",
-    structured: bool = False,
-    batched: bool = True,
-    nonfinite: str = "raise",
+    block_rows: int,
+    tree_shape: str,
+    structured: bool,
+    batched: bool,
 ) -> TSQRFactors:
-    """Factor a tall-skinny matrix with TSQR (Figure 2).
+    """Factor an *already validated* matrix with TSQR (no guard layer).
 
-    Args:
-        A: ``m x n`` matrix (any aspect ratio is accepted; TSQR pays off
-            for ``m >> n``).
-        block_rows: height of the level-0 row blocks.
-        tree_shape: reduction-tree shape (see :mod:`repro.core.tree`).
-        structured: eliminate the stacked Rs with the sparsity-exploiting
-            structured QR (~3x fewer tree flops) instead of the dense
-            ``factor_tree`` layout.
-        batched: vectorize the whole factorization and all later Q
-            applications (level-batched tree + compact-WY updates); the
-            ``False`` path is the seed per-node reference implementation.
-        nonfinite: non-finite input policy (``"raise"`` default /
-            ``"propagate"``); see :mod:`repro.verify.guards`.  Callers
-            that validated already (e.g. :func:`repro.core.caqr.caqr`
-            factoring each panel) pass ``"propagate"``.
-
-    Returns:
-        A :class:`TSQRFactors` holding the implicit Q and the final R.
+    Internal callers (the CAQR panel loop, the look-ahead executor's
+    fallback, the randomized-SVD range finder, :class:`QRPlan`) come in
+    here directly: the matrix was validated exactly once at the public
+    entry point, so this path never re-scans it.
     """
-    from repro.verify.guards import validate_matrix
-
-    A = validate_matrix(A, where="tsqr", nonfinite=nonfinite)
     m, n = A.shape
     # TSQR requires the block height to be at least the panel width so every
     # level-0 R is a full n x n triangle and the final R lands contiguously
@@ -674,13 +657,71 @@ def tsqr(
     return _tsqr_reference(A, m, n, block_rows, ranges, tree, structured)
 
 
+def tsqr(
+    A: np.ndarray,
+    block_rows: int = UNSET,
+    tree_shape: str = UNSET,
+    structured: bool = UNSET,
+    batched: bool = UNSET,
+    nonfinite: str = UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
+) -> TSQRFactors:
+    """Factor a tall-skinny matrix with TSQR (Figure 2).
+
+    Prefer ``policy=`` (an :class:`~repro.runtime.policy.ExecutionPolicy`
+    naming the execution path, geometry and guard behaviour).  The loose
+    kwargs remain as deprecation shims mapped by
+    :func:`~repro.runtime.policy.resolve_policy`:
+
+    Args:
+        A: ``m x n`` matrix (any aspect ratio is accepted; TSQR pays off
+            for ``m >> n``).
+        block_rows: height of the level-0 row blocks.
+        tree_shape: reduction-tree shape (see :mod:`repro.core.tree`).
+        structured: (deprecated) eliminate the stacked Rs with the
+            sparsity-exploiting structured QR (~3x fewer tree flops);
+            maps to ``path="structured"``.
+        batched: (deprecated) vectorize the factorization and all later
+            Q applications; ``False`` maps to the seed reference path.
+        nonfinite: (deprecated) non-finite input policy (``"raise"`` /
+            ``"propagate"``); see :mod:`repro.verify.guards`.
+        policy: the execution policy; mutually exclusive with the
+            legacy kwargs above.
+
+    Returns:
+        A :class:`TSQRFactors` holding the implicit Q and the final R.
+    """
+    from repro.verify.guards import validate_matrix
+
+    policy = resolve_policy(
+        "tsqr",
+        policy,
+        batched=batched,
+        structured=structured,
+        nonfinite=nonfinite,
+        block_rows=block_rows,
+        tree_shape=tree_shape,
+    )
+    A = validate_matrix(A, where="tsqr", nonfinite=policy.nonfinite)
+    return _tsqr_impl(
+        A,
+        block_rows=policy.block_rows,
+        tree_shape=policy.tree_shape,
+        structured=policy.uses_structured,
+        batched=policy.uses_batched,
+    )
+
+
 def tsqr_qr(
     A: np.ndarray,
-    block_rows: int = 64,
-    tree_shape: str = "quad",
-    structured: bool = False,
-    batched: bool = True,
-    nonfinite: str = "raise",
+    block_rows: int = UNSET,
+    tree_shape: str = UNSET,
+    structured: bool = UNSET,
+    batched: bool = UNSET,
+    nonfinite: str = UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: explicit thin ``(Q, R)`` via TSQR."""
     f = tsqr(
@@ -690,5 +731,6 @@ def tsqr_qr(
         structured=structured,
         batched=batched,
         nonfinite=nonfinite,
+        policy=policy,
     )
     return f.form_q(), f.R

@@ -11,6 +11,7 @@ implemented numerically in this library — actually runs it.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -19,10 +20,11 @@ import numpy as np
 from .baselines import CULAQR, MAGMAQR, MKLQR
 from .caqr_gpu import simulate_caqr
 from .core.blocked import blocked_qr
-from .core.caqr import caqr_qr
 from .gpusim.device import C2050, DeviceSpec
 from .kernels.config import REFERENCE_CONFIG, KernelConfig
-from .verify.guards import validate_matrix, validate_nonfinite_policy
+from .runtime import ExecutionPolicy, QRPlan, plan_qr, resolve_policy
+from .runtime.policy import UNSET
+from .verify.guards import validate_matrix
 
 __all__ = ["EnginePrediction", "DispatchedQR", "QRDispatcher"]
 
@@ -64,37 +66,78 @@ class QRDispatcher:
         device: DeviceSpec = C2050,
         config: KernelConfig = REFERENCE_CONFIG,
         include_cpu: bool = True,
-        batched: bool = True,
-        lookahead: bool = False,
-        workers: int | None = None,
+        batched: bool = UNSET,
+        lookahead: bool = UNSET,
+        workers: int | None = UNSET,
         cache_size: int = 128,
-        nonfinite: str = "raise",
+        nonfinite: str = UNSET,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         self.device = device
         self.config = config
         self.include_cpu = include_cpu
-        self.batched = batched
-        self.lookahead = lookahead
-        self.workers = workers
-        self.nonfinite = validate_nonfinite_policy(nonfinite, "QRDispatcher")
+        # The dispatcher's default policy mirrors its KernelConfig: the
+        # CAQR engine runs with the modeled geometry it was predicted at.
+        default = ExecutionPolicy(
+            path="structured" if config.structured_tree else "batched",
+            panel_width=config.panel_width,
+            block_rows=config.block_rows,
+            tree_shape=config.tree_shape,
+            device=device,
+            config=config,
+        )
+        self.policy = resolve_policy(
+            "QRDispatcher",
+            policy,
+            batched=batched,
+            lookahead=lookahead,
+            workers=workers,
+            nonfinite=nonfinite,
+            default=default,
+        )
         self._magma = MAGMAQR(gpu=device)
         self._cula = CULAQR(gpu=device)
         self._mkl = MKLQR()
         # (m, n) -> sorted predictions.  crossover_width probes O(log n)
         # shapes per call and qr() re-predicts per matrix; the models are
-        # pure functions of the shape, so memoize them (LRU).
+        # pure functions of the shape, so memoize them (LRU).  Both caches
+        # are guarded by ``_lock``: dispatchers are shared across serving
+        # threads and OrderedDict mutation is not atomic.
         self._pred_cache: OrderedDict[tuple[int, int], list[EnginePrediction]] = OrderedDict()
+        # (m, n, dtype, engine) -> QRPlan, so dispatch-and-run on repeated
+        # shapes skips planning entirely.
+        self._plan_cache: OrderedDict[tuple[int, int, str, str], QRPlan] = OrderedDict()
         self._cache_size = cache_size
+        self._lock = threading.Lock()
+
+    # -- legacy attribute views (pre-policy API) ---------------------------
+
+    @property
+    def batched(self) -> bool:
+        return self.policy.uses_batched
+
+    @property
+    def lookahead(self) -> bool:
+        return self.policy.path == "lookahead"
+
+    @property
+    def workers(self) -> int | None:
+        return self.policy.workers
+
+    @property
+    def nonfinite(self) -> str:
+        return self.policy.nonfinite
 
     def predict(self, m: int, n: int) -> list[EnginePrediction]:
         """Modeled runtimes, fastest first (cached per shape)."""
         if m < 1 or n < 1:
             raise ValueError("matrix dimensions must be positive")
         key = (m, n)
-        cached = self._pred_cache.get(key)
-        if cached is not None:
-            self._pred_cache.move_to_end(key)
-            return list(cached)
+        with self._lock:
+            cached = self._pred_cache.get(key)
+            if cached is not None:
+                self._pred_cache.move_to_end(key)
+                return list(cached)
         preds = []
         r = simulate_caqr(m, n, self.config, self.device)
         preds.append(EnginePrediction("caqr", r.seconds, r.gflops))
@@ -106,10 +149,32 @@ class QRDispatcher:
             b = self._mkl.simulate(m, n)
             preds.append(EnginePrediction("mkl", b.seconds, b.gflops))
         preds.sort(key=lambda p: p.seconds)
-        self._pred_cache[key] = preds
-        while len(self._pred_cache) > self._cache_size:
-            self._pred_cache.popitem(last=False)
+        with self._lock:
+            self._pred_cache[key] = preds
+            while len(self._pred_cache) > self._cache_size:
+                self._pred_cache.popitem(last=False)
         return list(preds)
+
+    def plan_for(self, m: int, n: int, dtype=np.float64) -> QRPlan:
+        """The (cached) CAQR plan this dispatcher would run for a shape.
+
+        Plans are built outside the lock (planning is the expensive part)
+        and inserted last-wins, so concurrent first requests for one shape
+        may both plan but always agree on the cached result.
+        """
+        key = (m, n, np.dtype(dtype).str, "caqr")
+        with self._lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                return plan
+        plan = plan_qr(m, n, dtype=dtype, policy=self.policy)
+        with self._lock:
+            self._plan_cache[key] = plan
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > self._cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
 
     def choose(self, m: int, n: int) -> EnginePrediction:
         """The fastest engine for this shape under the models."""
@@ -137,23 +202,19 @@ class QRDispatcher:
         return hi
 
     def qr(self, A: np.ndarray) -> DispatchedQR:
-        """Pick the engine for ``A``'s shape and run the factorization."""
-        A = validate_matrix(A, where="QRDispatcher.qr", nonfinite=self.nonfinite)
+        """Pick the engine for ``A``'s shape and run the factorization.
+
+        The matrix is validated exactly once here; the cached plan then
+        runs with ``validated=True``, so dispatched CAQR scans each input
+        a single time end to end.
+        """
+        A = validate_matrix(A, where="QRDispatcher.qr", nonfinite=self.policy.nonfinite)
         m, n = A.shape
         preds = self.predict(m, n)
         engine = preds[0].engine
         if engine == "caqr":
-            Q, R = caqr_qr(
-                A,
-                panel_width=self.config.panel_width,
-                block_rows=self.config.block_rows,
-                tree_shape=self.config.tree_shape,
-                structured=self.config.structured_tree,
-                batched=self.batched,
-                lookahead=self.lookahead,
-                workers=self.workers,
-                nonfinite="propagate",
-            )
+            plan = self.plan_for(m, n, dtype=A.dtype)
+            Q, R = plan.execute(A, validated=True)
         else:
             # Blocked Householder is the algorithm behind both the hybrid
             # GPU libraries and MKL; numerically they coincide.

@@ -45,11 +45,19 @@ import numpy as np
 
 from repro.core.dtypes import as_float_array, working_dtype
 from repro.core.tree import batch_level, build_tree
-from repro.core.tsqr import _WyPlan, apply_wy_plan, row_blocks, tsqr
+from repro.core.tsqr import _WyPlan, _tsqr_impl, apply_wy_plan, row_blocks
+from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_executor_policy
 from repro.smallblas.wy import extract_v, larft
 from repro.verify.guards import validate_matrix
 
-__all__ = ["LookaheadCAQRFactors", "caqr_lookahead", "form_q_columns"]
+__all__ = [
+    "LookaheadCAQRFactors",
+    "LookaheadSchedule",
+    "build_lookahead_schedule",
+    "caqr_lookahead",
+    "form_q_columns",
+    "run_lookahead_schedule",
+]
 
 _MIN_TILE = 16  # narrowest "rest" tile worth a task of its own
 
@@ -253,7 +261,7 @@ def _factor_panel(
     hp, width = Wp.shape
     rec = _recipe(hp, width, bh, tree_shape)
     if rec is None:
-        f = tsqr(Wp, block_rows=bh, tree_shape=tree_shape, batched=True, nonfinite="propagate")
+        f = _tsqr_impl(Wp, block_rows=bh, tree_shape=tree_shape, structured=False, batched=True)
         pp._fallback = f
         pp.R = f.R[:width, :]
         if eager:
@@ -493,86 +501,123 @@ def _run_threaded(tasks: list[_Task], workers: int) -> None:
         raise state["error"]
 
 
-def caqr_lookahead(
-    A: np.ndarray,
-    panel_width: int = 16,
-    block_rows: int = 64,
-    tree_shape: str = "quad",
-    workers: int | None = None,
-    threaded: bool | None = None,
-    lookahead: bool = True,
-    nonfinite: str = "raise",
-) -> LookaheadCAQRFactors:
-    """Factor ``A`` with CAQR executed as a dependency graph.
+@dataclass(frozen=True)
+class _TaskSpec:
+    """One task of a captured schedule (closure-free, matrix-free)."""
 
-    Args:
-        A: ``m x n`` matrix.
-        panel_width / block_rows / tree_shape: as in
-            :func:`repro.core.caqr.caqr`.
-        workers: column tiles per trailing update (and thread-pool width
-            when ``threaded``).  ``None`` or 1 keeps updates whole.
-        threaded: run the task graph on a thread pool; defaults to
-            ``workers > 1``.  ``threaded=False`` with ``workers > 1``
-            executes the identical tiled tasks serially — bit-identical
-            output, used by the scheduler-invariant tests.
-        lookahead: wire ``factor(p+1)`` to depend only on panel ``p``'s
-            first-tile update (the look-ahead edge); ``False`` restores
-            the serial driver's panel barrier.
-        nonfinite: non-finite input policy (``"raise"`` default /
-            ``"propagate"``); see :mod:`repro.verify.guards`.
+    kind: str  # "factor" | "update"
+    panel: int
+    lo: int  # update column range; (0, 0) for factor tasks
+    hi: int
+    deps: tuple[int, ...]
 
-    Returns:
-        :class:`LookaheadCAQRFactors` with the implicit Q and explicit R.
+
+@dataclass(frozen=True)
+class LookaheadSchedule:
+    """The shape-dependent half of a look-ahead factorization.
+
+    Built once per ``(m, n, policy)`` by :func:`build_lookahead_schedule`
+    (and cached inside a :class:`repro.runtime.plan.QRPlan`), then run on
+    any conforming matrix by :func:`run_lookahead_schedule`.  ``panels``
+    holds ``(col_start, width, row_start, block_rows, trailing)`` per
+    panel; ``tasks`` is the dependency-wired task list.
     """
-    A = validate_matrix(A, where="caqr_lookahead", nonfinite=nonfinite)
-    if panel_width < 1:
-        raise ValueError("panel_width must be positive")
-    if workers is None:
-        workers = 1
-    if workers < 1:
-        raise ValueError("workers must be positive")
-    if threaded is None:
-        threaded = workers > 1
-    m, n = A.shape
+
+    m: int
+    n: int
+    policy: ExecutionPolicy
+    panels: tuple[tuple[int, int, int, int, int], ...]
+    tasks: tuple[_TaskSpec, ...]
+
+
+def build_lookahead_schedule(m: int, n: int, policy: ExecutionPolicy) -> LookaheadSchedule:
+    """Capture the panel partition and task DAG for one shape.
+
+    Pure shape arithmetic — no matrix is touched, so the result is
+    reusable across every matrix of the shape.  Tiling is keyed on
+    ``policy.workers`` alone (never on the execution engine), which is
+    what makes threaded and serial runs of one schedule bit-identical.
+    """
+    workers = policy.effective_workers
     k = min(m, n)
-    W = A.copy()
-    dt = np.dtype(working_dtype(W))
-
-    col_starts = list(range(0, k, panel_width))
-    panels: list[_PanelPlan] = []
-    tasks: list[_Task] = []
+    panels: list[tuple[int, int, int, int, int]] = []
+    tasks: list[_TaskSpec] = []
     prev_updates: list[tuple[int, tuple[int, int]]] = []  # (task id, cols)
-    for p, c0 in enumerate(col_starts):
-        pw_p = min(panel_width, k - c0)
+    for p, c0 in enumerate(range(0, k, policy.panel_width)):
+        pw_p = min(policy.panel_width, k - c0)
         r0 = c0
-        bh = max(block_rows, pw_p)
-        pp = _PanelPlan(row_start=r0, col_start=c0, col_stop=c0 + pw_p, hp=m - r0)
-        panels.append(pp)
+        bh = max(policy.block_rows, pw_p)
         wt = n - (c0 + pw_p)
+        panels.append((c0, pw_p, r0, bh, wt))
 
-        def factor(pp=pp, c0=c0, pw_p=pw_p, r0=r0, bh=bh, wt=wt):
-            _factor_panel(pp, W[r0:, c0 : c0 + pw_p], bh, tree_shape, eager=wt > 0)
-
-        if lookahead and prev_updates:
-            f_deps = [prev_updates[0][0]]
+        if policy.lookahead_edge and prev_updates:
+            f_deps = (prev_updates[0][0],)
         else:
-            f_deps = [t for t, _ in prev_updates]
+            f_deps = tuple(t for t, _ in prev_updates)
         f_id = len(tasks)
-        tasks.append(_Task(fn=factor, deps=f_deps))
+        tasks.append(_TaskSpec(kind="factor", panel=p, lo=0, hi=0, deps=f_deps))
 
         updates: list[tuple[int, tuple[int, int]]] = []
         if wt > 0:
-            next_w = min(panel_width, max(k - (c0 + pw_p), 1))
+            next_w = min(policy.panel_width, max(k - (c0 + pw_p), 1))
             for lo, hi in _col_tiles(c0 + pw_p, n, next_w, workers):
-
-                def update(pp=pp, r0=r0, lo=lo, hi=hi):
-                    pp.apply_qt(W[r0:, lo:hi])
-
-                deps = [f_id] + [t for t, (a, b) in prev_updates if a < hi and lo < b]
+                deps = (f_id,) + tuple(
+                    t for t, (a, b) in prev_updates if a < hi and lo < b
+                )
                 u_id = len(tasks)
-                tasks.append(_Task(fn=update, deps=deps))
+                tasks.append(_TaskSpec(kind="update", panel=p, lo=lo, hi=hi, deps=deps))
                 updates.append((u_id, (lo, hi)))
         prev_updates = updates
+    return LookaheadSchedule(
+        m=m, n=n, policy=policy, panels=tuple(panels), tasks=tuple(tasks)
+    )
+
+
+def run_lookahead_schedule(
+    sched: LookaheadSchedule,
+    A: np.ndarray,
+    threaded: bool | None = None,
+) -> LookaheadCAQRFactors:
+    """Run a captured schedule on one (already validated) matrix.
+
+    ``threaded`` picks the engine only — thread pool vs program-order
+    loop over the *same* tasks — and defaults to ``workers > 1``; either
+    engine produces bit-identical factors.
+    """
+    policy = sched.policy
+    workers = policy.effective_workers
+    if threaded is None:
+        threaded = workers > 1
+    m, n = sched.m, sched.n
+    if A.shape != (m, n):
+        raise ValueError(
+            f"run_lookahead_schedule: matrix shape {A.shape} does not match "
+            f"the scheduled shape ({m}, {n})"
+        )
+    k = min(m, n)
+    W = A.copy()
+    dt = np.dtype(working_dtype(W))
+    tree_shape = policy.tree_shape
+
+    panels = [
+        _PanelPlan(row_start=r0, col_start=c0, col_stop=c0 + pw_p, hp=m - r0)
+        for c0, pw_p, r0, _bh, _wt in sched.panels
+    ]
+    tasks: list[_Task] = []
+    for ts in sched.tasks:
+        c0, pw_p, r0, bh, wt = sched.panels[ts.panel]
+        pp = panels[ts.panel]
+        if ts.kind == "factor":
+
+            def fn(pp=pp, c0=c0, pw_p=pw_p, r0=r0, bh=bh, wt=wt):
+                _factor_panel(pp, W[r0:, c0 : c0 + pw_p], bh, tree_shape, eager=wt > 0)
+
+        else:
+
+            def fn(pp=pp, r0=r0, lo=ts.lo, hi=ts.hi):
+                pp.apply_qt(W[r0:, lo:hi])
+
+        tasks.append(_Task(fn=fn, deps=list(ts.deps)))
 
     if threaded and workers > 1:
         _run_threaded(tasks, workers)
@@ -590,10 +635,53 @@ def caqr_lookahead(
     return LookaheadCAQRFactors(
         m=m,
         n=n,
-        panel_width=panel_width,
-        block_rows=block_rows,
+        panel_width=policy.panel_width,
+        block_rows=policy.block_rows,
         tree_shape=tree_shape,
         panels=panels,
         R=R.astype(dt, copy=False),
         workers=workers,
     )
+
+
+def caqr_lookahead(
+    A: np.ndarray,
+    panel_width: int = UNSET,
+    block_rows: int = UNSET,
+    tree_shape: str = UNSET,
+    workers: int | None = UNSET,
+    threaded: bool | None = None,
+    lookahead: bool = UNSET,
+    nonfinite: str = UNSET,
+    *,
+    policy: ExecutionPolicy | None = None,
+) -> LookaheadCAQRFactors:
+    """Factor ``A`` with CAQR executed as a dependency graph.
+
+    Prefer ``policy=`` (an :class:`~repro.runtime.policy.ExecutionPolicy`
+    with ``path="lookahead"``); the loose kwargs are deprecation shims.
+    ``threaded`` stays a live engine knob: it picks thread pool vs
+    program-order loop over the same schedule (defaults to
+    ``workers > 1``) and never changes the bits.
+
+    Legacy kwargs (deprecated): ``workers`` — column tiles per trailing
+    update / pool width; ``lookahead`` — the look-ahead dependency edge
+    (``False`` restores the panel barrier); ``nonfinite`` — input guard
+    policy; plus the panel geometry.
+
+    Returns:
+        :class:`LookaheadCAQRFactors` with the implicit Q and explicit R.
+    """
+    policy = resolve_executor_policy(
+        "caqr_lookahead",
+        policy,
+        workers=workers,
+        lookahead=lookahead,
+        nonfinite=nonfinite,
+        panel_width=panel_width,
+        block_rows=block_rows,
+        tree_shape=tree_shape,
+    )
+    A = validate_matrix(A, where="caqr_lookahead", nonfinite=policy.nonfinite)
+    sched = build_lookahead_schedule(A.shape[0], A.shape[1], policy)
+    return run_lookahead_schedule(sched, A, threaded=threaded)

@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.randomized_svd import randomized_svd
+from repro.core.randomized_svd import _RSVD_DEFAULT, randomized_svd
+from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.core.ts_svd import tall_skinny_svd
-from repro.verify.guards import validate_matrix, validate_nonfinite_policy
+from repro.verify.guards import validate_matrix
 
 from .shrinkage import shrink
 
@@ -32,14 +33,21 @@ class AdaptiveSVT:
     Callable with the same ``(X, tau) -> (L, rank)`` contract as
     :func:`repro.rpca.svt.singular_value_threshold`, so it plugs into
     :func:`repro.rpca.ialm.rpca_ialm` via the ``svd`` hook or directly.
+
+    Execution is configured by ``policy`` (an
+    :class:`~repro.runtime.policy.ExecutionPolicy`); the ``batched`` /
+    ``workers`` / ``nonfinite`` fields are deprecation shims that build
+    one, and after construction they read back as plain values resolved
+    from the policy.
     """
 
     buffer: int = 5  # extra singular triplets beyond the predicted rank
     max_tries: int = 3
     seed: int = 0
-    batched: bool = True  # use the batched compact-WY TSQR inside the SVD
-    workers: int | None = None  # thread the TSQR Q formation (repro.graph)
-    nonfinite: str = "raise"  # input guard policy (repro.verify.guards)
+    batched: bool = UNSET  # (deprecated) compact-WY TSQR inside the SVD
+    workers: int | None = UNSET  # (deprecated) thread the TSQR Q formation
+    nonfinite: str = UNSET  # (deprecated) input guard policy
+    policy: ExecutionPolicy | None = None
     predicted_rank: int = 1
     full_svd_calls: int = 0
     partial_svd_calls: int = 0
@@ -48,11 +56,24 @@ class AdaptiveSVT:
     def __post_init__(self) -> None:
         if self.buffer < 1 or self.max_tries < 1:
             raise ValueError("buffer and max_tries must be >= 1")
-        validate_nonfinite_policy(self.nonfinite, "AdaptiveSVT")
+        self.policy = resolve_policy(
+            "AdaptiveSVT",
+            self.policy,
+            batched=self.batched,
+            workers=self.workers,
+            nonfinite=self.nonfinite,
+            default=_RSVD_DEFAULT,
+        )
+        # Back-fill the legacy fields so attribute reads keep working.
+        self.batched = self.policy.uses_batched
+        self.workers = self.policy.workers
+        self.nonfinite = self.policy.nonfinite
         self._rng = np.random.default_rng(self.seed)
 
     def __call__(self, X: np.ndarray, tau: float) -> tuple[np.ndarray, int]:
-        X = validate_matrix(X, where="AdaptiveSVT", nonfinite=self.nonfinite, dtype=np.float64)
+        X = validate_matrix(
+            X, where="AdaptiveSVT", nonfinite=self.policy.nonfinite, dtype=np.float64
+        )
         m, n = X.shape
         k = min(self.predicted_rank + self.buffer, min(m, n))
         for _ in range(self.max_tries):
@@ -62,9 +83,7 @@ class AdaptiveSVT:
                 X,
                 k=k,
                 rng=self._rng,
-                batched=self.batched,
-                workers=self.workers,
-                nonfinite="propagate",
+                policy=self.policy.with_nonfinite("propagate"),
             )
             if s.size and s[-1] <= tau:
                 # The smallest computed value is already below the

@@ -66,7 +66,17 @@ def subtract_background(
     tol: float = 1e-6,
     max_iter: int = 200,
     svd: SVDFunc | None = None,
+    policy=None,
 ) -> BackgroundSubtraction:
-    """Run Robust PCA background subtraction on a (synthetic) video."""
+    """Run Robust PCA background subtraction on a (synthetic) video.
+
+    ``policy`` (an :class:`~repro.runtime.policy.ExecutionPolicy`) builds
+    a rank-adaptive SVT configured with it when no explicit ``svd`` hook
+    is given.
+    """
+    if svd is None and policy is not None:
+        from .adaptive import AdaptiveSVT
+
+        svd = AdaptiveSVT(policy=policy)
     result = rpca_ialm(video.M, tol=tol, max_iter=max_iter, svd=svd)
     return BackgroundSubtraction(video=video, result=result)

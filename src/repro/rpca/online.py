@@ -15,8 +15,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from .ialm import RPCAResult, rpca_ialm
 from .svt import SVDFunc
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.policy import ExecutionPolicy
 
 __all__ = ["OnlineRPCA", "ChunkResult"]
 
@@ -55,9 +60,18 @@ class OnlineRPCA:
     max_iter_cold: int = 150
     max_iter_warm: int = 40
     svd: SVDFunc | None = None
+    # How the inner SVT's QR factorizations execute; builds a
+    # rank-adaptive SVT when no explicit ``svd`` hook is given.
+    policy: "ExecutionPolicy | None" = None
     _U: np.ndarray | None = field(default=None, repr=False)  # carried subspace
     frames_seen: int = 0
     chunks: list[ChunkResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.svd is None and self.policy is not None:
+            from .adaptive import AdaptiveSVT
+
+            self.svd = AdaptiveSVT(policy=self.policy)
 
     def _subspace_from(self, L: np.ndarray) -> np.ndarray:
         U, s, _ = np.linalg.svd(L, full_matrices=False)

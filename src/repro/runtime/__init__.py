@@ -1,0 +1,41 @@
+"""Runtime policy/plan layer: one object naming *how* a factorization runs.
+
+PRs 1-3 each threaded a growing set of execution kwargs (``batched``,
+``structured``, ``lookahead``, ``workers``, ``nonfinite``, panel/tree
+geometry) by hand through every public entry point.  This package
+collapses that sprawl into a Parla-style policy/plan/execute separation:
+
+* :class:`ExecutionPolicy` — a frozen dataclass naming the execution
+  path, its geometry, worker count, numerics policy and the modeled
+  device/kernel configuration.  Every entry point accepts ``policy=``;
+  the old kwargs survive as thin deprecation shims that build a policy
+  internally (:func:`resolve_policy`).
+* :func:`plan_qr` / :class:`QRPlan` — everything shape-dependent about a
+  factorization (panel schedule, reduction-tree recipes, look-ahead task
+  DAG, compact-WY scratch sizes, the validated policy) computed once and
+  replayed by ``plan.execute(A)`` for repeated bit-identical
+  factorizations; ``plan.simulate()`` gives the modeled GPU cost of the
+  same shape.
+
+Layering: ``repro.core`` / ``repro.graph`` / ``repro.dispatch`` import
+:mod:`repro.runtime.policy` (which only depends on the guard layer);
+:mod:`repro.runtime.plan` lazily imports the heavy numeric modules at
+call time, so no import cycle exists.
+"""
+
+from .plan import QRPlan, plan_qr
+from .policy import (
+    PATH_NAMES,
+    ExecutionPolicy,
+    resolve_executor_policy,
+    resolve_policy,
+)
+
+__all__ = [
+    "PATH_NAMES",
+    "ExecutionPolicy",
+    "QRPlan",
+    "plan_qr",
+    "resolve_executor_policy",
+    "resolve_policy",
+]

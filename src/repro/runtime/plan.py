@@ -1,0 +1,275 @@
+"""Reusable QR plans: shape-dependent work computed once, replayed per matrix.
+
+The Robust-PCA window loop factors the *same* 110,592 x 100 shape once
+per video chunk, and the TSQR/CAQR schedule (panel partition, reduction
+trees, look-ahead task DAG, compact-WY scratch shapes) is a pure
+function of ``(m, n, dtype, policy)``.  :func:`plan_qr` derives all of
+it once; :meth:`QRPlan.execute` then runs each matrix with zero
+re-planning and — because it drives the exact same code paths the
+one-shot entry points use — bit-identical results to a direct
+``caqr_qr(A, policy=...)`` call.
+
+Heavy modules (:mod:`repro.core`, :mod:`repro.graph.executor`,
+:mod:`repro.caqr_gpu`) are imported lazily inside functions: the policy
+layer sits *below* them in the import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .policy import ExecutionPolicy
+
+__all__ = ["PanelSpec", "QRPlan", "plan_qr"]
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """Shape-dependent facts about one column panel of the factorization."""
+
+    col_start: int
+    col_stop: int
+    row_start: int
+    height: int  # rows below the diagonal redraw (m - row_start)
+    block_rows: int  # effective level-0 block height (>= panel width)
+    blocks: int  # level-0 row blocks
+    tree_levels: int
+    trailing_cols: int  # columns updated by this panel's Q^T
+
+    @property
+    def width(self) -> int:
+        return self.col_stop - self.col_start
+
+
+def _plan_dtype(dtype) -> np.dtype:
+    """The working dtype a validated input of ``dtype`` would have."""
+    dt = np.dtype(dtype)
+    if dt.kind == "c":
+        raise TypeError("plan_qr: complex dtypes are not supported")
+    return dt if dt == np.dtype(np.float32) else np.dtype(np.float64)
+
+
+def _panel_specs(m: int, n: int, policy: ExecutionPolicy) -> tuple[PanelSpec, ...]:
+    from repro.core.tree import build_tree
+    from repro.core.tsqr import row_blocks
+
+    k = min(m, n)
+    specs = []
+    for c0 in range(0, k, policy.panel_width):
+        pw_p = min(policy.panel_width, k - c0)
+        r0 = c0  # the grid is redrawn lower by the panel width
+        hp = m - r0
+        bh = max(policy.block_rows, pw_p)
+        nb = len(row_blocks(hp, bh))
+        tree = build_tree(nb, policy.tree_shape)
+        specs.append(
+            PanelSpec(
+                col_start=c0,
+                col_stop=c0 + pw_p,
+                row_start=r0,
+                height=hp,
+                block_rows=bh,
+                blocks=nb,
+                tree_levels=len(tree.levels),
+                trailing_cols=n - (c0 + pw_p),
+            )
+        )
+    return tuple(specs)
+
+
+def _wy_scratch_bytes(
+    m: int, n: int, policy: ExecutionPolicy, panels: tuple[PanelSpec, ...], itemsize: int
+) -> int:
+    """Elements the compact-WY ``(V, T)`` factors of every panel occupy.
+
+    Level 0 contributes ``blocks x (bh x w + w x w)``; each tree group of
+    arity ``a`` contributes ``(a w) x w + w x w``.  This is the peak
+    apply-plan footprint a server would pre-allocate for the shape.
+    """
+    from repro.core.tree import build_tree
+
+    elems = 0
+    for p in panels:
+        w = p.width
+        elems += p.blocks * (p.block_rows * w + w * w)
+        tree = build_tree(p.blocks, policy.tree_shape)
+        for level in tree.levels:
+            for group in level:
+                a = len(group)
+                elems += a * w * w + w * w
+    return elems * itemsize
+
+
+class QRPlan:
+    """A reusable factorization plan for one ``(m, n, dtype, policy)``.
+
+    Create with :func:`plan_qr`.  ``execute(A)`` factors any matrix of
+    the planned shape/dtype, bit-identical to the corresponding direct
+    ``caqr_qr(A, policy=...)`` call; repeated executions skip all
+    planning (panel schedule, look-ahead DAG construction, tree-recipe
+    capture).  ``simulate()`` returns the modeled GPU cost of the same
+    shape under ``policy.config`` / ``policy.device``.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        dtype: np.dtype,
+        policy: ExecutionPolicy,
+        panels: tuple[PanelSpec, ...],
+        schedule=None,
+        recipes: tuple = (),
+        wy_scratch_bytes: int = 0,
+    ) -> None:
+        self.m = m
+        self.n = n
+        self.dtype = dtype
+        self.policy = policy
+        self.panels = panels
+        self.wy_scratch_bytes = wy_scratch_bytes
+        self._schedule = schedule
+        self._recipes = recipes  # strong refs keep warmed recipes alive
+        self._sim = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.m, self.n)
+
+    def __repr__(self) -> str:
+        return (
+            f"QRPlan({self.m}x{self.n}, {self.dtype}, path={self.policy.path!r}, "
+            f"panels={len(self.panels)})"
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def _prepare(self, A: np.ndarray, validated: bool) -> np.ndarray:
+        from repro.verify.guards import validate_matrix
+
+        if not validated:
+            A = validate_matrix(A, where="QRPlan.execute", nonfinite=self.policy.nonfinite)
+        else:
+            A = np.asarray(A)
+        if A.shape != (self.m, self.n):
+            raise ValueError(
+                f"QRPlan.execute: matrix shape {A.shape} does not match the "
+                f"planned shape ({self.m}, {self.n})"
+            )
+        if A.dtype != self.dtype:
+            raise ValueError(
+                f"QRPlan.execute: matrix dtype {A.dtype} does not match the "
+                f"planned dtype {self.dtype}"
+            )
+        return A
+
+    def factor(self, A: np.ndarray, validated: bool = False):
+        """Factor ``A`` under the plan; returns the implicit-Q factors.
+
+        ``validated=True`` skips the guard layer entirely — for callers
+        (the dispatcher) that already validated and normalized ``A``,
+        making one scan per matrix the whole-pipeline total.
+        """
+        A = self._prepare(A, validated)
+        if self.policy.path == "lookahead":
+            from repro.graph.executor import run_lookahead_schedule
+
+            return run_lookahead_schedule(self._schedule, A)
+        from repro.core.caqr import _caqr_serial
+
+        return _caqr_serial(A, self.policy)
+
+    def execute(self, A: np.ndarray, validated: bool = False):
+        """Explicit thin ``(Q, R)`` of ``A`` under the plan."""
+        f = self.factor(A, validated=validated)
+        return f.form_q(), f.R
+
+    # -- modeled cost ------------------------------------------------------
+
+    def simulate(self, streams: int | None = None):
+        """Modeled GPU cost of this shape (cached for the serial stream)."""
+        if self.m < 1 or self.n < 1:
+            raise ValueError("simulate: degenerate shapes have no modeled timeline")
+        if streams is not None:
+            from repro.caqr_gpu import simulate_caqr
+
+            return simulate_caqr(
+                self.m,
+                self.n,
+                self.policy.resolved_config(),
+                self.policy.resolved_device(),
+                streams=streams,
+            )
+        if self._sim is None:
+            from repro.caqr_gpu import simulate_caqr
+
+            self._sim = simulate_caqr(
+                self.m, self.n, self.policy.resolved_config(), self.policy.resolved_device()
+            )
+        return self._sim
+
+    def describe(self) -> str:
+        """One human-readable block summarizing the plan."""
+        p = self.policy
+        lines = [
+            f"QR plan for {self.m} x {self.n} ({self.dtype})",
+            f"  path         {p.path}"
+            + (f" (workers={p.effective_workers})" if p.path == "lookahead" else ""),
+            f"  geometry     panel_width={p.panel_width} block_rows={p.block_rows} "
+            f"tree={p.tree_shape}",
+            f"  panels       {len(self.panels)}",
+            f"  wy scratch   {self.wy_scratch_bytes / 1e6:.2f} MB",
+        ]
+        if self.m >= 1 and self.n >= 1:
+            sim = self.simulate()
+            lines.append(
+                f"  modeled      {sim.seconds * 1e3:.2f} ms on "
+                f"{p.resolved_device().name} ({sim.gflops:.1f} GFLOPS)"
+            )
+        return "\n".join(lines)
+
+
+def plan_qr(
+    m: int,
+    n: int,
+    dtype=np.float64,
+    policy: ExecutionPolicy | None = None,
+) -> QRPlan:
+    """Build a reusable :class:`QRPlan` for an ``m x n`` factorization.
+
+    Everything shape-dependent is computed here, once: the panel
+    schedule, the per-panel reduction trees (captured into the
+    executor's recipe cache for the look-ahead path), the look-ahead
+    task DAG, and the compact-WY scratch footprint.  The policy is
+    validated at construction, so ``plan.execute`` never re-resolves
+    kwargs.
+    """
+    if m < 0 or n < 0:
+        raise ValueError("matrix dimensions must be non-negative")
+    policy = policy if policy is not None else ExecutionPolicy()
+    dt = _plan_dtype(dtype)
+    panels = _panel_specs(m, n, policy)
+    scratch = _wy_scratch_bytes(m, n, policy, panels, dt.itemsize)
+    schedule = None
+    recipes: tuple = ()
+    if policy.path == "lookahead":
+        from repro.graph.executor import _recipe, build_lookahead_schedule
+
+        schedule = build_lookahead_schedule(m, n, policy)
+        # Warm (and pin) the per-panel tree recipes so the first execute
+        # replays them instead of capturing.
+        recipes = tuple(
+            _recipe(p.height, p.width, p.block_rows, policy.tree_shape) for p in panels
+        )
+    return QRPlan(
+        m=m,
+        n=n,
+        dtype=dt,
+        policy=policy,
+        panels=panels,
+        schedule=schedule,
+        recipes=recipes,
+        wy_scratch_bytes=scratch,
+    )

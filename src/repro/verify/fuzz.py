@@ -33,20 +33,50 @@ import numpy as np
 
 from repro.core.caqr import caqr_qr
 from repro.core.validation import sign_canonical
+from repro.runtime.policy import ExecutionPolicy
 
 from .invariants import launch_fingerprint, qr_invariants, qr_tolerance
 
-__all__ = ["PATHS", "FuzzCase", "Divergence", "FuzzReport", "run_case", "generate_cases", "run_grid"]
+__all__ = [
+    "PATHS",
+    "FuzzCase",
+    "Divergence",
+    "FuzzReport",
+    "policy_for",
+    "run_case",
+    "generate_cases",
+    "run_grid",
+]
 
 
-# Execution-path flag sets, keyed by the name the report uses.
+# ExecutionPolicy field overrides per fuzz path, keyed by the name the
+# report uses.  ``lookahead_mt`` is the same policy path with a thread
+# pool — kept as a distinct fuzz identity because it exercises the
+# concurrent executor engine.
 PATHS: dict[str, dict] = {
-    "seed": {"batched": False},
-    "batched": {},
-    "structured": {"structured": True},
-    "lookahead": {"lookahead": True},
-    "lookahead_mt": {"lookahead": True, "workers": 3},
+    "seed": {"path": "seed"},
+    "batched": {"path": "batched"},
+    "structured": {"path": "structured"},
+    "lookahead": {"path": "lookahead"},
+    "lookahead_mt": {"path": "lookahead", "workers": 3},
 }
+
+
+def policy_for(
+    name: str,
+    panel_width: int = 16,
+    block_rows: int = 64,
+    tree_shape: str = "quad",
+    nonfinite: str = "raise",
+) -> ExecutionPolicy:
+    """The :class:`ExecutionPolicy` a fuzz path name denotes."""
+    return ExecutionPolicy(
+        panel_width=panel_width,
+        block_rows=block_rows,
+        tree_shape=tree_shape,
+        nonfinite=nonfinite,
+        **PATHS[name],
+    )
 
 # Factor on the pairwise/vs-numpy comparison tolerance: looser than the
 # invariant bound because two independently-rounded stable QRs of the
@@ -96,22 +126,32 @@ class FuzzCase:
             A = view
         return A
 
-    def qr_kwargs(self, path: str) -> dict:
-        return dict(
+    def policy(self, path: str) -> ExecutionPolicy:
+        """The execution policy this case runs path ``path`` under."""
+        return policy_for(
+            path,
             panel_width=self.panel_width,
             block_rows=self.block_rows,
             tree_shape=self.tree_shape,
-            **PATHS[path],
         )
 
     def repro(self, path: str) -> str:
         """Minimal standalone snippet reproducing this case on ``path``."""
-        kw = ", ".join(f"{k}={v!r}" for k, v in self.qr_kwargs(path).items())
+        kw = ", ".join(
+            f"{k}={v!r}"
+            for k, v in dict(
+                panel_width=self.panel_width,
+                block_rows=self.block_rows,
+                tree_shape=self.tree_shape,
+                **PATHS[path],
+            ).items()
+        )
         return (
             "from repro.core.caqr import caqr_qr\n"
+            "from repro.runtime import ExecutionPolicy\n"
             f"from repro.verify.fuzz import FuzzCase\n"
             f"A = {self!r}.build()\n"
-            f"Q, R = caqr_qr(A, {kw})"
+            f"Q, R = caqr_qr(A, policy=ExecutionPolicy({kw}))"
         )
 
 
@@ -188,7 +228,7 @@ def run_case(case: FuzzCase, paths: list[str] | None = None) -> list[Divergence]
     results: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for name in names:
         try:
-            Q, R = caqr_qr(A, **case.qr_kwargs(name))
+            Q, R = caqr_qr(A, policy=case.policy(name))
         except Exception as exc:  # a crash on valid input is a finding
             divs.append(Divergence(case, name, "exception", f"{type(exc).__name__}: {exc}"))
             continue

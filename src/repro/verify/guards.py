@@ -28,11 +28,50 @@ the public boundary, so inputs are scanned exactly once per call.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["NONFINITE_POLICIES", "GuardError", "validate_matrix", "validate_nonfinite_policy"]
+__all__ = [
+    "NONFINITE_POLICIES",
+    "GuardError",
+    "ValidationCounter",
+    "count_validations",
+    "validate_matrix",
+    "validate_nonfinite_policy",
+]
 
 NONFINITE_POLICIES = ("raise", "propagate")
+
+
+@dataclass
+class ValidationCounter:
+    """Counts guard-layer activity while a :func:`count_validations` scope
+    is open.
+
+    ``validations`` counts :func:`validate_matrix` entries; ``scans``
+    counts actual non-finite sweeps over the data (``"raise"`` mode
+    only).  The single-scan contract — one public entry point, one scan
+    per matrix — is asserted in tests through this hook.
+    """
+
+    validations: int = 0
+    scans: int = 0
+
+
+_COUNTERS: list[ValidationCounter] = []
+
+
+@contextmanager
+def count_validations():
+    """Context manager yielding a live :class:`ValidationCounter`."""
+    counter = ValidationCounter()
+    _COUNTERS.append(counter)
+    try:
+        yield counter
+    finally:
+        _COUNTERS.remove(counter)
 
 
 class GuardError(ValueError):
@@ -50,6 +89,8 @@ def validate_nonfinite_policy(nonfinite: str, where: str = "validate_matrix") ->
 
 
 def _raise_on_nonfinite(A: np.ndarray, where: str) -> None:
+    for counter in _COUNTERS:
+        counter.scans += 1
     if A.size == 0:
         return
     finite = np.isfinite(A)
@@ -97,6 +138,8 @@ def validate_matrix(
     # time, so importing repro.core here at module level would cycle.
     from repro.core.dtypes import as_float_array
 
+    for counter in _COUNTERS:
+        counter.validations += 1
     validate_nonfinite_policy(nonfinite, where)
     A = np.asarray(A)
     if np.iscomplexobj(A):

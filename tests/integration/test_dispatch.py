@@ -102,32 +102,113 @@ class TestPredictionCache:
 
 
 class TestLookaheadPlumbing:
-    def test_qr_forwards_execution_options(self, monkeypatch, rng):
-        import repro.dispatch as dispatch_mod
-
-        seen = {}
-        real = dispatch_mod.caqr_qr
-
-        def capturing(A, **kwargs):
-            seen.update(kwargs)
-            return real(A, **kwargs)
-
-        monkeypatch.setattr(dispatch_mod, "caqr_qr", capturing)
-        d = QRDispatcher(lookahead=True, workers=2)
+    def test_qr_forwards_execution_options(self, rng):
+        with pytest.warns(DeprecationWarning):
+            d = QRDispatcher(lookahead=True, workers=2)
+        # The legacy kwargs resolve into the dispatcher's policy, and the
+        # pre-policy attributes still read back through it.
+        assert d.policy.path == "lookahead" and d.policy.workers == 2
+        assert d.lookahead is True and d.workers == 2 and d.batched is True
         A = rng.standard_normal((2000, 24))
         out = d.qr(A)
         assert out.engine == "caqr"
-        assert seen["lookahead"] is True and seen["workers"] == 2
-        assert seen["batched"] is True
+        # The cached plan carries the same policy the kwargs named.
+        plan = d.plan_for(2000, 24)
+        assert plan.policy is d.policy
         assert factorization_error(A, out.Q, out.R) < 1e-12
         assert orthogonality_error(out.Q) < 1e-12
 
     def test_lookahead_matches_serial_dispatch(self, rng):
+        from repro.runtime import ExecutionPolicy
+        from repro.kernels.config import REFERENCE_CONFIG as cfg
+
         A = rng.standard_normal((1500, 32))
         serial = QRDispatcher().qr(A)
-        overlap = QRDispatcher(lookahead=True, workers=2).qr(A)
+        overlap = QRDispatcher(
+            policy=ExecutionPolicy(
+                path="lookahead",
+                workers=2,
+                panel_width=cfg.panel_width,
+                block_rows=cfg.block_rows,
+                tree_shape=cfg.tree_shape,
+            )
+        ).qr(A)
         assert serial.engine == overlap.engine == "caqr"
         assert np.max(np.abs(serial.R - overlap.R)) < 1e-14 * np.linalg.norm(A)
+
+
+class TestPlanCache:
+    def test_qr_reuses_one_plan_per_shape(self, monkeypatch, rng):
+        import repro.dispatch as dispatch_mod
+
+        calls = {"n": 0}
+        real = dispatch_mod.plan_qr
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(dispatch_mod, "plan_qr", counting)
+        d = QRDispatcher()
+        A = rng.standard_normal((2000, 24))
+        B = rng.standard_normal((2000, 24))
+        d.qr(A)
+        d.qr(B)
+        assert calls["n"] == 1  # second same-shape matrix skipped planning
+        d.qr(rng.standard_normal((2100, 24)))
+        assert calls["n"] == 2
+
+    def test_plan_cache_lru_eviction(self):
+        d = QRDispatcher(cache_size=2)
+        d.plan_for(400, 8)
+        d.plan_for(400, 9)
+        d.plan_for(400, 8)  # refresh: (400, 9) is now least recent
+        d.plan_for(400, 10)  # evicts (400, 9)
+        assert {k[:2] for k in d._plan_cache} == {(400, 8), (400, 10)}
+
+    def test_plan_keyed_on_dtype(self):
+        d = QRDispatcher()
+        p64 = d.plan_for(400, 8, dtype=np.float64)
+        p32 = d.plan_for(400, 8, dtype=np.float32)
+        assert p64 is not p32
+        assert d.plan_for(400, 8, dtype=np.float64) is p64
+
+    def test_dispatched_qr_scans_each_matrix_once(self, rng):
+        from repro.verify.guards import count_validations
+
+        d = QRDispatcher()
+        A = rng.standard_normal((2000, 24))
+        d.qr(A)  # warm the plan/pred caches outside the counted window
+        with count_validations() as counter:
+            out = d.qr(A)
+        assert out.engine == "caqr"
+        assert counter.validations == 1
+        assert counter.scans == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_qr_one_dispatcher(self, rng):
+        from concurrent.futures import ThreadPoolExecutor
+
+        d = QRDispatcher(cache_size=4)
+        mats = [rng.standard_normal((600 + 50 * (i % 4), 16)) for i in range(16)]
+        expected = [QRDispatcher().qr(A).R for A in mats]
+        with ThreadPoolExecutor(max_workers=8) as ex:
+            results = list(ex.map(d.qr, mats))
+        for res, R in zip(results, expected):
+            assert res.engine == "caqr"
+            np.testing.assert_array_equal(res.R, R)
+
+    def test_concurrent_predict_is_consistent(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        d = QRDispatcher(cache_size=8)
+        shapes = [(10_000 + 1000 * (i % 5), 64) for i in range(40)]
+        with ThreadPoolExecutor(max_workers=8) as ex:
+            results = list(ex.map(lambda s: d.predict(*s), shapes))
+        baseline = {s: QRDispatcher().predict(*s) for s in set(shapes)}
+        for shape, preds in zip(shapes, results):
+            assert preds == baseline[shape]
 
 
 class TestDispatchedFactorization:

@@ -1,0 +1,76 @@
+"""The layering lint: clean on the repo, and able to detect a violation.
+
+A lint that never fires is indistinguishable from no lint; inject a
+synthetic violation and make sure it is flagged at the right line.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+LINT = REPO / "tools" / "lint_layering.py"
+
+
+def test_repo_is_clean():
+    proc = subprocess.run(
+        [sys.executable, str(LINT)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+class TestScanner:
+    def _scan(self, source: str, tmp_path):
+        sys.path.insert(0, str(LINT.parent))
+        try:
+            import lint_layering
+        finally:
+            sys.path.pop(0)
+        f = tmp_path / "mod.py"
+        f.write_text(source)
+        return lint_layering.scan_file(f)
+
+    def test_detects_path_kwarg_on_entry_point(self, tmp_path):
+        hits = self._scan(
+            "from repro.core.caqr import caqr_qr\n"
+            "Q, R = caqr_qr(A, batched=False)\n",
+            tmp_path,
+        )
+        assert hits == [(2, "caqr_qr", "batched")]
+
+    def test_ignores_unrelated_workers_kwarg(self, tmp_path):
+        hits = self._scan(
+            "pool = ThreadPoolExecutor(workers=4)\n"
+            "other_function(A, batched=False)\n",
+            tmp_path,
+        )
+        assert hits == []
+
+    def test_ignores_policy_kwarg(self, tmp_path):
+        hits = self._scan(
+            "caqr_qr(A, policy=ExecutionPolicy(path='seed'))\n", tmp_path
+        )
+        assert hits == []
+
+    def test_shim_forwarding_is_exempt(self, tmp_path):
+        hits = self._scan(
+            "def caqr_qr(A, batched=UNSET):\n"
+            "    return caqr(A, batched=batched)\n",
+            tmp_path,
+        )
+        assert hits == []
+
+    def test_nested_helper_inside_shim_still_exempt_only_in_shim(self, tmp_path):
+        hits = self._scan(
+            "def helper(A):\n"
+            "    return caqr(A, lookahead=True)\n",
+            tmp_path,
+        )
+        assert hits == [(2, "caqr", "lookahead")]
+
+    def test_attribute_calls_are_flagged(self, tmp_path):
+        hits = self._scan("repro.core.caqr.caqr(A, workers=3)\n", tmp_path)
+        assert hits == [(1, "caqr", "workers")]

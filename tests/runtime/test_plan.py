@@ -1,0 +1,139 @@
+"""QRPlan: bit-identity with the one-shot entry points, reuse, guards.
+
+The plan's whole contract is "same numbers, less work": ``execute`` must
+be *bit-identical* to a direct ``caqr_qr(A, policy=...)`` on every
+execution path, and one plan replayed over many same-shape matrices must
+equal building a fresh plan per matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.caqr import caqr_qr
+from repro.runtime import ExecutionPolicy, QRPlan, plan_qr
+from repro.verify.fuzz import PATHS, policy_for
+
+GEOM = {"panel_width": 4, "block_rows": 8}
+
+
+@pytest.fixture(params=list(PATHS))
+def path_policy(request):
+    return policy_for(request.param, **GEOM)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("shape", [(64, 12), (37, 5), (8, 8)])
+    def test_execute_matches_direct_call(self, rng, path_policy, shape):
+        A = rng.standard_normal(shape)
+        plan = plan_qr(*shape, dtype=A.dtype, policy=path_policy)
+        Qp, Rp = plan.execute(A)
+        Qd, Rd = caqr_qr(A, policy=path_policy)
+        np.testing.assert_array_equal(Qp, Qd)
+        np.testing.assert_array_equal(Rp, Rd)
+
+    def test_float32_matches(self, rng, path_policy):
+        A = rng.standard_normal((48, 10)).astype(np.float32)
+        plan = plan_qr(48, 10, dtype=np.float32, policy=path_policy)
+        Qp, Rp = plan.execute(A)
+        Qd, Rd = caqr_qr(A, policy=path_policy)
+        assert Qp.dtype == np.float32
+        np.testing.assert_array_equal(Qp, Qd)
+        np.testing.assert_array_equal(Rp, Rd)
+
+    def test_repeated_execute_is_deterministic(self, rng, path_policy):
+        A = rng.standard_normal((64, 12))
+        plan = plan_qr(64, 12, policy=path_policy)
+        Q1, R1 = plan.execute(A)
+        Q2, R2 = plan.execute(A)
+        np.testing.assert_array_equal(Q1, Q2)
+        np.testing.assert_array_equal(R1, R2)
+
+
+class TestReuse:
+    def test_one_plan_two_matrices_equals_two_fresh_plans(self, rng, path_policy):
+        A = rng.standard_normal((64, 12))
+        B = rng.standard_normal((64, 12))
+        shared = plan_qr(64, 12, policy=path_policy)
+        outs_shared = [shared.execute(A), shared.execute(B)]
+        outs_fresh = [
+            plan_qr(64, 12, policy=path_policy).execute(M) for M in (A, B)
+        ]
+        for (Qs, Rs), (Qf, Rf) in zip(outs_shared, outs_fresh):
+            np.testing.assert_array_equal(Qs, Qf)
+            np.testing.assert_array_equal(Rs, Rf)
+
+    def test_execute_does_not_mutate_input(self, rng, path_policy):
+        A = rng.standard_normal((40, 8))
+        before = A.copy()
+        plan_qr(40, 8, policy=path_policy).execute(A)
+        np.testing.assert_array_equal(A, before)
+
+
+class TestGuards:
+    def test_shape_mismatch_rejected(self, rng):
+        plan = plan_qr(32, 8)
+        with pytest.raises(ValueError, match="does not match the planned shape"):
+            plan.execute(rng.standard_normal((32, 9)))
+
+    def test_dtype_mismatch_rejected(self, rng):
+        plan = plan_qr(32, 8, dtype=np.float32)
+        with pytest.raises(ValueError, match="does not match the planned dtype"):
+            plan.execute(rng.standard_normal((32, 8)))  # float64
+
+    def test_int_input_planned_as_float64(self):
+        plan = plan_qr(4, 2, dtype=np.int64)
+        Q, R = plan.execute(np.arange(8).reshape(4, 2))
+        assert Q.dtype == np.float64
+        np.testing.assert_allclose(Q @ R, np.arange(8).reshape(4, 2), atol=1e-12)
+
+    def test_complex_rejected_at_plan_time(self):
+        with pytest.raises(TypeError, match="complex"):
+            plan_qr(8, 4, dtype=np.complex128)
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            plan_qr(-1, 4)
+
+    def test_nonfinite_guard_active_by_default(self):
+        plan = plan_qr(8, 4)
+        bad = np.zeros((8, 4))
+        bad[3, 1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            plan.execute(bad)
+
+
+class TestPlanMetadata:
+    def test_panel_schedule_covers_all_columns(self):
+        plan = plan_qr(200, 37, policy=ExecutionPolicy(panel_width=16))
+        assert plan.panels[0].col_start == 0
+        assert plan.panels[-1].col_stop == 37
+        widths = [p.width for p in plan.panels]
+        assert sum(widths) == 37 and all(w <= 16 for w in widths)
+
+    def test_degenerate_shapes_plan_and_execute(self):
+        for m, n in [(0, 5), (5, 0), (0, 0)]:
+            plan = plan_qr(m, n)
+            assert isinstance(plan, QRPlan)
+            Q, R = plan.execute(np.zeros((m, n)))
+            k = min(m, n)
+            assert Q.shape == (m, k) and R.shape == (k, n)
+
+    def test_simulate_cached_and_guarded(self):
+        plan = plan_qr(4096, 64)
+        sim1 = plan.simulate()
+        assert plan.simulate() is sim1
+        assert sim1.seconds > 0
+        with pytest.raises(ValueError, match="degenerate"):
+            plan_qr(0, 5).simulate()
+
+    def test_describe_mentions_path_and_shape(self):
+        policy = ExecutionPolicy(path="lookahead", workers=2)
+        text = plan_qr(4096, 64, policy=policy).describe()
+        assert "4096 x 64" in text
+        assert "lookahead" in text and "workers=2" in text
+
+    def test_wy_scratch_positive_for_nonempty(self):
+        assert plan_qr(256, 32).wy_scratch_bytes > 0
+        assert plan_qr(0, 0).wy_scratch_bytes == 0

@@ -12,31 +12,37 @@ import numpy as np
 import pytest
 
 from repro.core.caqr import caqr_qr
-from repro.verify.fuzz import PATHS
+from repro.runtime import ExecutionPolicy
+from repro.verify.fuzz import PATHS, policy_for
 from repro.verify.invariants import check_qr, expected_qr_shapes
 
 SHAPES = [(0, 5), (5, 0), (0, 0), (1, 1), (1, 4), (3, 7), (2, 2)]
 
 
 @pytest.fixture(params=list(PATHS))
-def path_kwargs(request):
-    return PATHS[request.param]
+def path_policy(request):
+    """A factory building the fuzz path's policy with per-test geometry."""
+
+    def make(**geometry):
+        return policy_for(request.param, **geometry)
+
+    return make
 
 
 @pytest.mark.parametrize("m,n", SHAPES)
-def test_shapes_and_dtypes_match_numpy(rng, path_kwargs, m, n):
+def test_shapes_and_dtypes_match_numpy(rng, path_policy, m, n):
     A = rng.standard_normal((m, n))
     Qn, Rn = np.linalg.qr(A, mode="reduced")
-    Q, R = caqr_qr(A, panel_width=2, block_rows=4, **path_kwargs)
+    Q, R = caqr_qr(A, policy=path_policy(panel_width=2, block_rows=4))
     assert Q.shape == Qn.shape and R.shape == Rn.shape
     assert Q.dtype == Qn.dtype and R.dtype == Rn.dtype
     check_qr(A, Q, R)
 
 
 @pytest.mark.parametrize("m,n", SHAPES)
-def test_float32_degenerate_shapes(rng, path_kwargs, m, n):
+def test_float32_degenerate_shapes(rng, path_policy, m, n):
     A = rng.standard_normal((m, n)).astype(np.float32)
-    Q, R = caqr_qr(A, panel_width=2, block_rows=4, **path_kwargs)
+    Q, R = caqr_qr(A, policy=path_policy(panel_width=2, block_rows=4))
     eq, er = expected_qr_shapes(m, n)
     assert Q.shape == eq and R.shape == er
     assert Q.dtype == np.float32 and R.dtype == np.float32
@@ -46,20 +52,23 @@ def test_wide_matrix_with_lookahead(rng):
     """m < n through the task-graph executor (panels stop at min(m, n))."""
     A = rng.standard_normal((4, 19))
     for workers in (None, 3):
-        Q, R = caqr_qr(A, panel_width=3, block_rows=4, lookahead=True, workers=workers)
+        policy = ExecutionPolicy(
+            path="lookahead", panel_width=3, block_rows=4, workers=workers
+        )
+        Q, R = caqr_qr(A, policy=policy)
         assert Q.shape == (4, 4) and R.shape == (4, 19)
         check_qr(A, Q, R)
 
 
-def test_panel_wider_than_matrix(rng, path_kwargs):
+def test_panel_wider_than_matrix(rng, path_policy):
     A = rng.standard_normal((20, 3))
-    Q, R = caqr_qr(A, panel_width=16, block_rows=8, **path_kwargs)
+    Q, R = caqr_qr(A, policy=path_policy(panel_width=16, block_rows=8))
     assert Q.shape == (20, 3)
     check_qr(A, Q, R)
 
 
 @pytest.mark.parametrize("order", ["F", "strided"])
-def test_noncontiguous_layouts(rng, path_kwargs, order):
+def test_noncontiguous_layouts(rng, path_policy, order):
     A = rng.standard_normal((33, 7))
     if order == "F":
         V = np.asfortranarray(A)
@@ -68,14 +77,14 @@ def test_noncontiguous_layouts(rng, path_kwargs, order):
         V = buf[0:66:2, 0:14:2]
         V[...] = A
     before = V.copy()
-    Q, R = caqr_qr(V, panel_width=3, block_rows=8, **path_kwargs)
+    Q, R = caqr_qr(V, policy=path_policy(panel_width=3, block_rows=8))
     check_qr(V, Q, R)
     # The entry point never mutates the caller's view.
     np.testing.assert_array_equal(V, before)
 
 
-def test_empty_dimensions_give_empty_factors(path_kwargs):
-    Q, R = caqr_qr(np.zeros((0, 5)), **path_kwargs)
+def test_empty_dimensions_give_empty_factors(path_policy):
+    Q, R = caqr_qr(np.zeros((0, 5)), policy=path_policy())
     assert Q.shape == (0, 0) and R.shape == (0, 5)
-    Q, R = caqr_qr(np.zeros((5, 0)), **path_kwargs)
+    Q, R = caqr_qr(np.zeros((5, 0)), policy=path_policy())
     assert Q.shape == (5, 0) and R.shape == (0, 0)

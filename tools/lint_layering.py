@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Layering lint: path-selection kwargs live in ``repro.runtime`` only.
+
+The policy refactor routed every execution-path decision through
+``repro.runtime.ExecutionPolicy``.  The legacy keywords (``batched``,
+``structured``, ``lookahead``, ``workers``) survive on the public entry
+points as deprecation shims for *external* callers — but no module
+inside this repository may construct them directly anymore: internal
+code passes ``policy=`` (or calls the ``_impl`` layers), so future
+backends/telemetry hook in at exactly one place.
+
+AST-based, not regex: a call like ``caqr_qr(A, batched=False)`` is
+flagged wherever the callee name matches a policy-accepting entry point,
+while unrelated keywords named ``workers`` on non-entry-point calls
+(e.g. ``ThreadPoolExecutor(max_workers=...)``) are not.
+
+Scanned: ``src/repro`` (minus ``repro/runtime``, which owns the
+mapping), ``benchmarks/``, ``examples/``.  Tests are exempt — they
+deliberately exercise the deprecation shims.
+
+Exit status 1 lists every violation as ``file:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Public entry points that accept (deprecated) path-selection kwargs.
+ENTRY_POINTS = {
+    "caqr",
+    "caqr_qr",
+    "tsqr",
+    "tsqr_qr",
+    "caqr_gpu_factor",
+    "caqr_lookahead",
+    "randomized_svd",
+    "randomized_range_finder",
+    "QRDispatcher",
+    "AdaptiveSVT",
+}
+
+# Keywords whose construction is reserved to repro.runtime and the shims.
+# ``nonfinite`` stays off this list: it is a guard knob, not a path
+# selector, and the numeric baselines legitimately take it.
+PATH_KWARGS = {"batched", "structured", "lookahead", "workers"}
+
+SCAN_ROOTS = ("src/repro", "benchmarks", "examples")
+EXEMPT = ("src/repro/runtime/",)
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def scan_file(path: Path) -> list[tuple[int, str, str]]:
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:  # a broken file is its own finding
+        return [(exc.lineno or 0, "<syntax>", str(exc))]
+    hits = []
+    for node, enclosing in _walk_with_function(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _callee_name(node)
+        if name not in ENTRY_POINTS:
+            continue
+        if enclosing in ENTRY_POINTS:
+            # A shim forwarding to its sibling (caqr_qr -> caqr): the
+            # shims themselves are the sanctioned legacy surface.
+            continue
+        bad = sorted(
+            kw.arg for kw in node.keywords if kw.arg in PATH_KWARGS
+        )
+        if bad:
+            hits.append((node.lineno, name, ", ".join(bad)))
+    return hits
+
+
+def _walk_with_function(tree: ast.AST):
+    """Yield ``(node, enclosing_function_name)`` over the whole tree."""
+
+    def visit(node: ast.AST, fn: str | None):
+        yield node, fn
+        inner = (
+            node.name
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else fn
+        )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, inner)
+
+    yield from visit(tree, None)
+
+
+def main() -> int:
+    violations = []
+    for root in SCAN_ROOTS:
+        base = REPO / root
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(REPO).as_posix()
+            if any(rel.startswith(pref) for pref in EXEMPT):
+                continue
+            for lineno, name, kwargs in scan_file(path):
+                violations.append(f"{rel}:{lineno}: {name}(..., {kwargs}=...)")
+    if violations:
+        print("layering lint: path-selection kwargs constructed outside repro.runtime:")
+        for v in violations:
+            print(f"  {v}")
+        print(
+            f"\n{len(violations)} violation(s). Pass policy=ExecutionPolicy(...) "
+            "instead (see docs/architecture.md, 'Execution policy & plans')."
+        )
+        return 1
+    print("layering lint: clean (no path-selection kwargs outside repro.runtime)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
