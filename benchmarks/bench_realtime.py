@@ -38,7 +38,10 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+try:  # self-locating: only extend sys.path when repro is not installed
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.caqr_gpu import enumerate_caqr_launches  # noqa: E402
 from repro.core.caqr import caqr  # noqa: E402
@@ -186,6 +189,23 @@ def bench_shape(m: int, n: int, br: int, pw: int, reps: int, seed: int = 7) -> d
     }
 
 
+def write_bench_trace(m: int, n: int, br: int, pw: int, path: Path) -> None:
+    """Capture one traced look-ahead ``plan.factor`` and export it.
+
+    Runs outside the timed loops — tracing stays disabled for every
+    measurement this benchmark reports.
+    """
+    from repro import obs
+
+    policy = ExecutionPolicy(path="lookahead", block_rows=br, panel_width=pw)
+    A = np.random.default_rng(7).standard_normal((m, n))
+    with obs.capture(meta={"shape": f"{m}x{n}", "bench": "bench_realtime"}) as session:
+        plan = plan_qr(m, n, dtype=A.dtype, policy=policy)
+        plan.factor(A)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    obs.write_chrome_trace(session.trace, path)
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="small shapes, 1 rep (CI smoke)")
@@ -209,6 +229,14 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON (default: BENCH_caqr.json at the repo root; "
         "--quick writes nothing unless --out is given)",
     )
+    ap.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="also capture one traced plan.factor() per shape and write "
+        "the Chrome trace_event JSON here (one file, last shape wins "
+        "unless the name contains '{shape}')",
+    )
     args = ap.parse_args(argv)
 
     check_mode = args.check_lookahead or args.check_plan_reuse
@@ -227,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
     for m, n, br, pw in shapes:
         r = bench_shape(m, n, br, pw, reps)
         rows.append(r)
+        if args.trace_out is not None:
+            path = Path(str(args.trace_out).replace("{shape}", f"{m}x{n}"))
+            write_bench_trace(m, n, br, pw, path)
+            print(f"wrote trace {path}")
         print(
             f"{m}x{n} (br={br}, pw={pw}): "
             f"caqr {r['caqr_seconds_batched']:.3f}s batched vs "

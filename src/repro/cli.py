@@ -12,6 +12,7 @@ Usage::
     python -m repro sensitivity
     python -m repro dispatch --m 8192 --n 192
     python -m repro plan --m 110592 --n 100 --path lookahead
+    python -m repro trace --shape 4096x128 --policy lookahead --out trace.json
     python -m repro verify --seed 0
 """
 
@@ -69,6 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pl.add_argument("--workers", type=int, default=None, help="look-ahead worker count")
 
+    tr = sub.add_parser(
+        "trace",
+        help="run one traced factorization; write a Perfetto-loadable trace",
+    )
+    tr.add_argument(
+        "--shape", type=str, default="4096x128", help="matrix shape as MxN"
+    )
+    tr.add_argument(
+        "--policy",
+        type=str,
+        default="batched",
+        help="execution path: seed | batched | structured | lookahead",
+    )
+    tr.add_argument("--workers", type=int, default=None, help="look-ahead worker count")
+    tr.add_argument("--seed", type=int, default=0, help="matrix RNG seed")
+    tr.add_argument(
+        "--out", type=str, default=None, help="Chrome trace_event JSON output path"
+    )
+
     e = sub.add_parser("export", help="write CSVs of every table/figure")
     e.add_argument("--out", type=str, default="exports")
 
@@ -94,6 +114,52 @@ def _ints(csv: str | None) -> tuple[int, ...] | None:
     if csv is None:
         return None
     return tuple(int(x) for x in csv.split(",") if x)
+
+
+def _cmd_trace(args) -> int:
+    """One traced factorization: capture, export, modeled-vs-measured."""
+    import numpy as np
+
+    from repro import obs
+    from repro.runtime import ExecutionPolicy, plan_qr
+
+    try:
+        m_s, n_s = args.shape.lower().split("x")
+        m, n = int(m_s), int(n_s)
+    except ValueError:
+        print(f"trace: --shape must look like 4096x128, got {args.shape!r}")
+        return 2
+    policy = ExecutionPolicy(path=args.policy, workers=args.workers)
+    A = np.random.default_rng(args.seed).standard_normal((m, n))
+    with obs.capture(meta={"shape": f"{m}x{n}", "path": policy.path}) as session:
+        plan = plan_qr(m, n, policy=policy)
+        plan.factor(A)
+    trace = session.trace
+    root = max(
+        (s for s in trace.spans if s.name == "plan.factor"), key=lambda s: s.dur_ns
+    )
+    coverage = trace.coverage(root)
+    out = [obs.render_spans(trace)]
+    out.append(
+        f"span coverage of plan.factor: {coverage:.1%} "
+        f"({len(trace.spans)} spans, {len(trace.thread_names)} thread"
+        f"{'s' if len(trace.thread_names) != 1 else ''})"
+    )
+    out.append("")
+    out.append(
+        obs.format_overlay(
+            obs.modeled_vs_measured(trace, plan.simulate()),
+            title=f"modeled vs measured ({m}x{n}, path={policy.path})",
+        )
+    )
+    if args.out:
+        path = obs.write_chrome_trace(trace, args.out)
+        out.append(f"\nwrote {path} (open in https://ui.perfetto.dev)")
+    print("\n".join(out))
+    if coverage < 0.95:
+        print(f"trace: span coverage {coverage:.1%} below the 95% floor")
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         plan = plan_qr(args.m, args.n, dtype=np.dtype(args.dtype), policy=policy)
         print(plan.describe())
         return 0
+    if args.command == "trace":
+        return _cmd_trace(args)
     # Imports deferred so `--help` stays instant.
     from repro.experiments import (
         ablations,

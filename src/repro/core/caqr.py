@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import tracer as _obs
 from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.verify.guards import validate_matrix
 
@@ -88,24 +89,27 @@ def _caqr_serial(A: np.ndarray, policy: ExecutionPolicy) -> CAQRFactors:
     """
     m, n = A.shape
     k = min(m, n)
-    W = A.copy()
+    with _obs.span("setup", cat="host"):
+        W = A.copy()
     panels: list[PanelFactor] = []
     for col_start in range(0, k, policy.panel_width):
         pw = min(policy.panel_width, k - col_start)
         row_start = col_start  # grid redrawn lower by the panel width
         panel_view = W[row_start:, col_start : col_start + pw]
-        f = _tsqr_impl(
-            panel_view,
-            block_rows=policy.block_rows,
-            tree_shape=policy.tree_shape,
-            structured=policy.uses_structured,
-            batched=policy.uses_batched,
-        )
+        with _obs.span("factor", cat="factor", panel=col_start // policy.panel_width, rows=m - row_start):
+            f = _tsqr_impl(
+                panel_view,
+                block_rows=policy.block_rows,
+                tree_shape=policy.tree_shape,
+                structured=policy.uses_structured,
+                batched=policy.uses_batched,
+            )
         # The trailing matrix update: apply Q^T of the panel across the
         # remaining columns (apply_qt_h + apply_qt_tree in the GPU code).
         trailing = W[row_start:, col_start + pw :]
         if trailing.size:
-            f.apply_qt(trailing)
+            with _obs.span("update", cat="update", panel=col_start // policy.panel_width, cols=n - col_start - pw):
+                f.apply_qt(trailing)
         # Record the panel's R back into the working matrix so the final
         # R can be read off the top k rows.
         rh = f.R.shape[0]
@@ -114,7 +118,8 @@ def _caqr_serial(A: np.ndarray, policy: ExecutionPolicy) -> CAQRFactors:
         panels.append(
             PanelFactor(col_start=col_start, col_stop=col_start + pw, row_start=row_start, factors=f)
         )
-    R = np.triu(W[:k, :])
+    with _obs.span("assemble_r", cat="host"):
+        R = np.triu(W[:k, :])
     return CAQRFactors(
         m=m,
         n=n,
@@ -189,8 +194,10 @@ def caqr(
         from repro.graph.executor import caqr_lookahead
 
         return caqr_lookahead(A, policy=policy)
-    A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
-    return _caqr_serial(A, policy)
+    with _obs.maybe_trace(policy.trace):
+        A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
+        with _obs.span("caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path):
+            return _caqr_serial(A, policy)
 
 
 def caqr_qr(

@@ -40,6 +40,7 @@ import numpy as np
 
 from .dtypes import as_float_array, working_dtype
 from .householder import geqr2, orm2r
+from repro.obs import tracer as _obs
 from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.smallblas.batched import batched_apply_blocked, batched_geqr2
 from repro.smallblas.wy import apply_wy, geqr2_blocked, wy_factors
@@ -240,6 +241,14 @@ def _plan_from_factors(f: "TSQRFactors", dt: np.dtype) -> _WyPlan:
 
 def _plan_apply_level0(plan: _WyPlan, B: np.ndarray, transpose: bool) -> None:
     """Level-0 compact-WY application (``apply_qt_h``), batched."""
+    if _obs.enabled():
+        with _obs.span("apply.level0", cat="apply.level0", cols=int(B.shape[1])):
+            _plan_apply_level0_impl(plan, B, transpose)
+        return
+    _plan_apply_level0_impl(plan, B, transpose)
+
+
+def _plan_apply_level0_impl(plan: _WyPlan, B: np.ndarray, transpose: bool) -> None:
     w = B.shape[1]
     if plan.l0_count:
         count, h = plan.l0_count, plan.l0_h
@@ -286,6 +295,14 @@ def apply_wy_plan(plan: _WyPlan, B: np.ndarray, transpose: bool) -> None:
 
 def _plan_apply_level(entries: list[tuple], B: np.ndarray, transpose: bool) -> None:
     """One tree level (``apply_qt_tree``): gather, batched WY, scatter."""
+    if _obs.enabled():
+        with _obs.span("apply.tree", cat="apply.tree", cols=int(B.shape[1])):
+            _plan_apply_level_impl(entries, B, transpose)
+        return
+    _plan_apply_level_impl(entries, B, transpose)
+
+
+def _plan_apply_level_impl(entries: list[tuple], B: np.ndarray, transpose: bool) -> None:
     for entry in entries:
         if entry[0] == "wy":
             _, idx, V, T = entry
@@ -480,7 +497,8 @@ def _tsqr_batched(
         # its exact height, so neither the factor nor later Q applies
         # ever touch pad rows.
         stack = A[: l0_count * block_rows].reshape(l0_count, block_rows, n)
-    VRb, taub, Vb, Tb = geqr2_blocked(stack)
+    with _obs.span("tsqr.level0", cat="factor.level0", blocks=nb):
+        VRb, taub, Vb, Tb = geqr2_blocked(stack)
     bh = stack.shape[1]
     k0 = min(bh, n)
 
@@ -496,7 +514,8 @@ def _tsqr_batched(
     l0_tail = []
     if ragged:
         s, e = ranges[-1]
-        VRl, taul, Vl, Tl = geqr2_blocked(A[s:e][None, :, :])
+        with _obs.span("tsqr.level0", cat="factor.level0", blocks=1):
+            VRl, taul, Vl, Tl = geqr2_blocked(A[s:e][None, :, :])
         blocks.append(_LevelZeroFactor(rows=(s, e), VR=VRl[0], tau=taul[0]))
         kl = min(h_last, n)
         current_r[nb - 1] = np.triu(VRl[0, :kl, :])
@@ -510,7 +529,8 @@ def _tsqr_batched(
         if structured:
             for p, group in enumerate(level):
                 heights = tuple(current_r[i].shape[0] for i in group)
-                sf = structured_stack_qr([current_r[i] for i in group])
+                with _obs.span("tsqr.tree", cat="factor.tree", groups=1):
+                    sf = structured_stack_qr([current_r[i] for i in group])
                 tf = _TreeFactor(group=group, heights=heights, structured=sf)
                 level_factors[p] = tf
                 entries.append(("structured", tf, _member_rows(blocks, group, heights)))
@@ -532,7 +552,8 @@ def _tsqr_batched(
                     stacked = np.stack(
                         [np.vstack([current_r[i] for i in grp]) for grp in groups]
                     )
-                VRt, taut, Vt, Tt = geqr2_blocked(stacked)
+                with _obs.span("tsqr.tree", cat="factor.tree", groups=g):
+                    VRt, taut, Vt, Tt = geqr2_blocked(stacked)
                 kt = min(H, n)
                 Rt = np.triu(VRt[:, :kt, :])
                 entries.append(("wy", _level_row_index(blocks, groups, sig), Vt, Tt))
@@ -583,41 +604,43 @@ def _tsqr_reference(
     blocks = []
     current_r: dict[int, np.ndarray] = {}
     n_full = sum(1 for (s, e) in ranges if e - s == block_rows)
-    if n_full > 1 and m >= block_rows:
-        stack = np.ascontiguousarray(A[: n_full * block_rows]).reshape(n_full, block_rows, n)
-        VRb, taub = batched_geqr2(stack)
-    else:
-        n_full = 0
-        VRb = taub = None
-    for i, (s, e) in enumerate(ranges):
-        if i < n_full:
-            VR, tau = VRb[i], taub[i]
+    with _obs.span("tsqr.level0", cat="factor.level0", blocks=len(ranges)):
+        if n_full > 1 and m >= block_rows:
+            stack = np.ascontiguousarray(A[: n_full * block_rows]).reshape(n_full, block_rows, n)
+            VRb, taub = batched_geqr2(stack)
         else:
-            VR, tau = geqr2(A[s:e])
-        blk = _LevelZeroFactor(rows=(s, e), VR=VR, tau=tau)
-        blocks.append(blk)
-        current_r[i] = np.triu(VR[: blk.r_height, :])
+            n_full = 0
+            VRb = taub = None
+        for i, (s, e) in enumerate(ranges):
+            if i < n_full:
+                VR, tau = VRb[i], taub[i]
+            else:
+                VR, tau = geqr2(A[s:e])
+            blk = _LevelZeroFactor(rows=(s, e), VR=VR, tau=tau)
+            blocks.append(blk)
+            current_r[i] = np.triu(VR[: blk.r_height, :])
 
     # Tree reduction: stack surviving Rs and factor the stacks.
     tree_factors: list[list[_TreeFactor]] = []
     for level in tree.levels:
         level_factors = []
-        for group in level:
-            heights = tuple(current_r[i].shape[0] for i in group)
-            if structured:
-                sf = structured_stack_qr([current_r[i] for i in group])
-                tf = _TreeFactor(group=group, heights=heights, structured=sf)
-                new_r = sf.R
-            else:
-                stacked = np.vstack([current_r[i] for i in group])
-                VR, tau = geqr2(stacked)
-                tf = _TreeFactor(group=group, heights=heights, VR=VR, tau=tau)
-                new_r = np.triu(VR[: min(stacked.shape[0], n), :])
-            level_factors.append(tf)
-            survivor = group[0]
-            current_r[survivor] = new_r
-            for dead in group[1:]:
-                del current_r[dead]
+        with _obs.span("tsqr.tree", cat="factor.tree", groups=len(level)):
+            for group in level:
+                heights = tuple(current_r[i].shape[0] for i in group)
+                if structured:
+                    sf = structured_stack_qr([current_r[i] for i in group])
+                    tf = _TreeFactor(group=group, heights=heights, structured=sf)
+                    new_r = sf.R
+                else:
+                    stacked = np.vstack([current_r[i] for i in group])
+                    VR, tau = geqr2(stacked)
+                    tf = _TreeFactor(group=group, heights=heights, VR=VR, tau=tau)
+                    new_r = np.triu(VR[: min(stacked.shape[0], n), :])
+                level_factors.append(tf)
+                survivor = group[0]
+                current_r[survivor] = new_r
+                for dead in group[1:]:
+                    del current_r[dead]
         tree_factors.append(level_factors)
 
     (survivor_idx,) = list(current_r)
@@ -703,14 +726,18 @@ def tsqr(
         block_rows=block_rows,
         tree_shape=tree_shape,
     )
-    A = validate_matrix(A, where="tsqr", nonfinite=policy.nonfinite)
-    return _tsqr_impl(
-        A,
-        block_rows=policy.block_rows,
-        tree_shape=policy.tree_shape,
-        structured=policy.uses_structured,
-        batched=policy.uses_batched,
-    )
+    with _obs.maybe_trace(policy.trace):
+        A = validate_matrix(A, where="tsqr", nonfinite=policy.nonfinite)
+        with _obs.span(
+            "tsqr", cat="factor", m=A.shape[0], n=A.shape[1], path=policy.path
+        ):
+            return _tsqr_impl(
+                A,
+                block_rows=policy.block_rows,
+                tree_shape=policy.tree_shape,
+                structured=policy.uses_structured,
+                batched=policy.uses_batched,
+            )
 
 
 def tsqr_qr(

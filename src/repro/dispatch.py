@@ -22,6 +22,7 @@ from .caqr_gpu import simulate_caqr
 from .core.blocked import blocked_qr
 from .gpusim.device import C2050, DeviceSpec
 from .kernels.config import REFERENCE_CONFIG, KernelConfig
+from .obs import tracer as _obs
 from .runtime import ExecutionPolicy, QRPlan, plan_qr, resolve_policy
 from .runtime.policy import UNSET
 from .verify.guards import validate_matrix
@@ -137,7 +138,9 @@ class QRDispatcher:
             cached = self._pred_cache.get(key)
             if cached is not None:
                 self._pred_cache.move_to_end(key)
+                _obs.counters(pred_cache_hits=1)
                 return list(cached)
+        _obs.counters(pred_cache_misses=1)
         preds = []
         r = simulate_caqr(m, n, self.config, self.device)
         preds.append(EnginePrediction("caqr", r.seconds, r.gflops))
@@ -167,7 +170,9 @@ class QRDispatcher:
             plan = self._plan_cache.get(key)
             if plan is not None:
                 self._plan_cache.move_to_end(key)
+                _obs.counters(plan_cache_hits=1)
                 return plan
+        _obs.counters(plan_cache_misses=1)
         plan = plan_qr(m, n, dtype=dtype, policy=self.policy)
         with self._lock:
             self._plan_cache[key] = plan
@@ -208,15 +213,18 @@ class QRDispatcher:
         runs with ``validated=True``, so dispatched CAQR scans each input
         a single time end to end.
         """
-        A = validate_matrix(A, where="QRDispatcher.qr", nonfinite=self.policy.nonfinite)
-        m, n = A.shape
-        preds = self.predict(m, n)
-        engine = preds[0].engine
-        if engine == "caqr":
-            plan = self.plan_for(m, n, dtype=A.dtype)
-            Q, R = plan.execute(A, validated=True)
-        else:
-            # Blocked Householder is the algorithm behind both the hybrid
-            # GPU libraries and MKL; numerically they coincide.
-            Q, R = blocked_qr(A, nb=64, nonfinite="propagate")
-        return DispatchedQR(engine=engine, Q=Q, R=R, predictions=preds)
+        with _obs.maybe_trace(self.policy.trace):
+            A = validate_matrix(A, where="QRDispatcher.qr", nonfinite=self.policy.nonfinite)
+            m, n = A.shape
+            with _obs.span("dispatch.qr", cat="dispatch", m=m, n=n):
+                preds = self.predict(m, n)
+                engine = preds[0].engine
+                with _obs.span("engine", cat="dispatch", engine=engine):
+                    if engine == "caqr":
+                        plan = self.plan_for(m, n, dtype=A.dtype)
+                        Q, R = plan.execute(A, validated=True)
+                    else:
+                        # Blocked Householder is the algorithm behind both the
+                        # hybrid GPU libraries and MKL; numerically they coincide.
+                        Q, R = blocked_qr(A, nb=64, nonfinite="propagate")
+            return DispatchedQR(engine=engine, Q=Q, R=R, predictions=preds)

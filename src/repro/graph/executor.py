@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.dtypes import as_float_array, working_dtype
 from repro.core.tree import batch_level, build_tree
 from repro.core.tsqr import _WyPlan, _tsqr_impl, apply_wy_plan, row_blocks
+from repro.obs import tracer as _obs
 from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_executor_policy
 from repro.smallblas.wy import extract_v, larft
 from repro.verify.guards import validate_matrix
@@ -273,18 +274,19 @@ def _factor_panel(
         stack = Wp[None, :, :]
     else:
         stack = Wp[: rec.l0_count * bh].reshape(rec.l0_count, bh, width)
-    h, tau0 = np.linalg.qr(stack, mode="raw")
-    VR0 = h.transpose(0, 2, 1)  # (l0_count, l0_h, width) view
-    dt = VR0.dtype
-    backing = np.empty((rec.nb, width, width), dtype=dt)
-    backing[: rec.l0_count] = VR0[:, :width, :]
-    tail_raw = None
-    if rec.ragged:
-        ht, taut = np.linalg.qr(Wp[rec.tail_start :][None, :, :], mode="raw")
-        VRt = ht.transpose(0, 2, 1)
-        backing[rec.nb - 1] = VRt[0, :width, :]
-        tail_raw = (VRt, taut)
-    backing[:, rec.low_mask] = 0.0
+    with _obs.span("panel.level0", cat="factor.level0", blocks=rec.nb):
+        h, tau0 = np.linalg.qr(stack, mode="raw")
+        VR0 = h.transpose(0, 2, 1)  # (l0_count, l0_h, width) view
+        dt = VR0.dtype
+        backing = np.empty((rec.nb, width, width), dtype=dt)
+        backing[: rec.l0_count] = VR0[:, :width, :]
+        tail_raw = None
+        if rec.ragged:
+            ht, taut = np.linalg.qr(Wp[rec.tail_start :][None, :, :], mode="raw")
+            VRt = ht.transpose(0, 2, 1)
+            backing[rec.nb - 1] = VRt[0, :width, :]
+            tail_raw = (VRt, taut)
+        backing[:, rec.low_mask] = 0.0
     # Tree levels: every stacked-R input is a zero-copy reshape of the
     # backing slab; the outputs become the next slab.
     levels_raw = []
@@ -292,21 +294,22 @@ def _factor_panel(
         entries_raw = []
         outs = []
         used = 0
-        for lb in batches:
-            src = backing[lb.pos0 : lb.pos0 + lb.g * lb.arity].reshape(
-                lb.g, lb.arity * width, width
-            )
-            hh, taul = np.linalg.qr(src, mode="raw")
-            VRl = hh.transpose(0, 2, 1)
-            entries_raw.append((lb.idx, VRl, taul))
-            Rt = VRl[:, :width, :].copy()
-            Rt[:, rec.low_mask] = 0.0
-            outs.append(Rt)
-            used += lb.g * lb.arity
-        if len(outs) == 1 and n_ride == 0:
-            backing = outs[0]
-        else:
-            backing = np.concatenate(outs + ([backing[used:]] if n_ride else []))
+        with _obs.span("panel.tree", cat="factor.tree", batches=len(batches)):
+            for lb in batches:
+                src = backing[lb.pos0 : lb.pos0 + lb.g * lb.arity].reshape(
+                    lb.g, lb.arity * width, width
+                )
+                hh, taul = np.linalg.qr(src, mode="raw")
+                VRl = hh.transpose(0, 2, 1)
+                entries_raw.append((lb.idx, VRl, taul))
+                Rt = VRl[:, :width, :].copy()
+                Rt[:, rec.low_mask] = 0.0
+                outs.append(Rt)
+                used += lb.g * lb.arity
+            if len(outs) == 1 and n_ride == 0:
+                backing = outs[0]
+            else:
+                backing = np.concatenate(outs + ([backing[used:]] if n_ride else []))
         levels_raw.append(entries_raw)
     pp.R = backing[0]
     pp._raw = (rec, VR0, tau0, tail_raw, levels_raw)
@@ -595,7 +598,8 @@ def run_lookahead_schedule(
             f"the scheduled shape ({m}, {n})"
         )
     k = min(m, n)
-    W = A.copy()
+    with _obs.span("setup", cat="host"):
+        W = A.copy()
     dt = np.dtype(working_dtype(W))
     tree_shape = policy.tree_shape
 
@@ -609,13 +613,15 @@ def run_lookahead_schedule(
         pp = panels[ts.panel]
         if ts.kind == "factor":
 
-            def fn(pp=pp, c0=c0, pw_p=pw_p, r0=r0, bh=bh, wt=wt):
-                _factor_panel(pp, W[r0:, c0 : c0 + pw_p], bh, tree_shape, eager=wt > 0)
+            def fn(pp=pp, c0=c0, pw_p=pw_p, r0=r0, bh=bh, wt=wt, p=ts.panel):
+                with _obs.span("factor", cat="factor", panel=p, rows=m - r0):
+                    _factor_panel(pp, W[r0:, c0 : c0 + pw_p], bh, tree_shape, eager=wt > 0)
 
         else:
 
-            def fn(pp=pp, r0=r0, lo=ts.lo, hi=ts.hi):
-                pp.apply_qt(W[r0:, lo:hi])
+            def fn(pp=pp, r0=r0, lo=ts.lo, hi=ts.hi, p=ts.panel):
+                with _obs.span("update", cat="update", panel=p, lo=lo, hi=hi):
+                    pp.apply_qt(W[r0:, lo:hi])
 
         tasks.append(_Task(fn=fn, deps=list(ts.deps)))
 
@@ -628,10 +634,11 @@ def run_lookahead_schedule(
     # Assemble R: the trailing updates left every super-diagonal entry in
     # W; panel diagonal blocks come from the panels' own R factors (the
     # serial driver's zero-fill + write-back is skipped entirely).
-    R = np.triu(W[:k, :])
-    for pp in panels:
-        pw_p = pp.col_stop - pp.col_start
-        R[pp.row_start : pp.row_start + pw_p, pp.col_start : pp.col_stop] = pp.R[:pw_p, :]
+    with _obs.span("assemble_r", cat="host"):
+        R = np.triu(W[:k, :])
+        for pp in panels:
+            pw_p = pp.col_stop - pp.col_start
+            R[pp.row_start : pp.row_start + pw_p, pp.col_start : pp.col_stop] = pp.R[:pw_p, :]
     return LookaheadCAQRFactors(
         m=m,
         n=n,
@@ -682,6 +689,14 @@ def caqr_lookahead(
         block_rows=block_rows,
         tree_shape=tree_shape,
     )
-    A = validate_matrix(A, where="caqr_lookahead", nonfinite=policy.nonfinite)
-    sched = build_lookahead_schedule(A.shape[0], A.shape[1], policy)
-    return run_lookahead_schedule(sched, A, threaded=threaded)
+    with _obs.maybe_trace(policy.trace):
+        A = validate_matrix(A, where="caqr_lookahead", nonfinite=policy.nonfinite)
+        with _obs.span(
+            "caqr_lookahead",
+            cat="entry",
+            m=A.shape[0],
+            n=A.shape[1],
+            workers=policy.effective_workers,
+        ):
+            sched = build_lookahead_schedule(A.shape[0], A.shape[1], policy)
+            return run_lookahead_schedule(sched, A, threaded=threaded)

@@ -1,0 +1,66 @@
+"""Runtime observability: span tracing for the measured execution paths.
+
+``repro.obs`` is the measured-side counterpart of the simulator's
+profiling (:mod:`repro.gpusim.trace`):
+
+* :func:`capture` / :func:`span` / :func:`counters` — a low-overhead
+  span tracer (context-var span stack, monotonic clocks, per-span
+  counters) wired into the executor, the TSQR/CAQR kernels, plans, the
+  dispatcher and the guard layer.  Zero overhead when disabled.
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome
+  ``trace_event`` export, loadable in Perfetto.
+* :func:`span_summary` / :func:`render_spans` — per-span aggregate
+  tables matching the simulator's profiler shapes.
+* :func:`modeled_vs_measured` / :func:`format_overlay` — align a
+  measured trace against the GPU cost model's timeline for the same
+  plan and report per-phase model error.
+* :func:`from_timeline` — lift a simulated timeline into a trace so the
+  same exporters serve both domains.
+
+Entry points: ``python -m repro trace`` from a shell,
+``obs.capture()`` around any library call, or
+``ExecutionPolicy(trace=obs.capture())`` to hand a session to every
+call that runs under the policy.
+
+This package imports only the standard library (the guard and policy
+layers call into it), so it sits at the bottom of the import graph.
+"""
+
+from .compare import ModelOverlay, PhaseComparison, format_overlay, modeled_vs_measured
+from .export import (
+    from_timeline,
+    render_spans,
+    span_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .tracer import (
+    Span,
+    Trace,
+    TraceSession,
+    capture,
+    counters,
+    enabled,
+    maybe_trace,
+    span,
+)
+
+__all__ = [
+    "ModelOverlay",
+    "PhaseComparison",
+    "Span",
+    "Trace",
+    "TraceSession",
+    "capture",
+    "counters",
+    "enabled",
+    "format_overlay",
+    "from_timeline",
+    "maybe_trace",
+    "modeled_vs_measured",
+    "render_spans",
+    "span",
+    "span_summary",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,160 @@
+"""Modeled-vs-measured overlay: align a measured trace with the simulator.
+
+The paper's performance argument is phase-structured — panel
+factorization (``factor`` + ``factor_tree`` launches) vs trailing update
+(``apply_qt_h`` + ``apply_qt_tree``) — and the GPU cost model predicts a
+time for each.  The host NumPy execution measures real seconds for the
+same phases.  This module aligns the two for one plan/shape and reports
+**per-phase model error**: where the modeled time-share disagrees with
+the measured one, the cost model (or the implementation) is lying about
+where communication costs land.
+
+Absolute seconds are expected to disagree wildly (the model prices a
+Fermi C2050, the measurement is host NumPy); the honest, comparable
+quantity is each phase's *share* of total time, plus the uniform
+measured/modeled speed ratio.  Both are reported; ``share_error`` is the
+headline number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tracer import Trace
+
+__all__ = ["PhaseComparison", "ModelOverlay", "modeled_vs_measured", "format_overlay"]
+
+
+# Phase -> (modeled kernel names, measured span categories).
+PHASES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "factor": (("transpose", "factor", "factor_tree"), ("factor",)),
+    "update": (("apply_qt_h", "apply_qt_tree"), ("update",)),
+}
+
+# Finer-grained sub-phases, reported when the measured trace carries
+# the corresponding categories (the instrumented kernels emit them).
+SUBPHASES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "factor.level0": (("transpose", "factor"), ("factor.level0",)),
+    "factor.tree": (("factor_tree",), ("factor.tree",)),
+    "update.level0": (("apply_qt_h",), ("apply.level0",)),
+    "update.tree": (("apply_qt_tree",), ("apply.tree",)),
+}
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One phase's modeled and measured time, with share-level error."""
+
+    phase: str
+    modeled_seconds: float
+    measured_seconds: float
+    modeled_share: float
+    measured_share: float
+
+    @property
+    def speed_ratio(self) -> float:
+        """Measured seconds per modeled second (host-vs-GPU slowdown)."""
+        return self.measured_seconds / self.modeled_seconds if self.modeled_seconds else float("inf")
+
+    @property
+    def share_error(self) -> float:
+        """Absolute difference of time shares — the model-error headline."""
+        return abs(self.measured_share - self.modeled_share)
+
+
+@dataclass(frozen=True)
+class ModelOverlay:
+    """The aligned modeled/measured breakdown for one shape."""
+
+    phases: list
+    subphases: list
+    modeled_total: float
+    measured_total: float
+
+    @property
+    def speed_ratio(self) -> float:
+        return self.measured_total / self.modeled_total if self.modeled_total else float("inf")
+
+    @property
+    def max_share_error(self) -> float:
+        return max((p.share_error for p in self.phases), default=0.0)
+
+
+def _measured_by_cat(trace: Trace) -> dict:
+    return trace.seconds_by_cat()
+
+
+def _modeled_by_kernel(timeline) -> dict:
+    return timeline.seconds_by_kernel()
+
+
+def _compare(
+    table: dict, modeled: dict, measured: dict, modeled_total: float, measured_total: float
+) -> list:
+    rows = []
+    for phase, (kernels, cats) in table.items():
+        mod = sum(modeled.get(k, 0.0) for k in kernels)
+        mea = sum(measured.get(c, 0.0) for c in cats)
+        rows.append(
+            PhaseComparison(
+                phase=phase,
+                modeled_seconds=mod,
+                measured_seconds=mea,
+                modeled_share=mod / modeled_total if modeled_total else 0.0,
+                measured_share=mea / measured_total if measured_total else 0.0,
+            )
+        )
+    return rows
+
+
+def modeled_vs_measured(trace: Trace, timeline) -> ModelOverlay:
+    """Align a measured :class:`Trace` against a simulated ``Timeline``.
+
+    ``timeline`` is a :class:`~repro.gpusim.timeline.Timeline` (or a
+    :class:`~repro.caqr_gpu.CAQRGpuResult`, whose ``timeline`` is used)
+    for the *same shape and geometry* — typically ``plan.simulate()``
+    next to a traced ``plan.factor``.
+    """
+    tl = getattr(timeline, "timeline", timeline)
+    modeled = _modeled_by_kernel(tl)
+    measured = _measured_by_cat(trace)
+    # Phase totals, not wall time: the shares then compare like for like
+    # even when the measured trace includes planning/validation spans the
+    # model does not price.
+    modeled_total = sum(
+        sum(modeled.get(k, 0.0) for k in kernels) for kernels, _ in PHASES.values()
+    )
+    measured_total = sum(
+        sum(measured.get(c, 0.0) for c in cats) for _, cats in PHASES.values()
+    )
+    phases = _compare(PHASES, modeled, measured, modeled_total, measured_total)
+    sub = [
+        row
+        for row in _compare(SUBPHASES, modeled, measured, modeled_total, measured_total)
+        if row.measured_seconds > 0.0
+    ]
+    return ModelOverlay(
+        phases=phases,
+        subphases=sub,
+        modeled_total=modeled_total,
+        measured_total=measured_total,
+    )
+
+
+def format_overlay(overlay: ModelOverlay, title: str | None = None) -> str:
+    """Human-readable per-phase model-error table."""
+    lines = [title or "modeled vs measured (per-phase)"]
+    lines.append(
+        f"  totals: modeled {overlay.modeled_total * 1e3:9.3f} ms, "
+        f"measured {overlay.measured_total * 1e3:9.3f} ms "
+        f"(host/model speed ratio {overlay.speed_ratio:.1f}x)"
+    )
+    header = f"  {'phase':<14} {'modeled':>11} {'measured':>11} {'mod share':>9} {'mea share':>9} {'share err':>9}"
+    lines.append(header)
+    for row in overlay.phases + overlay.subphases:
+        lines.append(
+            f"  {row.phase:<14} {row.modeled_seconds * 1e3:9.3f} ms {row.measured_seconds * 1e3:9.3f} ms "
+            f"{row.modeled_share:>8.1%} {row.measured_share:>8.1%} {row.share_error:>8.1%}"
+        )
+    lines.append(f"  max per-phase share error: {overlay.max_share_error:.1%}")
+    return "\n".join(lines)

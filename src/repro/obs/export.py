@@ -1,0 +1,181 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and profiler tables.
+
+Two consumers, two shapes:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (``ph: "X"`` complete events with ``pid`` /
+  ``tid`` / ``ts`` / ``dur`` in microseconds), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Thread-name
+  metadata events label the capturing thread and each pool worker, so
+  look-ahead overlap is visible as parallel tracks.
+* :func:`span_summary` / :func:`render_spans` — the per-name aggregate
+  table and ASCII time-share chart, deliberately the same row shape as
+  :func:`repro.gpusim.trace.kernel_summary` /
+  :func:`~repro.gpusim.trace.render_profile` so measured and modeled
+  profiles read side by side.
+
+:func:`from_timeline` closes the loop in the other direction: it lifts a
+simulated :class:`~repro.gpusim.timeline.Timeline` into a :class:`Trace`
+(one span per event, counters preserved), so every exporter and the
+modeled-vs-measured overlay work on simulator output too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import Span, Trace
+
+__all__ = [
+    "from_timeline",
+    "render_spans",
+    "span_summary",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def to_chrome_trace(trace: Trace, pid: int = 1) -> dict:
+    """The trace as a Chrome ``trace_event`` JSON-object document.
+
+    Timestamps are microseconds relative to the capture start (Perfetto
+    renders absolute ns poorly); counters and args merge into each
+    event's ``args``.  Span nesting is implied by containment, which is
+    exact because every child interval lies inside its parent's.
+    """
+    events: list[dict] = []
+    for tid, name in sorted(trace.thread_names.items()):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    for s in sorted(trace.spans, key=lambda s: (s.tid, s.start_ns)):
+        args = {**s.args, **s.counters}
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": s.tid,
+                "ts": (s.start_ns - trace.start_ns) / 1e3,
+                "dur": s.dur_ns / 1e3,
+                "name": s.name,
+                "cat": s.cat or "span",
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {str(k): str(v) for k, v in trace.meta.items()},
+    }
+
+
+def write_chrome_trace(trace: Trace, path) -> Path:
+    """Serialize :func:`to_chrome_trace` output to ``path``; returns it."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace), indent=1) + "\n")
+    return path
+
+
+def span_summary(trace: Trace) -> list[dict]:
+    """Per-name aggregates, sorted by time descending.
+
+    Same shape as :func:`repro.gpusim.trace.kernel_summary`: ``name`` /
+    ``kind`` (the span category) / ``seconds`` / ``share`` / ``events``,
+    plus the summed per-span counters.  ``share`` is against the wall
+    time of the capture; nested spans each count their own time, so
+    shares can sum past 1.0 exactly like a sampling profiler's inclusive
+    view.
+    """
+    agg: dict[str, dict] = {}
+    for s in trace.spans:
+        d = agg.setdefault(
+            s.name,
+            {"name": s.name, "kind": s.cat, "seconds": 0.0, "events": 0, "counters": {}},
+        )
+        d["seconds"] += s.seconds
+        d["events"] += 1
+        for k, v in s.counters.items():
+            d["counters"][k] = d["counters"].get(k, 0) + v
+    total = trace.wall_seconds or 1.0
+    rows = []
+    for d in agg.values():
+        rows.append(
+            {
+                "name": d["name"],
+                "kind": d["kind"],
+                "seconds": d["seconds"],
+                "share": d["seconds"] / total,
+                "events": d["events"],
+                "counters": d["counters"],
+            }
+        )
+    return sorted(rows, key=lambda r: -r["seconds"])
+
+
+def render_spans(trace: Trace, width: int = 40, title: str | None = None) -> str:
+    """ASCII profile over the span summary — the measured counterpart of
+    :func:`repro.gpusim.trace.render_profile`."""
+    rows = span_summary(trace)
+    lines = [title or f"measured profile ({trace.wall_seconds * 1e3:.2f} ms wall)"]
+    name_w = max((len(r["name"]) for r in rows), default=4)
+    for r in rows:
+        bar = "#" * max(1, round(min(1.0, r["share"]) * width))
+        lines.append(
+            f"  {r['name']:<{name_w}} {r['seconds'] * 1e3:9.3f} ms {r['share']:6.1%} "
+            f"{bar:<{width}} x{r['events']}"
+        )
+    return "\n".join(lines)
+
+
+def from_timeline(tl, name: str = "gpusim") -> Trace:
+    """Lift a simulated :class:`~repro.gpusim.timeline.Timeline` into a trace.
+
+    Events become back-to-back spans on a synthetic clock (tid 0, root
+    span ``name`` covering the whole run); each span carries the event's
+    traffic counters, so :meth:`Trace.total_counters` reproduces
+    ``Timeline.counters`` field by field — a pinned test invariant.
+    """
+    from dataclasses import fields as dc_fields
+
+    spans: list[Span] = []
+    cursor = 0
+    root = Span(id=1, parent=None, name=name, cat="sim", tid=0, start_ns=0)
+    next_id = 2
+    for e in tl.events:
+        dur = int(round(e.seconds * 1e9))
+        ctrs = {
+            f.name: getattr(e.counters, f.name)
+            for f in dc_fields(e.counters)
+            if getattr(e.counters, f.name)
+        }
+        spans.append(
+            Span(
+                id=next_id,
+                parent=1,
+                name=e.name,
+                cat=e.kind,
+                tid=0,
+                start_ns=cursor,
+                dur_ns=dur,
+                args={"tag": e.tag} if e.tag else {},
+                counters=ctrs,
+            )
+        )
+        next_id += 1
+        cursor += dur
+    root.dur_ns = cursor
+    spans.insert(0, root)
+    return Trace(
+        spans=spans,
+        start_ns=0,
+        end_ns=cursor,
+        meta={"source": "gpusim", "device": tl.device.name},
+        thread_names={0: "sim"},
+    )

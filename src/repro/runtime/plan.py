@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import tracer as _obs
+
 from .policy import ExecutionPolicy
 
 __all__ = ["PanelSpec", "QRPlan", "plan_qr"]
@@ -172,14 +174,18 @@ class QRPlan:
         (the dispatcher) that already validated and normalized ``A``,
         making one scan per matrix the whole-pipeline total.
         """
-        A = self._prepare(A, validated)
-        if self.policy.path == "lookahead":
-            from repro.graph.executor import run_lookahead_schedule
+        with _obs.maybe_trace(self.policy.trace):
+            A = self._prepare(A, validated)
+            with _obs.span(
+                "plan.factor", cat="plan", m=self.m, n=self.n, path=self.policy.path
+            ):
+                if self.policy.path == "lookahead":
+                    from repro.graph.executor import run_lookahead_schedule
 
-            return run_lookahead_schedule(self._schedule, A)
-        from repro.core.caqr import _caqr_serial
+                    return run_lookahead_schedule(self._schedule, A)
+                from repro.core.caqr import _caqr_serial
 
-        return _caqr_serial(A, self.policy)
+                return _caqr_serial(A, self.policy)
 
     def execute(self, A: np.ndarray, validated: bool = False):
         """Explicit thin ``(Q, R)`` of ``A`` under the plan."""
@@ -249,6 +255,13 @@ def plan_qr(
     if m < 0 or n < 0:
         raise ValueError("matrix dimensions must be non-negative")
     policy = policy if policy is not None else ExecutionPolicy()
+    with _obs.maybe_trace(policy.trace), _obs.span(
+        "plan.build", cat="plan", m=m, n=n, path=policy.path
+    ):
+        return _plan_qr_impl(m, n, dtype, policy)
+
+
+def _plan_qr_impl(m: int, n: int, dtype, policy: ExecutionPolicy) -> QRPlan:
     dt = _plan_dtype(dtype)
     panels = _panel_specs(m, n, policy)
     scratch = _wy_scratch_bytes(m, n, policy, panels, dt.itemsize)

@@ -100,6 +100,11 @@ class ExecutionPolicy:
             the simulator stack.
         tuning: optional :class:`repro.tuning.cache.TuningCache` handle
             for callers that want sweep-informed geometry.
+        trace: optional :class:`repro.obs.TraceSession`; every
+            policy-accepting entry point activates it for the duration of
+            the call (``obs.maybe_trace``), so spans from each
+            factorization under this policy accumulate into one capture.
+            ``None`` (the default) keeps tracing disabled.
     """
 
     path: str = "batched"
@@ -112,6 +117,7 @@ class ExecutionPolicy:
     device: Any | None = field(default=None, compare=False)
     config: Any | None = field(default=None, compare=False)
     tuning: Any | None = field(default=None, compare=False)
+    trace: Any | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.path not in PATH_NAMES:

@@ -33,6 +33,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import tracer as _obs
+
 __all__ = [
     "NONFINITE_POLICIES",
     "GuardError",
@@ -93,8 +95,13 @@ def _raise_on_nonfinite(A: np.ndarray, where: str) -> None:
         counter.scans += 1
     if A.size == 0:
         return
-    finite = np.isfinite(A)
-    if finite.all():
+    # The scan is the guard layer's whole O(mn) cost — span it so traces
+    # show where (and how often) inputs are being re-scanned.
+    with _obs.span("guard.scan", cat="guard", where=where):
+        _obs.counters(guard_scans=1, guard_scan_bytes=int(A.nbytes))
+        finite = np.isfinite(A)
+        ok = bool(finite.all())
+    if ok:
         return
     bad = np.argwhere(~finite)
     idx = tuple(int(x) for x in bad[0])

@@ -1,0 +1,67 @@
+"""Golden launch/schedule fingerprints — the tier-1 face of the CI gate.
+
+The committed ``tests/data/fingerprints.json`` pins the modeled launch
+stream (serial paths) and the look-ahead task DAG (executor paths) for
+a grid of reference shapes; ``tools/check_fingerprints.py`` recomputes
+and diffs them in CI.  This test keeps the same check inside `pytest`
+so drift is caught before a PR ever reaches the workflow.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = REPO_ROOT / "tests" / "data" / "fingerprints.json"
+TOOL = REPO_ROOT / "tools" / "check_fingerprints.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_fingerprints", TOOL)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_fingerprints", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_golden_file_is_committed():
+    assert GOLDEN.exists(), "tests/data/fingerprints.json missing"
+    data = json.loads(GOLDEN.read_text())
+    assert set(data) == {"seed", "batched", "structured", "lookahead", "lookahead_mt"}
+
+
+def test_fingerprints_match_golden(checker):
+    golden = json.loads(GOLDEN.read_text())
+    fresh = checker.compute_fingerprints()
+    drift = checker.diff_fingerprints(golden, fresh)
+    assert not drift, "fingerprint drift:\n" + "\n".join(drift)
+
+
+def test_serial_paths_share_one_stream(checker):
+    """Strategy never changes the modeled launches — pinned identity."""
+    fresh = checker.compute_fingerprints()
+    assert fresh["seed"] == fresh["batched"] == fresh["structured"]
+
+
+def test_lookahead_tiling_changes_the_dag(checker):
+    """workers=3 tiles the trailing updates: the mt DAG must differ from
+    the untiled one wherever a trailing matrix exists."""
+    fresh = checker.compute_fingerprints()
+    multi_panel = [s for s in fresh["lookahead"] if s != "4096x32"]
+    assert any(
+        fresh["lookahead"][s] != fresh["lookahead_mt"][s] for s in multi_panel
+    )
+
+
+def test_diff_is_readable(checker):
+    golden = {"seed": {"8x8": "aaaa"}}
+    fresh = {"seed": {"8x8": "bbbb"}}
+    lines = checker.diff_fingerprints(golden, fresh)
+    assert len(lines) == 1
+    assert "aaaa" in lines[0] and "bbbb" in lines[0] and "seed" in lines[0]

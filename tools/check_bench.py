@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: re-run the bench grid, diff against a baseline.
+
+``benchmarks/bench_realtime.py`` writes per-shape metrics (seconds per
+path, speedups, residual gaps, launch counts and the launch-stream
+fingerprint) to a committed JSON artifact.  This tool re-measures the
+same shapes and fails (exit 1) when the fresh numbers regress past the
+per-metric tolerances:
+
+* ``seconds_*`` — measured time must not exceed ``baseline * (1 + tol)``
+  (default ±25%; faster is never a failure).
+* ``*speedup*`` ratios — must not fall below ``baseline / (1 + tol)``.
+* residual gaps — the bench's own fixed bounds, re-asserted here:
+  ``caqr``/``tsqr`` path gaps < 1e-12, look-ahead < 1e-14, plan == 0.
+* ``ferr_*`` / ``orth_*`` — within 10x of the baseline (loose: these are
+  shape- and rng-stable, so 10x means a numerics regression, not noise).
+* ``launches`` and ``launch_stream_sha256_16`` — exact (the modeled
+  launch stream moving is a silent behavioural change, never noise).
+
+Usage::
+
+    python tools/check_bench.py --quick                 # CI gate
+    python tools/check_bench.py                         # full grid
+    python tools/check_bench.py --quick --self-test     # gate the gate
+    python tools/check_bench.py --quick --inject-slowdown 2.0   # must exit 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:  # self-locating: only extend sys.path when repro is not installed
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_realtime import bench_shape  # noqa: E402
+
+QUICK_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_quick.json"
+FULL_BASELINE = REPO_ROOT / "BENCH_caqr.json"
+
+# Residual-gap metrics carry the bench's own hard bounds instead of a
+# relative tolerance (they pin cross-path agreement, not speed).
+GAP_BOUNDS = {
+    "caqr_max_residual_gap": 1e-12,
+    "tsqr_max_residual_gap": 1e-12,
+    "caqr_lookahead_residual_gap": 1e-14,
+    "caqr_plan_residual_gap": 0.0,
+}
+EXACT_KEYS = ("launches", "launch_stream_sha256_16")
+ACCURACY_FACTOR = 10.0  # ferr/orth headroom vs baseline
+
+
+def _is_time(key: str) -> bool:
+    return "seconds" in key
+
+
+def _is_speedup(key: str) -> bool:
+    return "speedup" in key or key.endswith("_vs_lookahead")
+
+
+def _is_accuracy(key: str) -> bool:
+    return "ferr" in key or "orth" in key
+
+
+def compare_row(measured: dict, baseline: dict, time_tol: float) -> list[dict]:
+    """Per-metric deltas for one shape; each row carries ``ok``."""
+    deltas = []
+    for key, base in baseline.items():
+        if key not in measured:
+            deltas.append(
+                {"metric": key, "baseline": base, "measured": None, "ok": False,
+                 "why": "metric missing from fresh run"}
+            )
+            continue
+        val = measured[key]
+        row = {"metric": key, "baseline": base, "measured": val, "ok": True, "why": ""}
+        if key in EXACT_KEYS:
+            if val != base:
+                row["ok"] = False
+                row["why"] = "exact-match metric drifted"
+        elif key in GAP_BOUNDS:
+            bound = GAP_BOUNDS[key]
+            if val > bound:
+                row["ok"] = False
+                row["why"] = f"gap above fixed bound {bound:g}"
+        elif _is_time(key):
+            row["ratio"] = val / base if base else float("inf")
+            if val > base * (1.0 + time_tol):
+                row["ok"] = False
+                row["why"] = f"slower than baseline by >{time_tol:.0%}"
+        elif _is_speedup(key):
+            row["ratio"] = val / base if base else float("inf")
+            if val < base / (1.0 + time_tol):
+                row["ok"] = False
+                row["why"] = f"speedup shrank by >{time_tol:.0%}"
+        elif _is_accuracy(key):
+            if val > max(base * ACCURACY_FACTOR, 1e-15):
+                row["ok"] = False
+                row["why"] = f"accuracy degraded >{ACCURACY_FACTOR:g}x"
+        elif "gflops" in key or key == "qr_gflop":
+            pass  # derived from seconds / shape; the primaries are gated
+        else:  # shape keys (m, n, block_rows, panel_width) must match
+            if val != base:
+                row["ok"] = False
+                row["why"] = "shape key mismatch"
+        deltas.append(row)
+    return deltas
+
+
+def format_deltas(shape: str, deltas: list[dict]) -> str:
+    lines = [f"{shape}:"]
+    lines.append(f"  {'metric':<32} {'baseline':>12} {'measured':>12} {'ratio':>7}  status")
+    for d in deltas:
+        base, val = d["baseline"], d["measured"]
+
+        def _fmt(x):
+            if isinstance(x, float):
+                return f"{x:.4g}"
+            return str(x)
+
+        ratio = f"{d['ratio']:.2f}x" if "ratio" in d else ""
+        status = "ok" if d["ok"] else f"FAIL ({d['why']})"
+        lines.append(
+            f"  {d['metric']:<32} {_fmt(base):>12} {_fmt(val):>12} {ratio:>7}  {status}"
+        )
+    return "\n".join(lines)
+
+
+def run_gate(
+    baseline_rows: list[dict],
+    time_tol: float,
+    reps: int,
+    inject_slowdown: float | None = None,
+    measured_rows: list[dict] | None = None,
+) -> tuple[bool, list[dict], list[dict]]:
+    """Measure (or reuse) every baseline shape and diff.
+
+    Returns ``(ok, measured_rows, all_deltas)``; ``inject_slowdown``
+    multiplies every fresh ``seconds_*`` metric (and divides the speedup
+    ratios that would follow) to prove the gate trips.
+    """
+    if measured_rows is None:
+        measured_rows = [
+            bench_shape(b["m"], b["n"], b["block_rows"], b["panel_width"], reps)
+            for b in baseline_rows
+        ]
+    rows = measured_rows
+    if inject_slowdown:
+        rows = [
+            {
+                k: (v * inject_slowdown if _is_time(k) else v)
+                for k, v in r.items()
+            }
+            for r in rows
+        ]
+    ok = True
+    all_deltas = []
+    for base, meas in zip(baseline_rows, rows):
+        deltas = compare_row(meas, base, time_tol)
+        all_deltas.append({"shape": f"{base['m']}x{base['n']}", "deltas": deltas})
+        print(format_deltas(f"{base['m']}x{base['n']}", deltas))
+        ok &= all(d["ok"] for d in deltas)
+    return ok, measured_rows, all_deltas
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON (default: BENCH_caqr.json, or the committed "
+        "quick baseline with --quick)",
+    )
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"gate against the committed quick baseline ({QUICK_BASELINE.name})",
+    )
+    ap.add_argument("--reps", type=int, default=3, help="timed repetitions (best-of)")
+    ap.add_argument(
+        "--time-tol",
+        type=float,
+        default=0.25,
+        help="relative tolerance for seconds/speedup metrics (default 0.25)",
+    )
+    ap.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=None,
+        help="multiply measured times by this factor (gate self-check: "
+        "2.0 must make the gate fail)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="measure once, then verify the gate passes on its own numbers "
+        "and fails on a synthetic 2x slowdown of them",
+    )
+    ap.add_argument("--out", type=Path, default=None, help="write the delta table JSON here")
+    args = ap.parse_args(argv)
+
+    baseline_path = args.baseline or (QUICK_BASELINE if args.quick else FULL_BASELINE)
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} not found — run bench_realtime.py first")
+        return 2
+    baseline_rows = json.loads(baseline_path.read_text())["shapes"]
+    print(f"gating against {baseline_path} ({len(baseline_rows)} shapes, "
+          f"time tolerance ±{args.time_tol:.0%})\n")
+
+    if args.self_test:
+        # One real measurement; the two comparisons reuse it, so the
+        # self-test costs one bench run, not three.
+        ok_pass, measured, _ = run_gate(baseline_rows, args.time_tol, args.reps)
+        print("\nself-test: injecting 2.0x slowdown (every metric below must FAIL "
+              "on seconds_*)\n")
+        ok_fail, _, _ = run_gate(
+            baseline_rows, args.time_tol, args.reps,
+            inject_slowdown=2.0, measured_rows=measured,
+        )
+        if not ok_pass:
+            print("\nself-test: FAILED — clean run did not pass the gate")
+            return 1
+        if ok_fail:
+            print("\nself-test: FAILED — injected 2x slowdown was not caught")
+            return 1
+        print("\nself-test: ok (clean run passes, 2x slowdown trips the gate)")
+        return 0
+
+    ok, _, all_deltas = run_gate(
+        baseline_rows, args.time_tol, args.reps, inject_slowdown=args.inject_slowdown
+    )
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(
+            {"baseline": str(baseline_path), "time_tol": args.time_tol,
+             "ok": ok, "shapes": all_deltas}, indent=1) + "\n")
+        print(f"\nwrote {args.out}")
+    print(f"\nperf gate: {'ok' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

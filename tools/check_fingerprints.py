@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI launch-fingerprint drift gate for all five execution paths.
+
+Two fingerprint families, both pure shape arithmetic:
+
+* **Serial launch stream** (``seed`` / ``batched`` / ``structured``) —
+  :func:`repro.verify.invariants.launch_fingerprint`, the SHA-256 of the
+  modeled kernel-launch sequence.  The three serial paths share one
+  stream by design (strategy never changes the launches), so their
+  golden values coincide; the gate pins that *identity* as well as the
+  values.
+* **Look-ahead task DAG** (``lookahead`` / ``lookahead_mt``) — a SHA-256
+  over :func:`repro.graph.executor.build_lookahead_schedule`'s panel
+  partition and dependency-wired task list.  Tiling is keyed on
+  ``workers``, so the mt variant (workers=3) pins the tiled DAG.
+
+Golden values live in ``tests/data/fingerprints.json``.  A mismatch
+means a PR silently changed the launch stream or the task schedule —
+rerun with ``--update`` only when that change is intentional, and say
+why in the commit.
+
+Usage::
+
+    python tools/check_fingerprints.py            # CI gate (exit 1 on drift)
+    python tools/check_fingerprints.py --update   # re-bless the goldens
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:  # self-locating: only extend sys.path when repro is not installed
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+GOLDEN = REPO_ROOT / "tests" / "data" / "fingerprints.json"
+
+# (m, n) grid: the CI smoke shape, the bench grid, and a wide matrix
+# that exercises multi-panel trailing updates; br=64 / pw=16 throughout
+# (the paper's reference geometry).
+SHAPES = [(1024, 256), (4096, 32), (16384, 64), (55296, 100), (110592, 100)]
+BLOCK_ROWS = 64
+PANEL_WIDTH = 16
+
+SERIAL_PATHS = ("seed", "batched", "structured")
+LOOKAHEAD_PATHS = {"lookahead": None, "lookahead_mt": 3}  # name -> workers
+
+
+def _schedule_fingerprint(m: int, n: int, workers: int | None) -> str:
+    """SHA-256 of the look-ahead panel partition + task DAG."""
+    from repro.graph.executor import build_lookahead_schedule
+    from repro.runtime import ExecutionPolicy
+
+    policy = ExecutionPolicy(
+        path="lookahead",
+        workers=workers,
+        panel_width=PANEL_WIDTH,
+        block_rows=BLOCK_ROWS,
+    )
+    sched = build_lookahead_schedule(m, n, policy)
+    h = hashlib.sha256()
+    # The schedule's panel tuples carry row/column offsets but not the
+    # matrix height, so (m, n) goes into the hash explicitly.
+    h.update(repr((sched.m, sched.n)).encode())
+    h.update(repr(sched.panels).encode())
+    for t in sched.tasks:
+        h.update(repr((t.kind, t.panel, t.lo, t.hi, t.deps)).encode())
+    return h.hexdigest()[:16]
+
+
+def compute_fingerprints() -> dict:
+    """The full path x shape fingerprint table, as stored in the golden."""
+    from repro.kernels.config import KernelConfig
+    from repro.verify.invariants import launch_fingerprint
+
+    cfg = KernelConfig(block_rows=BLOCK_ROWS, panel_width=PANEL_WIDTH)
+    out: dict[str, dict[str, str]] = {}
+    for path in SERIAL_PATHS:
+        # One launch stream for all serial strategies — recomputed per
+        # path anyway so a future per-path divergence cannot hide.
+        out[path] = {
+            f"{m}x{n}": launch_fingerprint(m, n, cfg)[:16] for m, n in SHAPES
+        }
+    for path, workers in LOOKAHEAD_PATHS.items():
+        out[path] = {
+            f"{m}x{n}": _schedule_fingerprint(m, n, workers) for m, n in SHAPES
+        }
+    return out
+
+
+def diff_fingerprints(golden: dict, fresh: dict) -> list[str]:
+    """Readable drift lines (empty when the tables agree)."""
+    lines = []
+    for path in sorted(set(golden) | set(fresh)):
+        g_shapes = golden.get(path, {})
+        f_shapes = fresh.get(path, {})
+        for shape in sorted(set(g_shapes) | set(f_shapes)):
+            g = g_shapes.get(shape)
+            f = f_shapes.get(shape)
+            if g != f:
+                lines.append(
+                    f"  {path:<13} {shape:<11} golden={g or '<missing>'} "
+                    f"fresh={f or '<missing>'}"
+                )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--update", action="store_true", help="re-bless the golden file"
+    )
+    ap.add_argument("--golden", type=Path, default=GOLDEN)
+    args = ap.parse_args(argv)
+
+    fresh = compute_fingerprints()
+    if args.update:
+        args.golden.parent.mkdir(parents=True, exist_ok=True)
+        args.golden.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.golden}")
+        return 0
+    if not args.golden.exists():
+        print(f"golden {args.golden} not found — run with --update to create it")
+        return 2
+    golden = json.loads(args.golden.read_text())
+    drift = diff_fingerprints(golden, fresh)
+    n_pins = sum(len(v) for v in fresh.values())
+    if drift:
+        print(f"launch-fingerprint drift ({len(drift)} of {n_pins} pins moved):")
+        print("\n".join(drift))
+        print(
+            "\nThe launch stream / look-ahead DAG is pinned; if this change is "
+            "intentional, rerun with --update and explain it in the commit."
+        )
+        return 1
+    print(f"fingerprints: all {n_pins} pins stable across "
+          f"{len(fresh)} paths x {len(SHAPES)} shapes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
