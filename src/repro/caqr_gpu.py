@@ -43,16 +43,22 @@ from .kernels.config import REFERENCE_CONFIG, KernelConfig
 from .kernels.costs import (
     apply_qt_h_launch,
     apply_qt_tree_launch,
+    chol_launch,
     factor_launch,
     factor_tree_launch,
+    gram_launch,
+    scale_launch,
     transpose_launch,
+    trsm_launch,
 )
 from .verify.guards import validate_matrix
 
 __all__ = [
     "CAQRGpuResult",
     "enumerate_caqr_launches",
+    "enumerate_cholqr2_launches",
     "simulate_caqr",
+    "simulate_cholqr2",
     "simulate_form_q",
     "caqr_gpu_factor",
     "caqr_gflops",
@@ -212,6 +218,78 @@ def simulate_caqr(
             m, n, cfg, dev, streams=streams, lookahead=lookahead
         )
     return res
+
+
+def enumerate_cholqr2_launches(
+    m: int,
+    n: int,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+    mixed: bool = False,
+    guard: bool = False,
+) -> Iterator[LaunchSpec]:
+    """Yield every kernel launch of a CholeskyQR2 factorization.
+
+    The canonical stream is O(1) launches regardless of ``m``::
+
+        scale                      # column equilibration W = A / s
+        (guard gram + guard chol)  # row-sampled precheck, path="auto" only
+        gram -> chol -> trsm       # pass 1
+        gram -> chol -> trsm       # pass 2 (reorthogonalization)
+
+    The host-side fused small-matrix algebra (skipping the second syrk
+    when the condition estimate is tiny) is a CPU-side rewrite of the
+    same pass-2 work; the modeled device stream stays the canonical
+    two-pass form so fingerprints are pure functions of
+    ``(shape, mixed, guard)``.  ``mixed`` halves the pass-1 Gram traffic
+    and GEMM cycles (float32 accumulation of a float64 input); the
+    Cholesky smalls and both m x n triangular applies stay full
+    precision, matching the numeric engine.
+    """
+    if m < 1 or n < 1:
+        raise ValueError("matrix dimensions must be positive")
+    k = min(m, n)
+    yield scale_launch(m, k, cfg, dev, tag="scale")
+    if guard and m >= 16 * k:
+        # Row-sampled condition precheck: a ~(8k) x k Gram plus its
+        # Cholesky, ~1% of the full pass-1 cost.
+        yield gram_launch(8 * k, k, cfg, dev, tag="guard")
+        yield chol_launch(k, cfg, dev, tag="guard")
+    for p in (1, 2):
+        g = gram_launch(m, k, cfg, dev, tag=f"pass{p}")
+        if mixed and p == 1:
+            g = replace(
+                g,
+                cycles_per_block=g.cycles_per_block * 0.5,
+                read_bytes_per_block=g.read_bytes_per_block * 0.5,
+                write_bytes_per_block=g.write_bytes_per_block * 0.5,
+            )
+        yield g
+        yield chol_launch(k, cfg, dev, tag=f"pass{p}")
+        yield trsm_launch(m, k, cfg, dev, tag=f"pass{p}")
+
+
+def simulate_cholqr2(
+    m: int,
+    n: int,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+    mixed: bool = False,
+    guard: bool = False,
+) -> CAQRGpuResult:
+    """Simulate a CholeskyQR2 factorization of an ``m x n`` matrix.
+
+    Pure shape arithmetic, like :func:`simulate_caqr`; the wide case
+    models the leading ``m x m`` square factorization (the trailing
+    ``R[:, m:]`` GEMM is not on the fingerprinted stream, mirroring how
+    the Householder paths fingerprint only the factorization kernels).
+    ``gflops`` stays normalized by the standard SGEQRF flop count so the
+    paths are directly comparable.
+    """
+    tl = Timeline(device=dev)
+    for spec in enumerate_cholqr2_launches(m, n, cfg, dev, mixed=mixed, guard=guard):
+        tl.launch(spec)
+    return CAQRGpuResult(m=m, n=n, config=cfg, device=dev, timeline=tl)
 
 
 def simulate_form_q(

@@ -66,7 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--path",
         type=str,
         default="batched",
-        help="execution path: seed | batched | structured | lookahead",
+        help="execution path: seed | batched | structured | lookahead | "
+        "cholqr2 | cholqr2_mixed | auto",
     )
     pl.add_argument("--workers", type=int, default=None, help="look-ahead worker count")
 
@@ -81,7 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy",
         type=str,
         default="batched",
-        help="execution path: seed | batched | structured | lookahead",
+        help="execution path: seed | batched | structured | lookahead | "
+        "cholqr2 | cholqr2_mixed | auto",
     )
     tr.add_argument("--workers", type=int, default=None, help="look-ahead worker count")
     tr.add_argument("--seed", type=int, default=0, help="matrix RNG seed")

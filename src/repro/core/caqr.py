@@ -194,6 +194,15 @@ def caqr(
         from repro.graph.executor import caqr_lookahead
 
         return caqr_lookahead(A, policy=policy)
+    if policy.uses_cholqr:
+        from repro.runtime.cholqr import run_cholqr
+
+        with _obs.maybe_trace(policy.trace):
+            A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
+            with _obs.span(
+                "caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path
+            ):
+                return run_cholqr(A, policy)
     with _obs.maybe_trace(policy.trace):
         A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
         with _obs.span("caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path):

@@ -61,16 +61,23 @@ def modified_gram_schmidt(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return Q, R
 
 
-def cgs2(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """CGS with one full reorthogonalization pass per column."""
+def cgs2(A: np.ndarray, *, nonfinite: str = "raise") -> tuple[np.ndarray, np.ndarray]:
+    """CGS with one full reorthogonalization pass per column.
+
+    Guard-validated like every production entry point (complex rejected,
+    non-finite policy honored, float32 preserved): the fuzz grid runs it
+    as a reference algorithm against the CholeskyQR2 paths.
+    """
     from repro.verify.guards import validate_matrix
 
-    A = validate_matrix(A, where="cgs2", dtype=np.float64)
+    A = validate_matrix(A, where="cgs2", nonfinite=nonfinite)
     m, n = A.shape
-    Q = np.zeros((m, n))
-    R = np.zeros((n, n))
+    Q = np.zeros((m, n), dtype=A.dtype)
+    R = np.zeros((n, n), dtype=A.dtype)
+    # Dependence threshold in the working precision, not float64's.
+    rtol = float(np.finfo(A.dtype).eps) * 1e4
     for j in range(n):
-        v = A[:, j].copy()
+        v = A[:, j].astype(A.dtype, copy=True)
         orig = float(np.linalg.norm(v))
         for _ in range(2):
             if j > 0:
@@ -78,7 +85,7 @@ def cgs2(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
                 R[:j, j] += c
                 v -= Q[:, :j] @ c
         nrm = float(np.linalg.norm(v))
-        _check_norm(nrm, orig, j)
+        _check_norm(nrm, orig, j, rtol=rtol)
         R[j, j] = nrm
         Q[:, j] = v / nrm
     return Q, R

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .baselines import CULAQR, MAGMAQR, MKLQR
-from .caqr_gpu import simulate_caqr
+from .caqr_gpu import simulate_caqr, simulate_cholqr2
 from .core.blocked import blocked_qr
 from .gpusim.device import C2050, DeviceSpec
 from .kernels.config import REFERENCE_CONFIG, KernelConfig
@@ -47,6 +47,9 @@ class DispatchedQR:
     Q: np.ndarray
     R: np.ndarray
     predictions: list[EnginePrediction] = field(default_factory=list)
+    # True when a CholeskyQR2 policy's condition guard routed this matrix
+    # to the Householder tree (path="auto" fallback).
+    fell_back: bool = False
 
 
 class QRDispatcher:
@@ -142,7 +145,19 @@ class QRDispatcher:
                 return list(cached)
         _obs.counters(pred_cache_misses=1)
         preds = []
-        r = simulate_caqr(m, n, self.config, self.device)
+        if self.policy.uses_cholqr:
+            # The dispatcher's CAQR engine runs whatever path the policy
+            # names; predict with the matching modeled launch stream.
+            r = simulate_cholqr2(
+                m,
+                n,
+                self.config,
+                self.device,
+                mixed=self.policy.path == "cholqr2_mixed",
+                guard=self.policy.path == "auto",
+            )
+        else:
+            r = simulate_caqr(m, n, self.config, self.device)
         preds.append(EnginePrediction("caqr", r.seconds, r.gflops))
         best_hybrid = min(
             (self._magma.simulate(m, n), self._cula.simulate(m, n)), key=lambda b: b.seconds
@@ -219,12 +234,17 @@ class QRDispatcher:
             with _obs.span("dispatch.qr", cat="dispatch", m=m, n=n):
                 preds = self.predict(m, n)
                 engine = preds[0].engine
+                fell_back = False
                 with _obs.span("engine", cat="dispatch", engine=engine):
                     if engine == "caqr":
                         plan = self.plan_for(m, n, dtype=A.dtype)
-                        Q, R = plan.execute(A, validated=True)
+                        f = plan.factor(A, validated=True)
+                        Q, R = f.form_q(), f.R
+                        fell_back = bool(getattr(f, "fell_back", False))
                     else:
                         # Blocked Householder is the algorithm behind both the
                         # hybrid GPU libraries and MKL; numerically they coincide.
                         Q, R = blocked_qr(A, nb=64, nonfinite="propagate")
-            return DispatchedQR(engine=engine, Q=Q, R=R, predictions=preds)
+            return DispatchedQR(
+                engine=engine, Q=Q, R=R, predictions=preds, fell_back=fell_back
+            )

@@ -30,6 +30,10 @@ __all__ = [
     "apply_qt_tree_split_launches",
     "transpose_launch",
     "factor_block_cycles",
+    "scale_launch",
+    "gram_launch",
+    "chol_launch",
+    "trsm_launch",
 ]
 
 _F32 = 4.0  # bytes per single-precision element
@@ -360,5 +364,146 @@ def transpose_launch(
         smem_per_block_bytes=cfg.smem_footprint_bytes(),
         smem_transactions_per_block=2.0 * per_block / 32.0,
         bw_efficiency=0.8,  # transpose writes are partially uncoalesced
+        tag=tag,
+    )
+
+
+# -- CholeskyQR2 fast-path kernels (launch-count-avoiding BLAS3) -----------
+#
+# The cheap path replaces the whole panel/tree launch stream with O(1)
+# GEMM-class kernels: a column-equilibration pass, two Gram (syrk)
+# accumulations, two single-block Cholesky factorizations and two big
+# triangular multiplies/solves.  The BLAS3 kernels are modeled at the
+# device's best SGEMM rate (``dev.gemm_peak_gflops`` — Volkov-style
+# register blocking, not the 64-thread strategy micro-model, which
+# describes latency-bound panel kernels).
+
+
+def _gemm_cycles_per_block(flops_per_block: float, dev: DeviceSpec) -> float:
+    """SM cycles for a GEMM-class block running at the SGEMM peak."""
+    derate = dev.peak_gflops / dev.gemm_peak_gflops
+    return flops_per_block / dev.flops_per_cycle_per_sm * derate
+
+
+def scale_launch(
+    m: int,
+    n: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Column equilibration: norm reduction + scaled copy ``W = A/s``.
+
+    Bandwidth-bound — reads A twice (reduce, then divide) and writes W
+    once; the flop count is negligible next to the traffic.
+    """
+    elems = m * n
+    n_blocks = max(1, -(-elems // cfg.elements_per_block))
+    per_block = elems / max(1, n_blocks)
+    return LaunchSpec(
+        kernel="cholqr_scale",
+        n_blocks=n_blocks,
+        threads_per_block=cfg.threads,
+        cycles_per_block=3.0 * per_block / 32.0 * dev.smem_cycles,
+        flops_per_block=2.0 * per_block,
+        read_bytes_per_block=2.0 * per_block * _F32,
+        write_bytes_per_block=per_block * _F32,
+        smem_per_block_bytes=cfg.smem_footprint_bytes(),
+        smem_transactions_per_block=3.0 * per_block / 32.0,
+        bw_efficiency=1.0,  # column-major streaming is fully coalesced
+        tag=tag,
+    )
+
+
+def gram_launch(
+    m: int,
+    n: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Gram accumulation ``G = W^T W`` (syrk): one block per row slab.
+
+    Each block multiplies a ``slab x n`` strip into a private ``n x n``
+    partial accumulator (reduced by the tail block); compute runs at the
+    SGEMM rate since the strip is register-blocked like a GEMM.
+    """
+    slab = max(cfg.block_rows, n)
+    n_blocks = max(1, -(-m // slab))
+    rows = m / n_blocks
+    flops = rows * n * n  # syrk: half the GEMM products, 2x flops/product
+    return LaunchSpec(
+        kernel="gram",
+        n_blocks=n_blocks,
+        threads_per_block=cfg.threads,
+        cycles_per_block=_gemm_cycles_per_block(flops, dev),
+        flops_per_block=flops,
+        read_bytes_per_block=rows * n * _F32,
+        write_bytes_per_block=n * n * _F32,  # partial accumulator flush
+        smem_per_block_bytes=cfg.smem_footprint_bytes(),
+        smem_transactions_per_block=rows * n / 32.0,
+        bw_efficiency=1.0,
+        tag=tag,
+    )
+
+
+def chol_launch(
+    n: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Single-block Cholesky of the ``n x n`` Gram matrix.
+
+    A fully serialized pivot chain (like the ``factor`` column loop):
+    each of the ``n`` pivots pays a sqrt/divide latency plus dependent
+    phase boundaries before its rank-1 trailing update.
+    """
+    pivot_latency = 40.0  # sqrt + reciprocal, same constant as factor
+    chain = n * (pivot_latency + 4.0 * dev.phase_latency_cycles)
+    flops = n**3 / 3.0
+    return LaunchSpec(
+        kernel="chol",
+        n_blocks=1,
+        threads_per_block=cfg.threads,
+        cycles_per_block=chain + flops / dev.flops_per_cycle_per_sm * dev.issue_overhead,
+        flops_per_block=flops,
+        read_bytes_per_block=n * n * _F32,
+        write_bytes_per_block=n * n * _F32 / 2.0,  # the triangular factor
+        smem_per_block_bytes=min(int(_F32 * n * n), dev.smem_per_sm_bytes),
+        smem_transactions_per_block=n * n / 32.0,
+        bw_efficiency=1.0,
+        tag=tag,
+    )
+
+
+def trsm_launch(
+    m: int,
+    n: int,
+    cfg: KernelConfig,
+    dev: DeviceSpec,
+    tag: str = "",
+) -> LaunchSpec:
+    """Right triangular solve/multiply ``W <- W R^{-1}`` over row slabs.
+
+    Row blocks are independent (the triangular factor is shared), so the
+    kernel is GEMM-class: every block stages the ``n x n`` triangle and
+    streams its slab through it.
+    """
+    slab = max(cfg.block_rows, n)
+    n_blocks = max(1, -(-m // slab))
+    rows = m / n_blocks
+    flops = rows * n * n  # m n^2 over the whole matrix
+    return LaunchSpec(
+        kernel="trsm",
+        n_blocks=n_blocks,
+        threads_per_block=cfg.threads,
+        cycles_per_block=_gemm_cycles_per_block(flops, dev),
+        flops_per_block=flops,
+        read_bytes_per_block=rows * n * _F32 + n * n * _F32 / 2.0,
+        write_bytes_per_block=rows * n * _F32,
+        smem_per_block_bytes=cfg.smem_footprint_bytes(),
+        smem_transactions_per_block=2.0 * rows * n / 32.0,
+        bw_efficiency=1.0,
         tag=tag,
     )

@@ -16,6 +16,11 @@ collapses that sprawl into a Parla-style policy/plan/execute separation:
   replayed by ``plan.execute(A)`` for repeated bit-identical
   factorizations; ``plan.simulate()`` gives the modeled GPU cost of the
   same shape.
+* :mod:`repro.runtime.cholqr` — the condition guard and tree fallback
+  behind the CholeskyQR2 fast paths (``path="cholqr2"`` /
+  ``"cholqr2_mixed"`` / ``"auto"``); every accept/reject threshold and
+  fallback decision is constructed here and nowhere else (enforced by
+  ``tools/lint_layering.py``).
 
 Layering: ``repro.core`` / ``repro.graph`` / ``repro.dispatch`` import
 :mod:`repro.runtime.policy` (which only depends on the guard layer);
@@ -23,8 +28,10 @@ Layering: ``repro.core`` / ``repro.graph`` / ``repro.dispatch`` import
 call time, so no import cycle exists.
 """
 
+from .cholqr import CholQRFactors, CholQRGuard, count_fallbacks, run_cholqr
 from .plan import QRPlan, plan_qr
 from .policy import (
+    CHOLQR_PATHS,
     PATH_NAMES,
     ExecutionPolicy,
     resolve_executor_policy,
@@ -32,9 +39,13 @@ from .policy import (
 )
 
 __all__ = [
+    "CHOLQR_PATHS",
     "PATH_NAMES",
+    "CholQRFactors",
+    "CholQRGuard",
     "ExecutionPolicy",
     "QRPlan",
+    "count_fallbacks",
     "plan_qr",
     "resolve_executor_policy",
     "resolve_policy",

@@ -16,6 +16,7 @@ layer sits *below* them in the import graph.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -135,6 +136,9 @@ class QRPlan:
         self._schedule = schedule
         self._recipes = recipes  # strong refs keep warmed recipes alive
         self._sim = None
+        # CholeskyQR2 scratch (the mixed path's float32 Gram cast buffer)
+        # is reused across executes but never across threads.
+        self._cholqr_tls = threading.local() if policy.uses_cholqr else None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -183,9 +187,27 @@ class QRPlan:
                     from repro.graph.executor import run_lookahead_schedule
 
                     return run_lookahead_schedule(self._schedule, A)
+                if self.policy.uses_cholqr:
+                    from repro.runtime.cholqr import run_cholqr
+
+                    return run_cholqr(
+                        A,
+                        self.policy,
+                        workspace=self._cholqr_workspace(),
+                        schedule=self._schedule,
+                    )
                 from repro.core.caqr import _caqr_serial
 
                 return _caqr_serial(A, self.policy)
+
+    def _cholqr_workspace(self):
+        ws = getattr(self._cholqr_tls, "ws", None)
+        if ws is None:
+            from repro.core.cholesky_qr import CholQRWorkspace
+
+            ws = CholQRWorkspace()
+            self._cholqr_tls.ws = ws
+        return ws
 
     def execute(self, A: np.ndarray, validated: bool = False):
         """Explicit thin ``(Q, R)`` of ``A`` under the plan."""
@@ -198,6 +220,21 @@ class QRPlan:
         """Modeled GPU cost of this shape (cached for the serial stream)."""
         if self.m < 1 or self.n < 1:
             raise ValueError("simulate: degenerate shapes have no modeled timeline")
+        if self.policy.uses_cholqr:
+            # O(1) launches on one stream: the ``streams`` knob has no
+            # effect on the modeled CholeskyQR2 timeline.
+            if self._sim is None:
+                from repro.caqr_gpu import simulate_cholqr2
+
+                self._sim = simulate_cholqr2(
+                    self.m,
+                    self.n,
+                    self.policy.resolved_config(),
+                    self.policy.resolved_device(),
+                    mixed=self.policy.path == "cholqr2_mixed",
+                    guard=self.policy.path == "auto",
+                )
+            return self._sim
         if streams is not None:
             from repro.caqr_gpu import simulate_caqr
 
@@ -263,6 +300,30 @@ def plan_qr(
 
 def _plan_qr_impl(m: int, n: int, dtype, policy: ExecutionPolicy) -> QRPlan:
     dt = _plan_dtype(dtype)
+    if policy.uses_cholqr:
+        # The cheap path has no panel/tree structure: its scratch is the
+        # n x n Gram + triangular smalls (and the float32 Gram cast
+        # buffer on the mixed path); "auto" additionally prebuilds the
+        # look-ahead fallback schedule so a guarded execute never plans.
+        k = min(m, n)
+        scratch = 3 * k * k * dt.itemsize
+        if policy.path == "cholqr2_mixed" and dt == np.dtype(np.float64):
+            scratch += m * k * np.dtype(np.float32).itemsize
+        schedule = None
+        if policy.path == "auto" and m >= 1 and n >= 1:
+            from repro.runtime.cholqr import _fallback_schedule
+
+            schedule = _fallback_schedule(m, n, policy)
+        return QRPlan(
+            m=m,
+            n=n,
+            dtype=dt,
+            policy=policy,
+            panels=(),
+            schedule=schedule,
+            recipes=(),
+            wy_scratch_bytes=scratch,
+        )
     panels = _panel_specs(m, n, policy)
     scratch = _wy_scratch_bytes(m, n, policy, panels, dt.itemsize)
     schedule = None

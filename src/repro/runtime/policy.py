@@ -30,6 +30,21 @@ Path names
 ``seed_structured``
     The oracle combination ``batched=False, structured=True`` — used
     only by the parity tests; not a production path.
+``cholqr2``
+    The BLAS3 fast path: CholeskyQR2 (two Gram/Cholesky/triangular
+    passes, ~4mn^2 flops, O(1) kernel launches).  Condition-guarded —
+    breaks down (raises) near ``cond(A) ~ 1/sqrt(eps)`` instead of
+    silently losing orthogonality.
+``cholqr2_mixed``
+    CholeskyQR2 with a float32 first-pass Gram accumulation; the
+    reorthogonalization pass runs in float64, restoring full
+    orthogonality.  Guarded at the float32 condition limit.
+``auto``
+    Adaptive: runs ``cholqr2`` when a cheap condition estimate admits
+    it and transparently falls back to ``lookahead`` otherwise
+    (including on Cholesky breakdown mid-factorization).  Never
+    raises on ill-conditioned input; ``condition_limit`` overrides the
+    guard threshold.
 """
 
 from __future__ import annotations
@@ -42,12 +57,26 @@ from repro.verify.guards import validate_nonfinite_policy
 
 __all__ = [
     "PATH_NAMES",
+    "CHOLQR_PATHS",
     "ExecutionPolicy",
     "resolve_policy",
     "resolve_executor_policy",
 ]
 
-PATH_NAMES = ("seed", "batched", "structured", "lookahead", "seed_structured")
+PATH_NAMES = (
+    "seed",
+    "batched",
+    "structured",
+    "lookahead",
+    "seed_structured",
+    "cholqr2",
+    "cholqr2_mixed",
+    "auto",
+)
+
+# The CholeskyQR2 family: condition-guarded BLAS3 fast paths.  ``auto``
+# belongs here too — it *starts* on the cheap path and owns the fallback.
+CHOLQR_PATHS = ("cholqr2", "cholqr2_mixed", "auto")
 
 # Kwargs whose explicit use triggers a DeprecationWarning at the shims.
 DEPRECATED_KWARGS = ("batched", "structured", "lookahead", "workers", "nonfinite")
@@ -100,6 +129,12 @@ class ExecutionPolicy:
             the simulator stack.
         tuning: optional :class:`repro.tuning.cache.TuningCache` handle
             for callers that want sweep-informed geometry.
+        condition_limit: guard threshold for the CholeskyQR2 paths —
+            the largest Gram-diagonal condition estimate the cheap path
+            accepts before raising (``cholqr2`` / ``cholqr2_mixed``) or
+            falling back to ``lookahead`` (``auto``).  ``None`` resolves
+            to the dtype-aware default inside
+            :class:`repro.runtime.cholqr.CholQRGuard`.
         trace: optional :class:`repro.obs.TraceSession`; every
             policy-accepting entry point activates it for the duration of
             the call (``obs.maybe_trace``), so spans from each
@@ -114,6 +149,7 @@ class ExecutionPolicy:
     workers: int | None = None
     lookahead_edge: bool = True
     nonfinite: str = "raise"
+    condition_limit: float | None = None
     device: Any | None = field(default=None, compare=False)
     config: Any | None = field(default=None, compare=False)
     tuning: Any | None = field(default=None, compare=False)
@@ -130,10 +166,20 @@ class ExecutionPolicy:
             raise ValueError("block_rows must be positive")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be positive")
-        if self.effective_workers > 1 and self.path != "lookahead":
+        if self.effective_workers > 1 and self.path not in ("lookahead", "auto"):
+            # "auto" may fall back to the executor, where workers applies.
             raise ValueError(
-                f"workers > 1 requires path='lookahead', got path={self.path!r}"
+                f"workers > 1 requires path='lookahead' (or 'auto', whose "
+                f"fallback is the look-ahead path), got path={self.path!r}"
             )
+        if self.condition_limit is not None:
+            if self.path not in CHOLQR_PATHS:
+                raise ValueError(
+                    f"condition_limit applies to the CholeskyQR2 paths "
+                    f"{CHOLQR_PATHS}, got path={self.path!r}"
+                )
+            if not self.condition_limit > 0:
+                raise ValueError("condition_limit must be positive")
         validate_nonfinite_policy(self.nonfinite, "ExecutionPolicy")
 
     # -- derived views -----------------------------------------------------
@@ -151,6 +197,11 @@ class ExecutionPolicy:
     def uses_structured(self) -> bool:
         """Whether tree nodes use the stacked-triangle elimination."""
         return self.path in ("structured", "seed_structured")
+
+    @property
+    def uses_cholqr(self) -> bool:
+        """Whether the CholeskyQR2 fast-path engine runs first."""
+        return self.path in CHOLQR_PATHS
 
     def resolved_device(self):
         """The modeled device (C2050 unless overridden)."""

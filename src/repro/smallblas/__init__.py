@@ -2,9 +2,17 @@
 
 :mod:`.batched` holds the seed einsum kernels (the reference
 implementations); :mod:`.wy` holds the GEMM-based compact-WY kernels the
-batched execution path runs on.
+batched execution path runs on; :mod:`.gram` holds the BLAS3 Gram /
+triangular-multiply kernels behind the CholeskyQR2 fast paths.
 """
 
+from .gram import (
+    HAVE_BLAS3,
+    gram,
+    tri_inv_upper,
+    trmm_right_inplace,
+    trsm_right_inplace,
+)
 from .batched import (
     batched_apply_blocked,
     batched_apply_q,
@@ -29,4 +37,9 @@ __all__ = [
     "geqr2_blocked",
     "larft",
     "wy_factors",
+    "HAVE_BLAS3",
+    "gram",
+    "tri_inv_upper",
+    "trmm_right_inplace",
+    "trsm_right_inplace",
 ]

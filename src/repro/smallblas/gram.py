@@ -1,0 +1,161 @@
+"""BLAS3 building blocks for the CholeskyQR2 execution paths.
+
+The cheap paths spend their whole budget in three level-3 shapes: the
+``n x n`` Gram accumulation ``W^T W``, an in-place right-multiply by a
+small triangular factor, and the matching in-place triangular solve.
+When SciPy's BLAS bindings are importable they run as single ``syrk`` /
+``trmm`` / ``trsm`` calls with zero copies (the row-major ``(m, n)``
+buffer is handed to Fortran BLAS as its own transpose); otherwise the
+blocked NumPy fallbacks below compute the same quantities a row/column
+block at a time so peak scratch stays O(block * n), never O(m * n).
+
+Everything here is pure numerics — no policy, no condition decisions.
+The runtime layer (:mod:`repro.runtime.cholqr`) owns *when* these
+kernels are allowed to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised indirectly on hosts with SciPy
+    from scipy.linalg import blas as _blas
+    from scipy.linalg import lapack as _lapack
+
+    HAVE_BLAS3 = True
+except ImportError:  # pragma: no cover - numpy-only hosts
+    _blas = None
+    _lapack = None
+    HAVE_BLAS3 = False
+
+__all__ = [
+    "HAVE_BLAS3",
+    "GRAM_BLOCK_ROWS",
+    "gram",
+    "tri_inv_upper",
+    "trmm_right_inplace",
+    "trsm_right_inplace",
+]
+
+# Row-block height for the fallback Gram accumulation and the sampled
+# condition precheck: big enough that the per-block matmul amortizes,
+# small enough that a block of a 100-column matrix stays cache-friendly.
+GRAM_BLOCK_ROWS = 4096
+
+
+def _syrk(W: np.ndarray):
+    """One-call ``W^T W`` via BLAS syrk, or ``None`` if not applicable."""
+    if not HAVE_BLAS3:
+        return None
+    if W.dtype == np.float64:
+        fn = _blas.dsyrk
+    elif W.dtype == np.float32:
+        fn = _blas.ssyrk
+    else:
+        return None
+    if not W.flags.c_contiguous or W.size == 0:
+        return None
+    # W.T is an (n, m) Fortran-order view of the same buffer, so syrk
+    # sees column-major data without a copy; ``lower=0`` fills the upper
+    # triangle of (W.T)(W.T)^T = W^T W.
+    G = fn(1.0, W.T, lower=0)
+    G += np.triu(G, 1).T  # symmetrize: callers read both triangles
+    return G
+
+
+def gram(W: np.ndarray, dtype=None) -> np.ndarray:
+    """``W^T W`` as a full symmetric ``(n, n)`` array.
+
+    ``dtype`` selects the *accumulation* precision (the mixed path
+    computes a float32 Gram of float64 data); default is ``W.dtype``.
+    """
+    out_dtype = np.dtype(dtype if dtype is not None else W.dtype)
+    if W.dtype != out_dtype:
+        W = np.ascontiguousarray(W, dtype=out_dtype)
+    G = _syrk(W)
+    if G is not None:
+        return G
+    m, n = W.shape
+    G = np.zeros((n, n), dtype=out_dtype)
+    for lo in range(0, m, GRAM_BLOCK_ROWS):
+        Wb = W[lo : lo + GRAM_BLOCK_ROWS]
+        G += Wb.T @ Wb
+    return G
+
+
+def tri_inv_upper(R: np.ndarray) -> np.ndarray:
+    """Inverse of an upper-triangular matrix (LAPACK ``trtri`` or
+    column-wise back substitution)."""
+    n = R.shape[0]
+    if n == 0:
+        return R.copy()
+    if HAVE_BLAS3 and R.dtype in (np.float32, np.float64):
+        trtri = _lapack.dtrtri if R.dtype == np.float64 else _lapack.strtri
+        X, info = trtri(np.asfortranarray(R), lower=0)
+        if info == 0:
+            return np.ascontiguousarray(np.triu(X))
+    X = np.zeros_like(R)
+    for j in range(n - 1, -1, -1):
+        X[j, j] = 1.0 / R[j, j]
+        if j + 1 < n:
+            # X[j, j+1:] solves R[j, j] * x + R[j, j+1:] @ X[j+1:, j+1:] = 0.
+            X[j, j + 1 :] = -(R[j, j + 1 :] @ X[j + 1 :, j + 1 :]) * X[j, j]
+    return X
+
+
+def trmm_right_inplace(W: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """``W <- W @ X`` with upper-triangular ``X``, in place on ``W``."""
+    m, n = W.shape
+    if n == 0 or m == 0:
+        return W
+    if (
+        HAVE_BLAS3
+        and W.dtype == X.dtype
+        and W.dtype in (np.float32, np.float64)
+        and W.flags.c_contiguous
+    ):
+        fn = _blas.dtrmm if W.dtype == np.float64 else _blas.strmm
+        # (W @ X)^T = X^T @ W^T: left-multiply the Fortran-order view of
+        # W by the lower-triangular X^T, writing back into W's buffer.
+        out = fn(1.0, X.T, W.T, side=0, lower=1, trans_a=0, overwrite_b=1)
+        if out.base is W or np.shares_memory(out, W):
+            return W
+        W[:] = out.T
+        return W
+    # Blocked fallback, right to left: output column block [lo, hi) only
+    # reads original columns [0, hi), which are untouched so far.
+    step = max(1, GRAM_BLOCK_ROWS // max(1, m // n + 1)) if n > 1 else 1
+    step = max(step, 1)
+    for hi in range(n, 0, -step):
+        lo = max(0, hi - step)
+        W[:, lo:hi] = W[:, :hi] @ X[:hi, lo:hi]
+    return W
+
+
+def trsm_right_inplace(W: np.ndarray, R: np.ndarray) -> np.ndarray:
+    """``W <- W @ R^{-1}`` with upper-triangular ``R``, in place."""
+    m, n = W.shape
+    if n == 0 or m == 0:
+        return W
+    if (
+        HAVE_BLAS3
+        and W.dtype == R.dtype
+        and W.dtype in (np.float32, np.float64)
+        and W.flags.c_contiguous
+    ):
+        fn = _blas.dtrsm if W.dtype == np.float64 else _blas.strsm
+        # Solve X R = W via the transposed system R^T X^T = W^T.
+        out = fn(1.0, R, W.T, side=0, lower=0, trans_a=1, overwrite_b=1)
+        if out.base is W or np.shares_memory(out, W):
+            return W
+        W[:] = out.T
+        return W
+    # Blocked forward substitution, left to right: by the time block
+    # [lo, hi) is solved, blocks [0, lo) already hold the solution.
+    for lo in range(0, n, 64):
+        hi = min(n, lo + 64)
+        rhs = W[:, lo:hi]
+        if lo:
+            rhs = rhs - W[:, :lo] @ R[:lo, lo:hi]
+        W[:, lo:hi] = rhs @ tri_inv_upper(R[lo:hi, lo:hi])
+    return W

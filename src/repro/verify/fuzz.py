@@ -7,11 +7,14 @@ strided views) and matrix kinds (Gaussian, graded spectrum, extreme
 "huge"/"tiny" scales that stress the rescaled reflector path), each
 factored through every execution path —
 
-* ``seed``         — the per-node reference path (``batched=False``)
-* ``batched``      — level-batched compact-WY (the default)
-* ``structured``   — sparsity-exploiting stacked-triangle tree
-* ``lookahead``    — the task-graph executor, serial
-* ``lookahead_mt`` — the task-graph executor on a thread pool
+* ``seed``          — the per-node reference path (``batched=False``)
+* ``batched``       — level-batched compact-WY (the default)
+* ``structured``    — sparsity-exploiting stacked-triangle tree
+* ``lookahead``     — the task-graph executor, serial
+* ``lookahead_mt``  — the task-graph executor on a thread pool
+* ``cholqr2``       — BLAS3 CholeskyQR2 (guard *refuses* ill-conditioned)
+* ``cholqr2_mixed`` — CholeskyQR2 with a float32 first-pass Gram
+* ``auto``          — condition-guarded cholqr2 with tree fallback
 
 — and cross-checked three ways: the QR invariants of
 :mod:`repro.verify.invariants` (orthogonality, residual,
@@ -21,6 +24,16 @@ factor agreement with ``np.linalg.qr`` after sign canonicalization
 a condition-number factor, so graded matrices check invariants only),
 and pairwise agreement between paths.  The serial launch-stream
 fingerprint is asserted stable for every factorable shape in the grid.
+
+The CholeskyQR2 paths carry extra differential semantics: a
+:class:`~repro.core.cholesky_qr.CholeskyBreakdownError` from an
+*explicit* cholqr path on an adversarial (non-Gaussian) kind is an
+accepted refusal, not a divergence; ``auto`` must never raise it, must
+never fall back on a Gaussian matrix, and must provably fall back
+(fallback counter > 0) somewhere in any sweep that includes
+ill-conditioned kinds.  Tall well-conditioned cases additionally factor
+through :func:`repro.core.gram_schmidt.cgs2` as an independent
+"twice is enough" reference.
 
 Any divergence is reported with a minimal standalone repro snippet.
 """
@@ -32,7 +45,10 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.caqr import caqr_qr
+from repro.core.cholesky_qr import CholeskyBreakdownError
+from repro.core.gram_schmidt import cgs2
 from repro.core.validation import sign_canonical
+from repro.runtime.cholqr import count_fallbacks
 from repro.runtime.policy import ExecutionPolicy
 
 from .invariants import launch_fingerprint, qr_invariants, qr_tolerance
@@ -59,7 +75,14 @@ PATHS: dict[str, dict] = {
     "structured": {"path": "structured"},
     "lookahead": {"path": "lookahead"},
     "lookahead_mt": {"path": "lookahead", "workers": 3},
+    "cholqr2": {"path": "cholqr2"},
+    "cholqr2_mixed": {"path": "cholqr2_mixed"},
+    "auto": {"path": "auto"},
 }
+
+# Fuzz names whose policy is a CholeskyQR2 path that may *refuse*
+# (raise CholeskyBreakdownError) rather than fall back.
+_EXPLICIT_CHOLQR = ("cholqr2", "cholqr2_mixed")
 
 
 def policy_for(
@@ -161,7 +184,10 @@ class Divergence:
 
     case: FuzzCase
     path: str
-    check: str  # "exception" | "invariants" | "vs-numpy" | "pairwise" | "fingerprint"
+    # "exception" | "invariants" | "vs-numpy" | "pairwise" | "fingerprint"
+    # | "fallback" (auto fell back on Gaussian input, or a sweep with
+    #   adversarial kinds saw no fallback at all)
+    check: str
     detail: str
 
     def format(self) -> str:
@@ -227,11 +253,32 @@ def run_case(case: FuzzCase, paths: list[str] | None = None) -> list[Divergence]
 
     results: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for name in names:
+        path = PATHS[name].get("path")
         try:
-            Q, R = caqr_qr(A, policy=case.policy(name))
+            with count_fallbacks() as counter:
+                Q, R = caqr_qr(A, policy=case.policy(name))
+        except CholeskyBreakdownError as exc:
+            # Explicit cholqr paths contractually refuse input their
+            # guard deems too ill-conditioned — an accepted refusal on
+            # the adversarial kinds, a finding on Gaussian input.  The
+            # adaptive path must never surface a breakdown.
+            if name in _EXPLICIT_CHOLQR and case.kind != "gauss":
+                continue
+            divs.append(Divergence(case, name, "exception", f"{type(exc).__name__}: {exc}"))
+            continue
         except Exception as exc:  # a crash on valid input is a finding
             divs.append(Divergence(case, name, "exception", f"{type(exc).__name__}: {exc}"))
             continue
+        if path == "auto" and case.kind == "gauss" and counter.fallbacks:
+            divs.append(
+                Divergence(
+                    case,
+                    name,
+                    "fallback",
+                    f"auto fell back on a Gaussian matrix "
+                    f"(stages={counter.stages!r}) — the guard is too tight",
+                )
+            )
         report = qr_invariants(A, Q, R)
         failures = report.failures()
         if failures:
@@ -249,6 +296,30 @@ def run_case(case: FuzzCase, paths: list[str] | None = None) -> list[Divergence]
                         f"max|dQ|={dq:.3e} max|dR|/||A||={dr:.3e} > tol {pair_tol:.3e}",
                     )
                 )
+    # Independent reference: CGS2 ("twice is enough") through the same
+    # guard-validated entry point, cross-checked on tall well-conditioned
+    # Gaussian cases — a non-Householder, non-Cholesky orthogonalizer
+    # that the BLAS3 paths must agree with.
+    if case.kind == "gauss" and 0 < n <= m:
+        try:
+            Qg, Rg = cgs2(A)
+        except Exception as exc:
+            divs.append(Divergence(case, "cgs2", "exception", f"{type(exc).__name__}: {exc}"))
+        else:
+            failures = qr_invariants(A, Qg, Rg).failures()
+            if failures:
+                divs.append(Divergence(case, "cgs2", "invariants", "; ".join(failures)))
+            else:
+                dq, dr = _factor_diff(Qg, Rg, ref_Q, ref_R, scale)
+                if dq > pair_tol or dr > pair_tol:
+                    divs.append(
+                        Divergence(
+                            case,
+                            "cgs2",
+                            "vs-numpy",
+                            f"max|dQ|={dq:.3e} max|dR|/||A||={dr:.3e} > tol {pair_tol:.3e}",
+                        )
+                    )
     # Pairwise: every surviving path against the first surviving one.
     if well_conditioned and len(results) > 1:
         base_name = next(iter(results))
@@ -291,6 +362,11 @@ CORE_VARIANTS: tuple[tuple[str, str, str, int, int, str], ...] = (
     ("float64", "C", "gauss", 16, 64, "quad"),
     ("float32", "C", "gauss", 16, 64, "quad"),
     ("float64", "F", "graded", 4, 8, "binary"),
+    # A float32 graded spectrum overwhelms the float32 Gram condition
+    # limit: the explicit cholqr paths must refuse it and the auto path
+    # must provably take the tree (the quick grid's guaranteed-fallback
+    # coverage).
+    ("float32", "C", "graded", 8, 16, "quad"),
     ("float64", "strided", "gauss", 5, 8, "flat"),
     ("float32", "F", "gauss", 8, 16, "binomial"),
     ("float32", "C", "huge", 4, 16, "quad"),
@@ -361,20 +437,35 @@ def run_grid(
     cases = generate_cases(seed=seed, n_random=n_random, quick=quick)
     divergences: list[Divergence] = []
     fingerprinted: set[tuple[int, int]] = set()
-    for i, case in enumerate(cases):
-        divergences.extend(run_case(case, paths=names))
-        shape = (case.m, case.n)
-        if shape not in fingerprinted and case.m >= 1 and case.n >= 1:
-            fingerprinted.add(shape)
-            if launch_fingerprint(*shape) != launch_fingerprint(*shape):
-                divergences.append(
-                    Divergence(
-                        case,
-                        "-",
-                        "fingerprint",
-                        f"launch fingerprint of {shape} unstable across enumerations",
+    with count_fallbacks() as sweep_counter:
+        for i, case in enumerate(cases):
+            divergences.extend(run_case(case, paths=names))
+            shape = (case.m, case.n)
+            if shape not in fingerprinted and case.m >= 1 and case.n >= 1:
+                fingerprinted.add(shape)
+                if launch_fingerprint(*shape) != launch_fingerprint(*shape):
+                    divergences.append(
+                        Divergence(
+                            case,
+                            "-",
+                            "fingerprint",
+                            f"launch fingerprint of {shape} unstable across enumerations",
+                        )
                     )
-                )
-        if progress is not None and (i + 1) % 25 == 0:
-            progress(f"  {i + 1}/{len(cases)} cases, {len(divergences)} divergence(s)")
+            if progress is not None and (i + 1) % 25 == 0:
+                progress(f"  {i + 1}/{len(cases)} cases, {len(divergences)} divergence(s)")
+    # The adaptive path must *provably* fall back somewhere: a sweep that
+    # includes adversarial kinds and the auto path but never took the
+    # tree means the guard went soft (or the fallback counter broke).
+    adversarial = [c for c in cases if c.kind != "gauss" and min(c.m, c.n) >= 2]
+    if "auto" in names and adversarial and sweep_counter.fallbacks == 0:
+        divergences.append(
+            Divergence(
+                adversarial[0],
+                "auto",
+                "fallback",
+                f"{len(adversarial)} adversarial case(s) swept but the auto path "
+                f"never fell back to the tree — the condition guard is inert",
+            )
+        )
     return FuzzReport(cases_run=len(cases), paths_run=len(names), divergences=divergences)

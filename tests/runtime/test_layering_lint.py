@@ -74,3 +74,30 @@ class TestScanner:
     def test_attribute_calls_are_flagged(self, tmp_path):
         hits = self._scan("repro.core.caqr.caqr(A, workers=3)\n", tmp_path)
         assert hits == [(1, "caqr", "workers")]
+
+    def test_guard_construction_is_flagged(self, tmp_path):
+        hits = self._scan(
+            "from repro.runtime.cholqr import CholQRGuard\n"
+            "guard = CholQRGuard(condition_limit=10.0)\n",
+            tmp_path,
+        )
+        assert hits == [(2, "CholQRGuard", "guard construction")]
+
+    def test_guard_classmethod_construction_is_flagged(self, tmp_path):
+        hits = self._scan(
+            "g = CholQRGuard.for_policy(policy, dtype)\n", tmp_path
+        )
+        assert hits == [(1, "for_policy", "guard construction")]
+
+    def test_condition_limit_kwarg_on_entry_point_is_flagged(self, tmp_path):
+        hits = self._scan("caqr_qr(A, condition_limit=100.0)\n", tmp_path)
+        assert hits == [(1, "caqr_qr", "condition_limit")]
+
+    def test_condition_limit_on_policy_is_sanctioned(self, tmp_path):
+        # The policy object IS the runtime construct — carrying the
+        # threshold there is the approved route.
+        hits = self._scan(
+            "caqr_qr(A, policy=ExecutionPolicy(path='auto', condition_limit=100.0))\n",
+            tmp_path,
+        )
+        assert hits == []

@@ -33,7 +33,16 @@ def checker():
 def test_golden_file_is_committed():
     assert GOLDEN.exists(), "tests/data/fingerprints.json missing"
     data = json.loads(GOLDEN.read_text())
-    assert set(data) == {"seed", "batched", "structured", "lookahead", "lookahead_mt"}
+    assert set(data) == {
+        "seed",
+        "batched",
+        "structured",
+        "lookahead",
+        "lookahead_mt",
+        "cholqr2",
+        "cholqr2_mixed",
+        "auto",
+    }
 
 
 def test_fingerprints_match_golden(checker):
@@ -57,6 +66,15 @@ def test_lookahead_tiling_changes_the_dag(checker):
     assert any(
         fresh["lookahead"][s] != fresh["lookahead_mt"][s] for s in multi_panel
     )
+
+
+def test_cholqr_paths_pin_distinct_streams(checker):
+    """Mixed precision and the auto guard precheck are visible in the
+    modeled stream: each cholqr path pins its own fingerprints."""
+    fresh = checker.compute_fingerprints()
+    for shape in fresh["cholqr2"]:
+        assert fresh["cholqr2"][shape] != fresh["cholqr2_mixed"][shape]
+        assert fresh["auto"][shape] != fresh["cholqr2"][shape]
 
 
 def test_diff_is_readable(checker):

@@ -14,6 +14,11 @@ per-metric tolerances:
   ``caqr``/``tsqr`` path gaps < 1e-12, look-ahead < 1e-14, plan == 0.
 * ``ferr_*`` / ``orth_*`` — within 10x of the baseline (loose: these are
   shape- and rng-stable, so 10x means a numerics regression, not noise).
+* CholeskyQR2 acceptance bounds, absolute rather than relative: the
+  fast-path orthogonality errors stay below 1e-14, the
+  ``cholqr2_vs_lookahead`` speed ratio never falls below 2.0 (on shapes
+  whose baseline clears the floor with margin), and the ``auto`` guard
+  overhead stays below 1.5x plain cholqr2.
 * ``launches`` and ``launch_stream_sha256_16`` — exact (the modeled
   launch stream moving is a silent behavioural change, never noise).
 
@@ -51,6 +56,27 @@ GAP_BOUNDS = {
     "tsqr_max_residual_gap": 1e-12,
     "caqr_lookahead_residual_gap": 1e-14,
     "caqr_plan_residual_gap": 0.0,
+    # CholeskyQR2 acceptance: <1e-14 orthogonality on the bench grid, or
+    # the fast path has no business being dispatched.
+    "caqr_orth_cholqr2": 1e-14,
+    "caqr_orth_cholqr2_mixed": 1e-14,
+    "caqr_orth_auto": 1e-14,
+}
+# Ratio metrics with an *absolute* floor on top of the relative check:
+# the headline acceptance criterion (cholqr2 at least 2x the tree).  The
+# floor is enforced only where the committed baseline clears it with
+# margin (MIN_BOUND_MARGIN), so the large full-grid shapes (baseline
+# 3.4-3.9x) are pinned hard while a quick-grid shape whose baseline
+# merely grazes 2x — within run-to-run noise of the floor — stays gated
+# by the relative check alone.
+MIN_BOUNDS = {
+    "caqr_cholqr2_vs_lookahead": 2.0,
+}
+MIN_BOUND_MARGIN = 1.25
+# Ratio metrics with an absolute ceiling (noise-tolerant): the auto
+# guard's precheck must stay a small tax on plain cholqr2.
+MAX_BOUNDS = {
+    "caqr_auto_guard_overhead": 1.5,
 }
 EXACT_KEYS = ("launches", "launch_stream_sha256_16")
 ACCURACY_FACTOR = 10.0  # ferr/orth headroom vs baseline
@@ -94,11 +120,21 @@ def compare_row(measured: dict, baseline: dict, time_tol: float) -> list[dict]:
             if val > base * (1.0 + time_tol):
                 row["ok"] = False
                 row["why"] = f"slower than baseline by >{time_tol:.0%}"
+        elif key in MAX_BOUNDS:
+            row["ratio"] = val / base if base else float("inf")
+            if val > MAX_BOUNDS[key]:
+                row["ok"] = False
+                row["why"] = f"ratio above fixed ceiling {MAX_BOUNDS[key]:g}"
         elif _is_speedup(key):
             row["ratio"] = val / base if base else float("inf")
             if val < base / (1.0 + time_tol):
                 row["ok"] = False
                 row["why"] = f"speedup shrank by >{time_tol:.0%}"
+            elif (key in MIN_BOUNDS
+                  and base >= MIN_BOUNDS[key] * MIN_BOUND_MARGIN
+                  and val < MIN_BOUNDS[key]):
+                row["ok"] = False
+                row["why"] = f"ratio below fixed floor {MIN_BOUNDS[key]:g}"
         elif _is_accuracy(key):
             if val > max(base * ACCURACY_FACTOR, 1e-15):
                 row["ok"] = False

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""CI launch-fingerprint drift gate for all five execution paths.
+"""CI launch-fingerprint drift gate for every execution path.
 
-Two fingerprint families, both pure shape arithmetic:
+Three fingerprint families, all pure shape arithmetic:
 
 * **Serial launch stream** (``seed`` / ``batched`` / ``structured``) —
   :func:`repro.verify.invariants.launch_fingerprint`, the SHA-256 of the
@@ -13,6 +13,12 @@ Two fingerprint families, both pure shape arithmetic:
   over :func:`repro.graph.executor.build_lookahead_schedule`'s panel
   partition and dependency-wired task list.  Tiling is keyed on
   ``workers``, so the mt variant (workers=3) pins the tiled DAG.
+* **CholeskyQR2 launch stream** (``cholqr2`` / ``cholqr2_mixed`` /
+  ``auto``) — a SHA-256 over
+  :func:`repro.caqr_gpu.enumerate_cholqr2_launches`: the O(1) canonical
+  two-pass scale/gram/chol/trsm sequence, keyed on the mixed-precision
+  flag and on whether the ``auto`` guard precheck launches.  Host-side
+  fusion must never move these pins (the modeled stream is shape-pure).
 
 Golden values live in ``tests/data/fingerprints.json``.  A mismatch
 means a PR silently changed the launch stream or the task schedule —
@@ -50,6 +56,24 @@ PANEL_WIDTH = 16
 
 SERIAL_PATHS = ("seed", "batched", "structured")
 LOOKAHEAD_PATHS = {"lookahead": None, "lookahead_mt": 3}  # name -> workers
+# name -> (mixed, guard); mirrors CHOLQR_PATHS in repro.runtime.policy.
+CHOLQR_PATHS = {
+    "cholqr2": (False, False),
+    "cholqr2_mixed": (True, False),
+    "auto": (False, True),
+}
+
+
+def _cholqr_fingerprint(m: int, n: int, cfg, mixed: bool, guard: bool) -> str:
+    """SHA-256 of the modeled CholeskyQR2 kernel-launch sequence."""
+    from repro.caqr_gpu import enumerate_cholqr2_launches
+    from repro.gpusim.device import C2050
+
+    h = hashlib.sha256()
+    h.update(repr((m, n, mixed, guard)).encode())
+    for spec in enumerate_cholqr2_launches(m, n, cfg, C2050, mixed=mixed, guard=guard):
+        h.update(repr(spec).encode())
+    return h.hexdigest()[:16]
 
 
 def _schedule_fingerprint(m: int, n: int, workers: int | None) -> str:
@@ -90,6 +114,11 @@ def compute_fingerprints() -> dict:
     for path, workers in LOOKAHEAD_PATHS.items():
         out[path] = {
             f"{m}x{n}": _schedule_fingerprint(m, n, workers) for m, n in SHAPES
+        }
+    for path, (mixed, guard) in CHOLQR_PATHS.items():
+        out[path] = {
+            f"{m}x{n}": _cholqr_fingerprint(m, n, cfg, mixed, guard)
+            for m, n in SHAPES
         }
     return out
 

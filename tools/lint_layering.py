@@ -9,6 +9,13 @@ inside this repository may construct them directly anymore: internal
 code passes ``policy=`` (or calls the ``_impl`` layers), so future
 backends/telemetry hook in at exactly one place.
 
+The same ownership rule covers the CholeskyQR2 condition guard: every
+accept/reject threshold and fallback decision is a *policy*, so
+constructing :class:`repro.runtime.cholqr.CholQRGuard` (directly or via
+``CholQRGuard.for_policy``) anywhere outside ``repro.runtime`` is a
+violation, as is smuggling a ``condition_limit=`` keyword into an entry
+point instead of carrying it on the ``ExecutionPolicy``.
+
 AST-based, not regex: a call like ``caqr_qr(A, batched=False)`` is
 flagged wherever the callee name matches a policy-accepting entry point,
 while unrelated keywords named ``workers`` on non-entry-point calls
@@ -46,7 +53,15 @@ ENTRY_POINTS = {
 # Keywords whose construction is reserved to repro.runtime and the shims.
 # ``nonfinite`` stays off this list: it is a guard knob, not a path
 # selector, and the numeric baselines legitimately take it.
-PATH_KWARGS = {"batched", "structured", "lookahead", "workers"}
+# ``condition_limit`` is an ExecutionPolicy field, never an entry-point
+# kwarg: the CholeskyQR2 guard threshold must ride on the policy object.
+PATH_KWARGS = {"batched", "structured", "lookahead", "workers", "condition_limit"}
+
+# Classes whose *construction* is reserved to repro.runtime: the
+# CholeskyQR2 accept/reject/fallback decisions live there and nowhere
+# else.  Both ``CholQRGuard(...)`` and ``CholQRGuard.for_policy(...)``
+# count.
+GUARD_CONSTRUCTORS = {"CholQRGuard"}
 
 SCAN_ROOTS = ("src/repro", "benchmarks", "examples")
 EXEMPT = ("src/repro/runtime/",)
@@ -71,6 +86,11 @@ def scan_file(path: Path) -> list[tuple[int, str, str]]:
         if not isinstance(node, ast.Call):
             continue
         name = _callee_name(node)
+        if _is_guard_construction(node):
+            hits.append(
+                (node.lineno, name or "CholQRGuard", "guard construction")
+            )
+            continue
         if name not in ENTRY_POINTS:
             continue
         if enclosing in ENTRY_POINTS:
@@ -83,6 +103,16 @@ def scan_file(path: Path) -> list[tuple[int, str, str]]:
         if bad:
             hits.append((node.lineno, name, ", ".join(bad)))
     return hits
+
+
+def _is_guard_construction(call: ast.Call) -> bool:
+    """``CholQRGuard(...)`` or ``CholQRGuard.for_policy(...)``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in GUARD_CONSTRUCTORS
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id in GUARD_CONSTRUCTORS
+    return False
 
 
 def _walk_with_function(tree: ast.AST):
@@ -112,7 +142,13 @@ def main() -> int:
             if any(rel.startswith(pref) for pref in EXEMPT):
                 continue
             for lineno, name, kwargs in scan_file(path):
-                violations.append(f"{rel}:{lineno}: {name}(..., {kwargs}=...)")
+                if kwargs == "guard construction":
+                    violations.append(
+                        f"{rel}:{lineno}: {name}(...) — CholQRGuard constructed "
+                        f"outside repro.runtime"
+                    )
+                else:
+                    violations.append(f"{rel}:{lineno}: {name}(..., {kwargs}=...)")
     if violations:
         print("layering lint: path-selection kwargs constructed outside repro.runtime:")
         for v in violations:
