@@ -14,6 +14,7 @@ Usage::
     python -m repro plan --m 110592 --n 100 --path lookahead
     python -m repro trace --shape 4096x128 --policy lookahead --out trace.json
     python -m repro verify --seed 0
+    python -m repro serve-bench --shape 256x32 --requests 512
 """
 
 from __future__ import annotations
@@ -109,6 +110,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated subset of paths (default: all)",
     )
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="load-test the coalescing QR server vs per-request dispatch",
+    )
+    sb.add_argument(
+        "--shape", type=str, default="256x32", help="request shape as MxN"
+    )
+    sb.add_argument("--dtype", type=str, default="float64")
+    sb.add_argument("--requests", type=int, default=512)
+    sb.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered arrival rate in req/s (open loop); default saturation",
+    )
+    sb.add_argument(
+        "--mode",
+        type=str,
+        default="both",
+        choices=("both", "coalesced", "per-request"),
+        help="which surface to drive (default: both, and report the speedup)",
+    )
+    sb.add_argument("--tenants", type=int, default=4)
+    sb.add_argument(
+        "--max-batch", type=int, default=96, help="coalescing window size cap"
+    )
+    sb.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window time cap (ms)",
+    )
     return p
 
 
@@ -164,6 +198,54 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    """Drive the load generator at the serving front end from the shell."""
+    import numpy as np
+
+    from repro.dispatch import QRDispatcher
+    from repro.serving import QRServer, format_report, run_load
+
+    try:
+        m_s, n_s = args.shape.lower().split("x")
+        m, n = int(m_s), int(n_s)
+    except ValueError:
+        print(f"serve-bench: --shape must look like 256x32, got {args.shape!r}")
+        return 2
+    dtype = np.dtype(args.dtype)
+    common = dict(
+        m=m, n=n, dtype=dtype, requests=args.requests,
+        rate=args.rate, tenants=args.tenants,
+    )
+
+    reports = {}
+    if args.mode in ("both", "per-request"):
+        reports["per-request"] = run_load(
+            QRDispatcher(), mode="per-request", **common
+        )
+    if args.mode in ("both", "coalesced"):
+        with QRServer(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        ) as server:
+            # One short pass outside the measured window: first-touch
+            # plan/cache builds land here, not in the report.
+            run_load(
+                server, mode="coalesced", m=m, n=n, dtype=dtype,
+                requests=max(8, args.requests // 4),
+            )
+            reports["coalesced"] = run_load(server, mode="coalesced", **common)
+
+    for rep in reports.values():
+        print(format_report(rep))
+    if len(reports) == 2:
+        speedup = reports["coalesced"].qps / reports["per-request"].qps
+        print(f"coalesce speedup: {speedup:.2f}x")
+    errors = sum(rep.errors for rep in reports.values())
+    if errors:
+        print(f"serve-bench: {errors} request(s) errored")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "verify":
@@ -192,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     # Imports deferred so `--help` stays instant.
     from repro.experiments import (
         ablations,

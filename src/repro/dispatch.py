@@ -52,6 +52,68 @@ class DispatchedQR:
     fell_back: bool = False
 
 
+class _ShardedLRU:
+    """An LRU key-value cache sharded by key hash, one lock per shard.
+
+    The dispatcher's pred/plan caches are shared across serving threads;
+    a single global lock serializes *every* lookup even when two hot
+    shapes never touch the same entry.  Sharding by ``hash(key)`` keeps
+    same-shape requests on one lock (LRU order within a shard stays
+    exact) while different shapes proceed in parallel.  Capacity is
+    divided across shards, so total size stays ~``capacity`` regardless
+    of shard count; ``shards=1`` reproduces the old global-lock cache
+    exactly (the LRU-eviction tests pin that configuration).
+    """
+
+    def __init__(self, capacity: int, shards: int = 8) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        self._per_shard = max(1, -(-capacity // shards))  # ceil division
+        self._shards = [OrderedDict() for _ in range(shards)]
+        self._locks = [threading.Lock() for _ in range(shards)]
+
+    def _index(self, key) -> int:
+        return hash(key) % len(self._shards)
+
+    def lock_for(self, key) -> threading.Lock:
+        """The lock guarding ``key``'s shard (contention tests use this)."""
+        return self._locks[self._index(key)]
+
+    def get(self, key):
+        i = self._index(key)
+        with self._locks[i]:
+            shard = self._shards[i]
+            value = shard.get(key)
+            if value is not None:
+                shard.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        i = self._index(key)
+        with self._locks[i]:
+            shard = self._shards[i]
+            shard[key] = value
+            shard.move_to_end(key)
+            while len(shard) > self._per_shard:
+                shard.popitem(last=False)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key) -> bool:
+        i = self._index(key)
+        with self._locks[i]:
+            return key in self._shards[i]
+
+    def __iter__(self):
+        # Snapshot per shard under its lock; iteration order is
+        # per-shard LRU, concatenated (order-insensitive callers only).
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                keys = list(shard)
+            yield from keys
+
+
 class QRDispatcher:
     """Choose (and run) the fastest QR engine for a matrix shape.
 
@@ -74,6 +136,7 @@ class QRDispatcher:
         lookahead: bool = UNSET,
         workers: int | None = UNSET,
         cache_size: int = 128,
+        cache_shards: int = 8,
         nonfinite: str = UNSET,
         policy: ExecutionPolicy | None = None,
     ) -> None:
@@ -104,15 +167,19 @@ class QRDispatcher:
         self._mkl = MKLQR()
         # (m, n) -> sorted predictions.  crossover_width probes O(log n)
         # shapes per call and qr() re-predicts per matrix; the models are
-        # pure functions of the shape, so memoize them (LRU).  Both caches
-        # are guarded by ``_lock``: dispatchers are shared across serving
-        # threads and OrderedDict mutation is not atomic.
-        self._pred_cache: OrderedDict[tuple[int, int], list[EnginePrediction]] = OrderedDict()
+        # pure functions of the shape, so memoize them (LRU).  Both
+        # caches are sharded by key hash with one lock per shard
+        # (dispatchers are shared across serving threads; a global lock
+        # would serialize unrelated hot shapes on every hit).
+        self._pred_cache = _ShardedLRU(cache_size, cache_shards)
         # (m, n, dtype, engine) -> QRPlan, so dispatch-and-run on repeated
         # shapes skips planning entirely.
-        self._plan_cache: OrderedDict[tuple[int, int, str, str], QRPlan] = OrderedDict()
+        self._plan_cache = _ShardedLRU(cache_size, cache_shards)
         self._cache_size = cache_size
-        self._lock = threading.Lock()
+        # (m, max_width) -> crossover column count; small and unbounded
+        # in practice (callers probe a handful of heights).
+        self._crossover_cache: dict[tuple[int, int], int | None] = {}
+        self._crossover_lock = threading.Lock()
 
     # -- legacy attribute views (pre-policy API) ---------------------------
 
@@ -137,12 +204,10 @@ class QRDispatcher:
         if m < 1 or n < 1:
             raise ValueError("matrix dimensions must be positive")
         key = (m, n)
-        with self._lock:
-            cached = self._pred_cache.get(key)
-            if cached is not None:
-                self._pred_cache.move_to_end(key)
-                _obs.counters(pred_cache_hits=1)
-                return list(cached)
+        cached = self._pred_cache.get(key)
+        if cached is not None:
+            _obs.counters(pred_cache_hits=1)
+            return list(cached)
         _obs.counters(pred_cache_misses=1)
         preds = []
         if self.policy.uses_cholqr:
@@ -167,10 +232,7 @@ class QRDispatcher:
             b = self._mkl.simulate(m, n)
             preds.append(EnginePrediction("mkl", b.seconds, b.gflops))
         preds.sort(key=lambda p: p.seconds)
-        with self._lock:
-            self._pred_cache[key] = preds
-            while len(self._pred_cache) > self._cache_size:
-                self._pred_cache.popitem(last=False)
+        self._pred_cache.put(key, preds)
         return list(preds)
 
     def plan_for(self, m: int, n: int, dtype=np.float64) -> QRPlan:
@@ -181,19 +243,13 @@ class QRDispatcher:
         may both plan but always agree on the cached result.
         """
         key = (m, n, np.dtype(dtype).str, "caqr")
-        with self._lock:
-            plan = self._plan_cache.get(key)
-            if plan is not None:
-                self._plan_cache.move_to_end(key)
-                _obs.counters(plan_cache_hits=1)
-                return plan
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            _obs.counters(plan_cache_hits=1)
+            return plan
         _obs.counters(plan_cache_misses=1)
         plan = plan_qr(m, n, dtype=dtype, policy=self.policy)
-        with self._lock:
-            self._plan_cache[key] = plan
-            self._plan_cache.move_to_end(key)
-            while len(self._plan_cache) > self._cache_size:
-                self._plan_cache.popitem(last=False)
+        self._plan_cache.put(key, plan)
         return plan
 
     def choose(self, m: int, n: int) -> EnginePrediction:
@@ -201,8 +257,25 @@ class QRDispatcher:
         return self.predict(m, n)[0]
 
     def crossover_width(self, m: int, max_width: int | None = None) -> int | None:
-        """Smallest width (by doubling + bisection) where CAQR stops winning."""
+        """Smallest width (by doubling + bisection) where CAQR stops winning.
+
+        Memoized per ``(m, max_width)``: the probe sequence is a pure
+        function of the models, and callers (figure 8's frontier, the
+        serving admission path) re-ask for the same heights repeatedly.
+        """
         max_width = max_width or m
+        key = (m, max_width)
+        with self._crossover_lock:
+            if key in self._crossover_cache:
+                return self._crossover_cache[key]
+        result = self._crossover_width_uncached(m, max_width)
+        with self._crossover_lock:
+            if len(self._crossover_cache) >= 4 * self._cache_size:
+                self._crossover_cache.clear()  # degenerate caller; stay bounded
+            self._crossover_cache[key] = result
+        return result
+
+    def _crossover_width_uncached(self, m: int, max_width: int) -> int | None:
         lo, hi = 1, None
         w = 64
         while w <= max_width:

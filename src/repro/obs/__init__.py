@@ -31,6 +31,7 @@ from .export import (
     from_timeline,
     render_spans,
     span_summary,
+    tenant_summary,
     to_chrome_trace,
     write_chrome_trace,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "render_spans",
     "span",
     "span_summary",
+    "tenant_summary",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

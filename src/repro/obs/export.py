@@ -31,6 +31,7 @@ __all__ = [
     "from_timeline",
     "render_spans",
     "span_summary",
+    "tenant_summary",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
@@ -132,6 +133,51 @@ def render_spans(trace: Trace, width: int = 40, title: str | None = None) -> str
             f"{bar:<{width}} x{r['events']}"
         )
     return "\n".join(lines)
+
+
+def tenant_summary(trace: Trace) -> list[dict]:
+    """Per-tenant serving breakdown from ``serving.request`` spans.
+
+    Each completion (and failure) in :class:`repro.serving.QRServer`
+    emits one ``serving.request`` span tagged with the tenant label, the
+    execution rung it took (``coalesced`` / ``shared-plan`` /
+    ``per-request`` / ``failed``) and its queue latency.  This rolls a
+    capture up into one row per tenant: ``tenant`` / ``requests`` /
+    ``failed`` / ``rungs`` (rung -> count) / ``queue_p50_ms`` /
+    ``queue_p95_ms``, sorted by request count descending — the
+    multi-tenant answer to "who is filling the window, and is anyone
+    stuck behind it?".
+    """
+    per: dict[str, dict] = {}
+    for s in trace.spans:
+        if s.name != "serving.request":
+            continue
+        tenant = str(s.args.get("tenant", "default"))
+        rung = str(s.args.get("rung", "?"))
+        d = per.setdefault(
+            tenant,
+            {"tenant": tenant, "requests": 0, "failed": 0, "rungs": {}, "_q": []},
+        )
+        d["requests"] += 1
+        d["rungs"][rung] = d["rungs"].get(rung, 0) + 1
+        if rung == "failed":
+            d["failed"] += 1
+        q = s.args.get("queue_ms")
+        if q is not None:
+            d["_q"].append(float(q))
+    rows = []
+    for d in sorted(per.values(), key=lambda d: -d["requests"]):
+        qs = sorted(d.pop("_q"))
+
+        def _pct(p: float) -> float:
+            if not qs:
+                return float("nan")
+            return qs[min(len(qs) - 1, int(round(p * (len(qs) - 1))))]
+
+        d["queue_p50_ms"] = _pct(0.50)
+        d["queue_p95_ms"] = _pct(0.95)
+        rows.append(d)
+    return rows
 
 
 def from_timeline(tl, name: str = "gpusim") -> Trace:

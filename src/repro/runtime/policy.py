@@ -135,6 +135,12 @@ class ExecutionPolicy:
             falling back to ``lookahead`` (``auto``).  ``None`` resolves
             to the dtype-aware default inside
             :class:`repro.runtime.cholqr.CholQRGuard`.
+        coalesce: whether a serving front end (:mod:`repro.serving`) may
+            merge same-shape requests under this policy into one stacked
+            batched invocation.  ``False`` forces per-request dispatch —
+            results are bit-identical either way, so this is a latency /
+            isolation knob, not a numerics one.  Ignored outside the
+            serving layer.
         trace: optional :class:`repro.obs.TraceSession`; every
             policy-accepting entry point activates it for the duration of
             the call (``obs.maybe_trace``), so spans from each
@@ -150,6 +156,7 @@ class ExecutionPolicy:
     lookahead_edge: bool = True
     nonfinite: str = "raise"
     condition_limit: float | None = None
+    coalesce: bool = True
     device: Any | None = field(default=None, compare=False)
     config: Any | None = field(default=None, compare=False)
     tuning: Any | None = field(default=None, compare=False)

@@ -1,0 +1,36 @@
+"""Multi-tenant QR serving: request coalescing over the dispatcher.
+
+The paper's core move — amortize per-launch overhead by batching many
+small factorizations into few BLAS3 calls — applies to independent
+*requests* exactly as it does to tree nodes.  This package is the
+request-side half: an async front end (:class:`QRServer`) that admits
+concurrent QR requests through a bounded queue, merges same-shape
+windows into single stacked batched invocations
+(:mod:`repro.serving.batch`), and degrades gracefully to per-request
+dispatch for everything that cannot stack.  Per-request results are
+bit-identical to uncoalesced ``QRDispatcher.qr``.
+
+See ``docs/serving.md`` for the queueing model, window semantics and the
+degradation ladder; ``examples/qr_serving.py`` for a worked example;
+``python -m repro serve-bench`` for the load generator.
+"""
+
+from .batch import ServingPlan, stacked_qr
+from .coalesce import CoalescingQueue
+from .errors import QueueFullError, ServerClosedError, ServingError
+from .loadgen import LoadReport, format_report, run_load
+from .server import QRServer, ServingStats
+
+__all__ = [
+    "CoalescingQueue",
+    "LoadReport",
+    "QRServer",
+    "QueueFullError",
+    "ServerClosedError",
+    "ServingError",
+    "ServingPlan",
+    "ServingStats",
+    "format_report",
+    "run_load",
+    "stacked_qr",
+]

@@ -1,0 +1,142 @@
+"""The bounded coalescing queue behind :class:`repro.serving.QRServer`.
+
+One producer-side rule (admission control) and one consumer-side rule
+(the coalescing window) live here, and nowhere else:
+
+* **Admission**: the queue holds at most ``max_depth`` waiting requests.
+  A ``put`` past the bound either *rejects* (raises
+  :class:`~repro.serving.errors.QueueFullError` at the submitter — the
+  default, backpressure the caller can see) or *sheds* (drops the oldest
+  waiting request, returning it so the server can fail its future; the
+  new request is admitted).  Unbounded queues turn overload into
+  unbounded latency, which for an interactive serving tier is strictly
+  worse than a typed error.
+
+* **Window**: ``get_batch(max_batch, max_wait)`` blocks for the first
+  request, then keeps collecting until either ``max_batch`` requests are
+  on hand or ``max_wait`` seconds have passed since the first one was
+  taken.  The window is what trades a bounded per-request latency cost
+  (at most ``max_wait``) for batch occupancy — the same launch-cost
+  amortization the paper's CAQR applies to tree nodes, applied to
+  independent requests.
+
+Construction of this class is reserved to :mod:`repro.serving` — the
+layering lint (``tools/lint_layering.py``) flags ``CoalescingQueue(...)``
+anywhere else, the same way it fences ``CholQRGuard`` into
+``repro.runtime``.  Queue depth and window are *serving policy*; code
+that wants a different trade-off configures a :class:`QRServer`, it does
+not smuggle a private queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from .errors import QueueFullError, ServerClosedError
+
+__all__ = ["CoalescingQueue"]
+
+
+class CoalescingQueue:
+    """Bounded MPSC queue with a time/size coalescing window.
+
+    Thread-safe for many producers; the single consumer is the server's
+    worker thread.  Items are opaque to the queue (the server enqueues
+    its pending-request records).
+    """
+
+    OVERFLOW_MODES = ("reject", "shed")
+
+    def __init__(self, max_depth: int = 256, overflow: str = "reject"):
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        if overflow not in self.OVERFLOW_MODES:
+            raise ValueError(
+                f"overflow must be one of {self.OVERFLOW_MODES}, got {overflow!r}"
+            )
+        self.max_depth = max_depth
+        self.overflow = overflow
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        # While the consumer sits in a filling window it only wants to be
+        # woken once the batch can complete; producers skip the per-put
+        # notify below this mark (a large win on few-core hosts, where
+        # every futile wakeup is a GIL handoff).  None = not filling.
+        self._wake_at: int | None = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def put(self, item: Any) -> Any | None:
+        """Admit ``item``; returns the shed item (``overflow="shed"``) or None.
+
+        Raises:
+            ServerClosedError: the queue no longer admits requests.
+            QueueFullError: depth bound hit under ``overflow="reject"``.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise ServerClosedError("serving queue is closed")
+            shed = None
+            if len(self._items) >= self.max_depth:
+                if self.overflow == "reject":
+                    raise QueueFullError(
+                        f"serving queue is full ({self.max_depth} waiting "
+                        f"requests); retry later or raise max_depth",
+                        depth=self.max_depth,
+                    )
+                shed = self._items.popleft()
+            self._items.append(item)
+            if self._wake_at is None or len(self._items) >= self._wake_at:
+                self._not_empty.notify()
+            return shed
+
+    def get_batch(self, max_batch: int, max_wait: float) -> list[Any] | None:
+        """Up to ``max_batch`` items within one coalescing window.
+
+        Blocks until at least one item is available, then waits at most
+        ``max_wait`` seconds (from taking charge of that first item) for
+        the batch to fill.  Returns ``None`` exactly once the queue is
+        closed *and* drained — the consumer's shutdown signal.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            if max_wait > 0 and len(self._items) < max_batch:
+                deadline = time.monotonic() + max_wait
+                self._wake_at = max_batch
+                try:
+                    while len(self._items) < max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._not_empty.wait(remaining):
+                            break
+                finally:
+                    self._wake_at = None
+            count = min(len(self._items), max_batch)
+            return [self._items.popleft() for _ in range(count)]
+
+    def close(self) -> None:
+        """Stop admitting; wake the consumer so it can drain and exit."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain(self) -> list[Any]:
+        """Remove and return everything waiting (used on abortive close)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items

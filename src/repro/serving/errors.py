@@ -1,0 +1,36 @@
+"""Typed errors of the serving front end.
+
+Backpressure and lifecycle failures must be *catchable by type*: a load
+balancer that sees :class:`QueueFullError` should retry elsewhere or
+shed load, while a :class:`ServerClosedError` means the process is
+draining and the request should be re-routed, not retried here.  Both
+derive from :class:`ServingError` so callers can fence the whole
+serving surface with one except clause.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServingError", "QueueFullError", "ServerClosedError"]
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures (never numerics errors)."""
+
+
+class QueueFullError(ServingError):
+    """The admission queue is at its depth bound.
+
+    Raised synchronously from ``submit`` under ``overflow="reject"``;
+    delivered through the *shed request's* future under
+    ``overflow="shed"`` (the newest request is admitted, the oldest
+    waiting one is dropped and fails with this error).
+    """
+
+    def __init__(self, message: str, *, depth: int, shed: bool = False):
+        super().__init__(message)
+        self.depth = depth
+        self.shed = shed
+
+
+class ServerClosedError(ServingError):
+    """The server is closed (or closing) and admits no new requests."""

@@ -1,0 +1,205 @@
+"""Open-loop synthetic load generator for the serving front end.
+
+Drives a :class:`~repro.serving.server.QRServer` (coalesced mode) or a
+bare :class:`~repro.dispatch.QRDispatcher` (per-request mode) with a
+stream of same-shape requests and reports throughput plus end-to-end
+latency percentiles.  Two arrival disciplines:
+
+* ``rate=None`` — *saturation*: every request is offered immediately;
+  the measured requests/sec is the sustainable throughput ceiling.
+* ``rate=λ`` — *open loop*: arrivals are paced at ``λ`` requests/sec
+  regardless of completions (the generator never waits for results to
+  offer the next request), which is what makes the latency percentiles
+  honest under load — a closed-loop generator would self-throttle and
+  hide queueing delay.
+
+Shared by ``python -m repro serve-bench`` and
+``benchmarks/bench_serving.py`` (the CI gate re-measures through this
+module, so the gate and the CLI can never drift apart).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadReport", "run_load", "format_report"]
+
+
+@dataclass
+class LoadReport:
+    """One load run: counts, throughput, and latency percentiles (ms)."""
+
+    mode: str
+    m: int
+    n: int
+    requests: int
+    completed: int
+    errors: int
+    duration_s: float
+    qps: float
+    offered_qps: float | None
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _percentiles(lat_ms: list[float]) -> tuple[float, float, float]:
+    if not lat_ms:
+        return (float("nan"),) * 3
+    arr = np.asarray(lat_ms)
+    p50, p95, p99 = np.percentile(arr, (50.0, 95.0, 99.0))
+    return float(p50), float(p95), float(p99)
+
+
+def _request_pool(m: int, n: int, dtype, pool: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        np.asarray(rng.standard_normal((m, n)), dtype=dtype) for _ in range(pool)
+    ]
+
+
+def run_load(
+    target,
+    *,
+    mode: str,
+    m: int = 256,
+    n: int = 32,
+    dtype=np.float64,
+    requests: int = 512,
+    rate: float | None = None,
+    tenants: int = 4,
+    pool: int = 64,
+    seed: int = 0,
+    warmup: int = 8,
+    max_inflight: int = 192,
+) -> LoadReport:
+    """Offer ``requests`` same-shape matrices to ``target`` and measure.
+
+    Args:
+        target: a ``QRServer`` (``mode="coalesced"``) or a
+            ``QRDispatcher`` (``mode="per-request"``).
+        mode: which surface ``target`` exposes.
+        rate: offered arrival rate in requests/sec (open loop), or
+            ``None`` for saturation.
+        tenants: round-robin tenant labels (server mode), so per-tenant
+            obs spans carry distinct labels.
+        pool: distinct matrices cycled through (bounds generator memory
+            while keeping the input stream non-degenerate).
+        max_inflight: outstanding-request cap in server mode.  Saturation
+            means "as fast as the server admits", not "overflow the
+            bounded queue": the generator holds this many requests in
+            flight (well above the coalescing window, so batches stay
+            full) and offers the next as completions free a slot.
+    """
+    if mode not in ("coalesced", "per-request"):
+        raise ValueError(f"unknown load mode {mode!r}")
+    mats = _request_pool(m, n, dtype, pool, seed)
+    labels = [f"tenant-{i}" for i in range(max(1, tenants))]
+    interval = None if rate is None else 1.0 / float(rate)
+
+    if mode == "per-request":
+        return _run_per_request(target, mats, requests, interval, warmup, m, n, rate)
+
+    # Warmup outside the measured window: first-touch plan/cache builds.
+    for i in range(warmup):
+        target.submit(mats[i % len(mats)], tenant=labels[0]).result()
+
+    lat_ms: list[float] = []
+    errors = [0]
+    lock = threading.Lock()
+    done = threading.Semaphore(0)
+    inflight = threading.Semaphore(max(1, max_inflight))
+
+    def _complete(t0: float, fut) -> None:
+        dt_ms = (time.perf_counter() - t0) * 1e3
+        with lock:
+            if fut.exception() is None:
+                lat_ms.append(dt_ms)
+            else:
+                errors[0] += 1
+        inflight.release()
+        done.release()
+
+    t_start = time.perf_counter()
+    next_arrival = t_start
+    offered = 0
+    for i in range(requests):
+        if interval is not None:
+            now = time.perf_counter()
+            if now < next_arrival:
+                time.sleep(next_arrival - now)
+            next_arrival += interval
+        inflight.acquire()
+        t0 = time.perf_counter()
+        try:
+            fut = target.submit(
+                mats[i % len(mats)], tenant=labels[i % len(labels)]
+            )
+        except Exception:
+            with lock:
+                errors[0] += 1
+            inflight.release()
+            done.release()
+        else:
+            fut.add_done_callback(lambda f, t0=t0: _complete(t0, f))
+        offered += 1
+    for _ in range(offered):
+        done.acquire()
+    duration = time.perf_counter() - t_start
+    completed = len(lat_ms)
+    p50, p95, p99 = _percentiles(lat_ms)
+    return LoadReport(
+        mode=mode, m=m, n=n, requests=requests, completed=completed,
+        errors=errors[0], duration_s=duration,
+        qps=completed / duration if duration > 0 else float("nan"),
+        offered_qps=rate, p50_ms=p50, p95_ms=p95, p99_ms=p99,
+    )
+
+
+def _run_per_request(
+    dispatcher, mats, requests, interval, warmup, m, n, rate
+) -> LoadReport:
+    for i in range(warmup):
+        dispatcher.qr(mats[i % len(mats)])
+    lat_ms: list[float] = []
+    errors = 0
+    t_start = time.perf_counter()
+    next_arrival = t_start
+    for i in range(requests):
+        if interval is not None:
+            now = time.perf_counter()
+            if now < next_arrival:
+                time.sleep(next_arrival - now)
+            next_arrival += interval
+        t0 = time.perf_counter()
+        try:
+            dispatcher.qr(mats[i % len(mats)])
+        except Exception:
+            errors += 1
+        else:
+            lat_ms.append((time.perf_counter() - t0) * 1e3)
+    duration = time.perf_counter() - t_start
+    p50, p95, p99 = _percentiles(lat_ms)
+    return LoadReport(
+        mode="per-request", m=m, n=n, requests=requests, completed=len(lat_ms),
+        errors=errors, duration_s=duration,
+        qps=len(lat_ms) / duration if duration > 0 else float("nan"),
+        offered_qps=rate, p50_ms=p50, p95_ms=p95, p99_ms=p99,
+    )
+
+
+def format_report(report: LoadReport) -> str:
+    rate = "saturation" if report.offered_qps is None else f"{report.offered_qps:.0f}/s offered"
+    return (
+        f"{report.mode:12s} {report.m}x{report.n}  {report.completed}/{report.requests} ok "
+        f"({report.errors} err, {rate})  {report.qps:8.0f} req/s  "
+        f"p50 {report.p50_ms:6.2f} ms  p95 {report.p95_ms:6.2f} ms  "
+        f"p99 {report.p99_ms:6.2f} ms"
+    )

@@ -28,7 +28,14 @@ import numpy as np
 
 from repro.core.dtypes import working_dtype
 
-__all__ = ["extract_v", "larft", "apply_wy", "geqr2_blocked", "wy_factors"]
+__all__ = [
+    "extract_v",
+    "larft",
+    "apply_wy",
+    "geqr2_blocked",
+    "geqr2_wy",
+    "wy_factors",
+]
 
 # One flat scratch allocation per dtype, grown to the high-water mark and
 # reused by every apply_wy call.  The GEMM temporaries at paper scale are
@@ -100,6 +107,7 @@ def apply_wy(
     T: np.ndarray,
     C: np.ndarray,
     transpose: bool = True,
+    chunk_elems: int = 131072,
 ) -> np.ndarray:
     """Apply ``Q`` / ``Q^T`` of ``Q = I - V T V^T`` to each tile, in place.
 
@@ -108,10 +116,15 @@ def apply_wy(
     update writes through it, so callers can pass a reshaped trailing
     slice and skip gather/scatter entirely.
 
-    The batch is processed in chunks sized so each chunk's temporaries
-    stay cache-resident (the chunk is carved out of the shared scratch
-    buffer): at paper scale this halves main-memory traffic versus three
-    full-batch GEMMs with materialized intermediates.
+    The batch is processed in chunks whose temporaries hold at most
+    ``chunk_elems`` elements, carved out of the shared scratch buffer.
+    The default keeps a chunk cache-resident, which at paper scale
+    (few huge trailing updates) halves main-memory traffic versus three
+    full-batch GEMMs with materialized intermediates; the serving
+    coalescer, whose updates are many and small, passes a larger bound
+    to buy fewer GEMM dispatches instead.  Chunking splits the batch
+    axis only — each slice's arithmetic is independent of ``chunk_elems``,
+    so results are bitwise identical across settings.
     """
     Tm = T.transpose(0, 2, 1) if transpose else T
     b, m, k = V.shape
@@ -122,7 +135,7 @@ def apply_wy(
         np.subtract(C, np.matmul(V, W), out=C)
         return C
     per_block = w * (2 * k + m)
-    chunk = max(1, min(b, 131072 // max(1, per_block)))
+    chunk = max(1, min(b, chunk_elems // max(1, per_block)))
     buf = _scratch(chunk * per_block, C.dtype)
     for s0 in range(0, b, chunk):
         s1 = min(s0 + chunk, b)
@@ -143,6 +156,55 @@ def wy_factors(VR: np.ndarray, tau: np.ndarray) -> tuple[np.ndarray, np.ndarray]
     """``(V, T)`` of the compact-WY form for an already-packed factor."""
     V = extract_v(VR)
     return V, larft(V, tau)
+
+
+def geqr2_wy(
+    A: np.ndarray,
+    vmask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lean batched QR for stacked *independent* problems: ``(V, T, h)``.
+
+    The same arithmetic as the float path of :func:`geqr2_blocked` — the
+    stacked-QR gufunc per slice, :func:`larft` for ``T`` — minus the
+    materialization of the full contiguous packed factor, which the
+    serving coalescer (:mod:`repro.serving`) never reads: it extracts
+    ``V`` and the triangular ``R`` block straight from the LAPACK output
+    ``h`` through strided views.  Because every contraction is computed
+    per batch slice, stacking independent same-shape matrices along the
+    batch axis produces factors bit-identical to factoring each matrix
+    alone — that is the property the request coalescer is built on.
+
+    Args:
+        A: ``(batch, m, n)`` stack, float32/float64 (the only dtypes the
+            gufunc fast path covers; other dtypes belong in
+            :func:`geqr2_blocked`).
+        vmask: optional precomputed ``np.tri(m, k, -1, bool)`` strict
+            lower-trapezoid mask; per-shape callers cache it.
+
+    Returns:
+        ``(V, T, h)``: the unit-lower-trapezoidal reflectors ``(batch,
+        m, k)``, the block-reflector ``T`` ``(batch, k, k)``, and the raw
+        ``(batch, n, m)`` packed factor from ``np.linalg.qr(mode="raw")``
+        (rows of ``h`` are columns of VR; ``R`` is its upper ``k x n``
+        corner, transposed).
+    """
+    if A.ndim != 3:
+        raise ValueError("A must be a (batch, m, n) stack")
+    if A.dtype not in (np.float32, np.float64):
+        raise TypeError(
+            f"geqr2_wy covers the gufunc fast path (float32/float64) only, "
+            f"got {A.dtype}; use geqr2_blocked"
+        )
+    b, m, n = A.shape
+    k = min(m, n)
+    h, tau = np.linalg.qr(A, mode="raw")
+    if vmask is None:
+        vmask = np.tri(m, k, -1, dtype=bool)
+    VRk = h[:, :k, :].transpose(0, 2, 1)
+    V = np.where(vmask, VRk, 0.0)
+    idx = np.arange(k)
+    V[:, idx, idx] = 1.0
+    return V, larft(V, tau), h
 
 
 def geqr2_blocked(

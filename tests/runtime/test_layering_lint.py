@@ -101,3 +101,71 @@ class TestScanner:
             tmp_path,
         )
         assert hits == []
+
+    def test_queue_construction_is_flagged(self, tmp_path):
+        hits = self._scan(
+            "from repro.serving import CoalescingQueue\n"
+            "q = CoalescingQueue(max_depth=4, overflow='shed')\n",
+            tmp_path,
+        )
+        assert hits == [(2, "CoalescingQueue", "queue construction")]
+
+    def test_queue_attribute_construction_is_flagged(self, tmp_path):
+        hits = self._scan(
+            "q = repro.serving.coalesce.CoalescingQueue()\n", tmp_path
+        )
+        assert hits == [(1, "CoalescingQueue", "queue construction")]
+
+    def test_qrserver_construction_is_sanctioned(self, tmp_path):
+        # The server is the public surface; only the raw queue is fenced.
+        hits = self._scan(
+            "from repro.serving import QRServer\n"
+            "srv = QRServer(max_depth=4, overflow='shed')\n",
+            tmp_path,
+        )
+        assert hits == []
+
+
+class TestQueueRuleEndToEnd:
+    """Inject a real violation into a synthetic repo tree and run the
+    lint's main(): the violation outside ``repro.serving`` must be
+    flagged, the identical construction inside it must not."""
+
+    def _run_main(self, tmp_path, monkeypatch, capsys):
+        sys.path.insert(0, str(LINT.parent))
+        try:
+            import lint_layering
+        finally:
+            sys.path.pop(0)
+        monkeypatch.setattr(lint_layering, "REPO", tmp_path)
+        rc = lint_layering.main()
+        return rc, capsys.readouterr().out
+
+    def test_injected_queue_violation_is_caught(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "src" / "repro" / "smallblas"
+        bad.mkdir(parents=True)
+        (bad / "rogue.py").write_text(
+            "from repro.serving.coalesce import CoalescingQueue\n"
+            "queue = CoalescingQueue(max_depth=2)\n"
+        )
+        ok = tmp_path / "src" / "repro" / "serving"
+        ok.mkdir(parents=True)
+        (ok / "server.py").write_text(
+            "from .coalesce import CoalescingQueue\n"
+            "queue = CoalescingQueue(max_depth=2)\n"
+        )
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 1
+        assert "src/repro/smallblas/rogue.py:2" in out
+        assert "outside repro.serving" in out
+        assert "serving/server.py" not in out
+
+    def test_serving_only_tree_is_clean(self, tmp_path, monkeypatch, capsys):
+        ok = tmp_path / "src" / "repro" / "serving"
+        ok.mkdir(parents=True)
+        (ok / "coalesce.py").write_text(
+            "queue = CoalescingQueue(max_depth=2, overflow='reject')\n"
+        )
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 0
+        assert "clean" in out

@@ -1,0 +1,74 @@
+"""Serving-test helpers: a deterministically blockable server.
+
+Coalescing is timing-dependent by nature (the window closes on a clock),
+so the tests that pin *which rung* a group takes make it deterministic:
+a gate blocks the worker thread inside a plug request's ``qr`` call,
+requests pile up behind it, and releasing the gate executes them in one
+window.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dispatch import QRDispatcher
+from repro.serving import QRServer
+
+# A shape the dispatcher routes to the CAQR engine and that is well
+# under the coalescing element ceiling.
+M, N = 96, 16
+PLUG_SHAPE = (48, 8)  # distinct shape: the plug never joins a group
+
+
+class GatedServer:
+    """A ``QRServer`` whose worker can be held inside one plug request.
+
+    ``hold()`` submits a plug matrix and returns once the worker thread
+    is blocked executing it; every subsequent ``submit`` queues up.
+    ``release()`` lets the worker finish the plug and drain the queue in
+    one coalescing window.
+    """
+
+    def __init__(self, **server_kwargs):
+        self.dispatcher = QRDispatcher()
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        inner_qr = self.dispatcher.qr
+        gate, started = self.gate, self.started
+
+        def gated_qr(A):
+            if A.shape == PLUG_SHAPE:
+                started.set()
+                if not gate.wait(timeout=10.0):
+                    raise RuntimeError("test gate never released")
+            return inner_qr(A)
+
+        self.dispatcher.qr = gated_qr
+        self.server = QRServer(self.dispatcher, **server_kwargs)
+        self._plug_future = None
+
+    def hold(self):
+        rng = np.random.default_rng(0)
+        self._plug_future = self.server.submit(
+            rng.standard_normal(PLUG_SHAPE)
+        )
+        assert self.started.wait(timeout=10.0), "worker never took the plug"
+
+    def release(self):
+        self.gate.set()
+        if self._plug_future is not None:
+            self._plug_future.result(timeout=10.0)
+
+    def close(self):
+        self.gate.set()
+        self.server.close()
+
+
+@pytest.fixture
+def gated_server():
+    gs = GatedServer()
+    yield gs
+    gs.close()

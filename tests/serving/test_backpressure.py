@@ -1,0 +1,132 @@
+"""Backpressure and lifecycle: typed, request-scoped, accounted for.
+
+Overload must surface as :class:`QueueFullError` (reject at the
+submitter, or shed through the oldest victim's future) and shutdown as
+:class:`ServerClosedError` — never as a hang or a numerics error.  The
+gated server makes the scenarios deterministic: the worker is held
+inside a plug request, so queue depth is fully under test control.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import QueueFullError, ServerClosedError, ServingError
+
+from .conftest import M, N, GatedServer
+
+
+def _mat(seed=0):
+    return np.random.default_rng(seed).standard_normal((M, N))
+
+
+def test_reject_raises_at_the_submitter():
+    gs = GatedServer(max_depth=2, overflow="reject")
+    try:
+        gs.hold()
+        f1 = gs.server.submit(_mat(1))
+        f2 = gs.server.submit(_mat(2))
+        with pytest.raises(QueueFullError) as exc_info:
+            gs.server.submit(_mat(3))
+        assert exc_info.value.depth == 2
+        assert exc_info.value.shed is False
+        assert isinstance(exc_info.value, ServingError)
+        gs.release()
+        assert f1.result(timeout=10.0).R.shape == (N, N)
+        assert f2.result(timeout=10.0).R.shape == (N, N)
+        stats = gs.server.stats()
+        assert stats.rejected == 1
+        assert stats.failed == 0
+    finally:
+        gs.close()
+
+
+def test_shed_fails_the_oldest_waiting_request():
+    gs = GatedServer(max_depth=2, overflow="shed")
+    try:
+        gs.hold()
+        victim = gs.server.submit(_mat(1))
+        f2 = gs.server.submit(_mat(2))
+        f3 = gs.server.submit(_mat(3))  # over depth: sheds `victim`
+        with pytest.raises(QueueFullError) as exc_info:
+            victim.result(timeout=10.0)
+        assert exc_info.value.shed is True
+        gs.release()
+        assert f2.result(timeout=10.0).R.shape == (N, N)
+        assert f3.result(timeout=10.0).R.shape == (N, N)
+        stats = gs.server.stats()
+        assert stats.shed == 1
+        assert stats.failed == 1  # the victim
+        assert stats.rejected == 0
+    finally:
+        gs.close()
+
+
+def test_submit_after_close_raises_typed():
+    gs = GatedServer()
+    gs.close()
+    with pytest.raises(ServerClosedError):
+        gs.server.submit(_mat())
+    assert gs.server.closed
+
+
+def test_abortive_close_fails_pending_requests():
+    """``close(wait=False)`` drains the queue into typed failures."""
+    gs = GatedServer()
+    gs.hold()
+    f1 = gs.server.submit(_mat(1))
+    f2 = gs.server.submit(_mat(2))
+    # The worker is parked inside the plug; release it shortly after the
+    # drain below has already emptied the queue.
+    threading.Timer(0.2, gs.gate.set).start()
+    gs.server.close(wait=False)
+    for fut in (f1, f2):
+        with pytest.raises(ServerClosedError):
+            fut.result(timeout=10.0)
+    stats = gs.server.stats()
+    assert stats.failed >= 2
+    # Drained requests still count as submitted: the ledger balances.
+    assert stats.submitted == stats.completed + stats.failed
+
+
+def test_graceful_close_drains_everything():
+    gs = GatedServer()
+    gs.hold()
+    futures = [gs.server.submit(_mat(i)) for i in range(5)]
+    gs.gate.set()
+    gs.server.close()  # wait=True: everything admitted must complete
+    for fut in futures:
+        assert fut.result(timeout=10.0).R.shape == (N, N)
+    stats = gs.server.stats()
+    assert stats.completed == stats.submitted
+    assert stats.failed == 0
+
+
+def test_stats_ledger_balances_under_mixed_traffic():
+    gs = GatedServer(max_depth=3, overflow="reject")
+    try:
+        gs.hold()
+        futures = [gs.server.submit(_mat(i)) for i in range(3)]
+        rejected = 0
+        try:
+            gs.server.submit(_mat(99))
+        except QueueFullError:
+            rejected = 1
+        gs.release()
+        for fut in futures:
+            fut.result(timeout=10.0)
+        stats = gs.server.stats()
+        assert stats.rejected == rejected == 1
+        # submitted counts only admitted requests (incl. the plug).
+        assert stats.submitted == stats.completed + stats.failed
+        assert (
+            stats.coalesced_requests
+            + stats.shared_plan_requests
+            + stats.per_request
+            == stats.completed + stats.failed - stats.shed
+        )
+    finally:
+        gs.close()

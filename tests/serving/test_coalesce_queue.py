@@ -1,0 +1,127 @@
+"""CoalescingQueue semantics: admission bound, window, wakeup contract."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import CoalescingQueue, QueueFullError, ServerClosedError
+
+
+class TestAdmission:
+    def test_depth_bound_rejects(self):
+        q = CoalescingQueue(max_depth=2, overflow="reject")
+        q.put("a")
+        q.put("b")
+        with pytest.raises(QueueFullError) as exc_info:
+            q.put("c")
+        assert exc_info.value.depth == 2
+        assert len(q) == 2
+
+    def test_depth_bound_sheds_oldest(self):
+        q = CoalescingQueue(max_depth=2, overflow="shed")
+        assert q.put("a") is None
+        assert q.put("b") is None
+        assert q.put("c") == "a"  # oldest out, newest admitted
+        assert q.get_batch(4, 0.0) == ["b", "c"]
+
+    def test_put_after_close_raises(self):
+        q = CoalescingQueue()
+        q.close()
+        assert q.closed
+        with pytest.raises(ServerClosedError):
+            q.put("a")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CoalescingQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            CoalescingQueue(overflow="drop-newest")
+
+
+class TestWindow:
+    def test_batch_size_bound(self):
+        q = CoalescingQueue()
+        for i in range(5):
+            q.put(i)
+        assert q.get_batch(3, 0.0) == [0, 1, 2]
+        assert q.get_batch(3, 0.0) == [3, 4]
+
+    def test_zero_wait_returns_what_is_there(self):
+        q = CoalescingQueue()
+        q.put("only")
+        t0 = time.monotonic()
+        assert q.get_batch(64, 0.0) == ["only"]
+        assert time.monotonic() - t0 < 0.5
+
+    def test_window_waits_out_max_wait_for_a_lone_item(self):
+        q = CoalescingQueue()
+        q.put("lone")
+        t0 = time.monotonic()
+        assert q.get_batch(64, 0.05) == ["lone"]
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_full_batch_closes_the_window_early(self):
+        """Producers filling the window wake the consumer at max_batch —
+        the ``_wake_at`` threshold notify — well before the deadline."""
+        q = CoalescingQueue()
+        result = []
+
+        def consume():
+            result.append(q.get_batch(3, max_wait=5.0))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        t0 = time.monotonic()
+        for i in range(3):
+            time.sleep(0.01)
+            q.put(i)
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert time.monotonic() - t0 < 2.0  # woke at fill, not the 5 s cap
+        assert result == [[0, 1, 2]]
+        assert q._wake_at is None  # threshold cleared on window exit
+
+    def test_close_wakes_a_filling_window(self):
+        q = CoalescingQueue()
+        q.put("x")
+        result = []
+
+        def consume():
+            result.append(q.get_batch(8, max_wait=5.0))
+            result.append(q.get_batch(8, max_wait=5.0))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert result == [["x"], None]  # drained window, then shutdown
+
+    def test_get_batch_blocks_until_first_item(self):
+        q = CoalescingQueue()
+        result = []
+
+        def consume():
+            result.append(q.get_batch(4, 0.0))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.05)
+        assert result == []  # still parked: nothing offered yet
+        q.put("late")
+        t.join(timeout=10.0)
+        assert result == [["late"]]
+
+
+class TestDrain:
+    def test_drain_empties_and_returns_in_order(self):
+        q = CoalescingQueue()
+        for i in range(4):
+            q.put(i)
+        assert q.drain() == [0, 1, 2, 3]
+        assert len(q) == 0
+        assert q.drain() == []

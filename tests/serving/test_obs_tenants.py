@@ -1,0 +1,89 @@
+"""Per-tenant observability: serving spans and the tenant rollup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.serving import QRServer
+
+from .conftest import M, N
+
+
+def _mats(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((M, N)) for _ in range(count)]
+
+
+def _serve(tenant_loads):
+    """Run one capture: {tenant: [matrices]} through a fresh server."""
+    with obs.capture() as session:
+        with QRServer() as server:
+            futures = [
+                (server.submit(A, tenant=tenant))
+                for tenant, mats in tenant_loads.items()
+                for A in mats
+            ]
+            for f in futures:
+                f.result(timeout=10.0)
+    return session.trace
+
+
+def test_every_completion_emits_a_tenant_tagged_span():
+    trace = _serve({"acme": _mats(3, seed=1), "globex": _mats(2, seed=2)})
+    spans = [s for s in trace.spans if s.name == "serving.request"]
+    assert len(spans) == 5
+    by_tenant = {}
+    for s in spans:
+        by_tenant.setdefault(s.args["tenant"], []).append(s)
+        assert s.args["rung"] in ("coalesced", "shared-plan", "per-request")
+        assert s.args["queue_ms"] >= 0.0
+        assert (s.args["m"], s.args["n"]) == (M, N)
+    assert sorted(by_tenant) == ["acme", "globex"]
+    assert len(by_tenant["acme"]) == 3
+    assert len(by_tenant["globex"]) == 2
+
+
+def test_window_spans_cover_the_batch():
+    trace = _serve({"acme": _mats(4)})
+    windows = [s for s in trace.spans if s.name == "serving.window"]
+    assert windows
+    assert sum(s.args["requests"] for s in windows) == 4
+
+
+def test_tenant_summary_rolls_up_by_tenant():
+    trace = _serve({"acme": _mats(4, seed=3), "globex": _mats(1, seed=4)})
+    rows = obs.tenant_summary(trace)
+    assert [r["tenant"] for r in rows] == ["acme", "globex"]  # count desc
+    acme, globex = rows
+    assert acme["requests"] == 4
+    assert globex["requests"] == 1
+    assert acme["failed"] == globex["failed"] == 0
+    assert sum(acme["rungs"].values()) == 4
+    assert acme["queue_p50_ms"] >= 0.0
+    assert acme["queue_p95_ms"] >= acme["queue_p50_ms"]
+
+
+def test_tenant_summary_counts_failures():
+    bad = _mats(1)[0].copy()
+    bad[0, 0] = np.inf
+    with obs.capture() as session:
+        with QRServer() as server:
+            ok = server.submit(_mats(1, seed=6)[0], tenant="acme")
+            poisoned = server.submit(bad, tenant="acme")
+            ok.result(timeout=10.0)
+            try:
+                poisoned.result(timeout=10.0)
+            except ValueError:
+                pass
+    rows = obs.tenant_summary(session.trace)
+    (acme,) = rows
+    assert acme["requests"] == 2
+    assert acme["failed"] == 1
+    assert acme["rungs"].get("failed") == 1
+
+
+def test_tenant_summary_empty_trace():
+    with obs.capture() as session:
+        pass
+    assert obs.tenant_summary(session.trace) == []

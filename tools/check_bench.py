@@ -22,12 +22,25 @@ per-metric tolerances:
 * ``launches`` and ``launch_stream_sha256_16`` — exact (the modeled
   launch stream moving is a silent behavioural change, never noise).
 
+The serving tier (``benchmarks/bench_serving.py``) is gated the same
+way under ``--serving`` / ``--serving-only``:
+
+* ``*qps*`` — throughput floors, the mirror image of the time ceilings:
+  measured requests/sec must not fall below ``baseline / (1 + tol)``.
+* ``serving_coalesce_speedup`` — relative floor plus the absolute
+  ``MIN_BOUNDS`` floor (coalescing silently degrading to per-request
+  dispatch reads ~1.0 and cannot hide inside noise tolerances).
+* ``serving_p50/p95/p99_ms`` — absolute ceilings (``MAX_BOUNDS``): they
+  trip when the coalesced tier stops keeping up with the open-loop
+  offered rate and queueing delay diverges, not on percentile noise.
+
 Usage::
 
     python tools/check_bench.py --quick                 # CI gate
     python tools/check_bench.py                         # full grid
     python tools/check_bench.py --quick --self-test     # gate the gate
     python tools/check_bench.py --quick --inject-slowdown 2.0   # must exit 1
+    python tools/check_bench.py --quick --serving-only  # serving tier only
 """
 
 from __future__ import annotations
@@ -48,6 +61,9 @@ from bench_realtime import bench_shape  # noqa: E402
 
 QUICK_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_quick.json"
 FULL_BASELINE = REPO_ROOT / "BENCH_caqr.json"
+SERVING_QUICK_BASELINE = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_serving_quick.json"
+)
 
 # Residual-gap metrics carry the bench's own hard bounds instead of a
 # relative tolerance (they pin cross-path agreement, not speed).
@@ -71,12 +87,25 @@ GAP_BOUNDS = {
 # by the relative check alone.
 MIN_BOUNDS = {
     "caqr_cholqr2_vs_lookahead": 2.0,
+    # The serving acceptance ratio: coalesced windows vs one-request-at-
+    # a-time dispatch.  The committed baselines demonstrate well above
+    # this; the floor is set where only a real regression (coalescing
+    # silently degrading to the per-request rung would read ~1.0) can
+    # cross it, because shared CI runners swing both sides of the ratio.
+    "serving_coalesce_speedup": 3.0,
 }
 MIN_BOUND_MARGIN = 1.25
-# Ratio metrics with an absolute ceiling (noise-tolerant): the auto
-# guard's precheck must stay a small tax on plain cholqr2.
+# Metrics with an absolute ceiling (noise-tolerant): ratio metrics like
+# the auto guard's precheck tax, and the serving latency percentiles
+# (milliseconds).  The latency ceilings are far above any healthy run —
+# they trip when coalescing stops keeping up with the open-loop offered
+# rate and queueing delay diverges, which is the failure mode worth
+# gating; run-to-run percentile noise on a loaded host is not.
 MAX_BOUNDS = {
     "caqr_auto_guard_overhead": 1.5,
+    "serving_p50_ms": 25.0,
+    "serving_p95_ms": 50.0,
+    "serving_p99_ms": 75.0,
 }
 EXACT_KEYS = ("launches", "launch_stream_sha256_16")
 ACCURACY_FACTOR = 10.0  # ferr/orth headroom vs baseline
@@ -88,6 +117,14 @@ def _is_time(key: str) -> bool:
 
 def _is_speedup(key: str) -> bool:
     return "speedup" in key or key.endswith("_vs_lookahead")
+
+
+def _is_qps(key: str) -> bool:
+    return "qps" in key
+
+
+def _is_latency(key: str) -> bool:
+    return key.endswith("_ms")
 
 
 def _is_accuracy(key: str) -> bool:
@@ -135,6 +172,18 @@ def compare_row(measured: dict, baseline: dict, time_tol: float) -> list[dict]:
                   and val < MIN_BOUNDS[key]):
                 row["ok"] = False
                 row["why"] = f"ratio below fixed floor {MIN_BOUNDS[key]:g}"
+        elif _is_qps(key):
+            # Throughput floors mirror the time ceilings: faster is never
+            # a failure, a fall past the tolerance is.
+            row["ratio"] = val / base if base else float("inf")
+            if val < base / (1.0 + time_tol):
+                row["ok"] = False
+                row["why"] = f"throughput fell by >{time_tol:.0%}"
+        elif _is_latency(key):
+            row["ratio"] = val / base if base else float("inf")
+            if val > base * (1.0 + time_tol):
+                row["ok"] = False
+                row["why"] = f"latency above baseline by >{time_tol:.0%}"
         elif _is_accuracy(key):
             if val > max(base * ACCURACY_FACTOR, 1e-15):
                 row["ok"] = False
@@ -205,6 +254,57 @@ def run_gate(
     return ok, measured_rows, all_deltas
 
 
+def _inject_serving(rows: list[dict], factor: float) -> list[dict]:
+    """A synthetic uniform slowdown of serving rows (gate self-check).
+
+    Latencies scale up; throughputs and the coalesce ratio scale down —
+    the way a real regression of the coalesced path would read.
+    """
+    out = []
+    for r in rows:
+        row = {}
+        for k, v in r.items():
+            if _is_latency(k):
+                row[k] = v * factor
+            elif _is_qps(k) or _is_speedup(k):
+                row[k] = v / factor
+            else:
+                row[k] = v
+        out.append(row)
+    return out
+
+
+def run_serving_gate(
+    baseline_rows: list[dict],
+    time_tol: float,
+    inject_slowdown: float | None = None,
+    measured_rows: list[dict] | None = None,
+) -> tuple[bool, list[dict], list[dict]]:
+    """Re-measure every baseline serving row (same load parameters) and diff."""
+    import bench_serving  # deferred: the serving stack only loads when gated
+
+    if measured_rows is None:
+        measured_rows = [
+            bench_serving.bench_serving(
+                m=b["m"], n=b["n"], requests=b["requests"],
+                rate=b["open_loop_rate"],
+            )
+            for b in baseline_rows
+        ]
+    rows = measured_rows
+    if inject_slowdown:
+        rows = _inject_serving(rows, inject_slowdown)
+    ok = True
+    all_deltas = []
+    for base, meas in zip(baseline_rows, rows):
+        deltas = compare_row(meas, base, time_tol)
+        shape = f"serving {base['m']}x{base['n']}"
+        all_deltas.append({"shape": shape, "deltas": deltas})
+        print(format_deltas(shape, deltas))
+        ok &= all(d["ok"] for d in deltas)
+    return ok, measured_rows, all_deltas
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -218,6 +318,18 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help=f"gate against the committed quick baseline ({QUICK_BASELINE.name})",
+    )
+    ap.add_argument(
+        "--serving",
+        action="store_true",
+        help="also gate the serving rows (coalesced/per-request QPS, "
+        "latency percentiles) from benchmarks/bench_serving.py",
+    )
+    ap.add_argument(
+        "--serving-only",
+        action="store_true",
+        help="gate only the serving rows (implies --serving; skips the "
+        "CAQR shape grid)",
     )
     ap.add_argument("--reps", type=int, default=3, help="timed repetitions (best-of)")
     ap.add_argument(
@@ -242,36 +354,88 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", type=Path, default=None, help="write the delta table JSON here")
     args = ap.parse_args(argv)
 
+    do_core = not args.serving_only
+    do_serving = args.serving or args.serving_only
+
+    baseline_rows: list[dict] = []
     baseline_path = args.baseline or (QUICK_BASELINE if args.quick else FULL_BASELINE)
-    if not baseline_path.exists():
-        print(f"baseline {baseline_path} not found — run bench_realtime.py first")
-        return 2
-    baseline_rows = json.loads(baseline_path.read_text())["shapes"]
-    print(f"gating against {baseline_path} ({len(baseline_rows)} shapes, "
-          f"time tolerance ±{args.time_tol:.0%})\n")
+    if do_core:
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found — run bench_realtime.py first")
+            return 2
+        baseline_rows = json.loads(baseline_path.read_text())["shapes"]
+        print(f"gating against {baseline_path} ({len(baseline_rows)} shapes, "
+              f"time tolerance ±{args.time_tol:.0%})\n")
+
+    serving_rows: list[dict] = []
+    if do_serving:
+        serving_path = args.baseline or (
+            SERVING_QUICK_BASELINE if args.quick else FULL_BASELINE
+        )
+        if not serving_path.exists():
+            print(f"serving baseline {serving_path} not found — run "
+                  f"bench_serving.py first")
+            return 2
+        serving_rows = json.loads(serving_path.read_text()).get("serving", [])
+        if not serving_rows:
+            print(f"serving baseline {serving_path} has no 'serving' rows — "
+                  f"run bench_serving.py first")
+            return 2
+        print(f"gating serving against {serving_path} ({len(serving_rows)} "
+              f"row(s), time tolerance ±{args.time_tol:.0%})\n")
 
     if args.self_test:
-        # One real measurement; the two comparisons reuse it, so the
-        # self-test costs one bench run, not three.
-        ok_pass, measured, _ = run_gate(baseline_rows, args.time_tol, args.reps)
-        print("\nself-test: injecting 2.0x slowdown (every metric below must FAIL "
-              "on seconds_*)\n")
-        ok_fail, _, _ = run_gate(
-            baseline_rows, args.time_tol, args.reps,
-            inject_slowdown=2.0, measured_rows=measured,
-        )
-        if not ok_pass:
-            print("\nself-test: FAILED — clean run did not pass the gate")
-            return 1
-        if ok_fail:
-            print("\nself-test: FAILED — injected 2x slowdown was not caught")
-            return 1
-        print("\nself-test: ok (clean run passes, 2x slowdown trips the gate)")
-        return 0
+        # One real measurement per gate; the injected comparisons reuse
+        # it, so the self-test costs one bench run each, not three.
+        ok = True
+        if do_core:
+            ok_pass, measured, _ = run_gate(baseline_rows, args.time_tol, args.reps)
+            print("\nself-test: injecting 2.0x slowdown (every metric below "
+                  "must FAIL on seconds_*)\n")
+            ok_fail, _, _ = run_gate(
+                baseline_rows, args.time_tol, args.reps,
+                inject_slowdown=2.0, measured_rows=measured,
+            )
+            if not ok_pass:
+                print("\nself-test: FAILED — clean run did not pass the gate")
+                ok = False
+            if ok_fail:
+                print("\nself-test: FAILED — injected 2x slowdown was not caught")
+                ok = False
+        if do_serving:
+            s_pass, s_measured, _ = run_serving_gate(serving_rows, args.time_tol)
+            print("\nself-test: injecting 2.0x serving slowdown (the QPS "
+                  "floors below must FAIL)\n")
+            s_fail, _, _ = run_serving_gate(
+                serving_rows, args.time_tol,
+                inject_slowdown=2.0, measured_rows=s_measured,
+            )
+            if not s_pass:
+                print("\nself-test: FAILED — clean serving run did not pass")
+                ok = False
+            if s_fail:
+                print("\nself-test: FAILED — injected 2x serving slowdown "
+                      "was not caught")
+                ok = False
+        if ok:
+            print("\nself-test: ok (clean run passes, 2x slowdown trips the gate)")
+        return 0 if ok else 1
 
-    ok, _, all_deltas = run_gate(
-        baseline_rows, args.time_tol, args.reps, inject_slowdown=args.inject_slowdown
-    )
+    ok = True
+    all_deltas: list[dict] = []
+    if do_core:
+        core_ok, _, core_deltas = run_gate(
+            baseline_rows, args.time_tol, args.reps,
+            inject_slowdown=args.inject_slowdown,
+        )
+        ok &= core_ok
+        all_deltas.extend(core_deltas)
+    if do_serving:
+        serving_ok, _, serving_deltas = run_serving_gate(
+            serving_rows, args.time_tol, inject_slowdown=args.inject_slowdown
+        )
+        ok &= serving_ok
+        all_deltas.extend(serving_deltas)
     if args.out:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(

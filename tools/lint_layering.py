@@ -16,6 +16,13 @@ constructing :class:`repro.runtime.cholqr.CholQRGuard` (directly or via
 violation, as is smuggling a ``condition_limit=`` keyword into an entry
 point instead of carrying it on the ``ExecutionPolicy``.
 
+The serving subsystem gets the same treatment: constructing
+:class:`repro.serving.coalesce.CoalescingQueue` anywhere outside
+``repro.serving`` is a violation — queue depth, overflow disposition and
+the coalescing window are admission-control policy owned by
+:class:`~repro.serving.server.QRServer`, and a privately built queue
+would bypass backpressure accounting and the per-tenant obs spans.
+
 AST-based, not regex: a call like ``caqr_qr(A, batched=False)`` is
 flagged wherever the callee name matches a policy-accepting entry point,
 while unrelated keywords named ``workers`` on non-entry-point calls
@@ -63,8 +70,16 @@ PATH_KWARGS = {"batched", "structured", "lookahead", "workers", "condition_limit
 # count.
 GUARD_CONSTRUCTORS = {"CholQRGuard"}
 
+# Classes whose construction is reserved to repro.serving: queue depth,
+# overflow disposition and the coalescing window are *serving policy*.
+# Code wanting different trade-offs configures a QRServer; a privately
+# constructed queue would bypass admission control and the obs counters.
+QUEUE_CONSTRUCTORS = {"CoalescingQueue"}
+
 SCAN_ROOTS = ("src/repro", "benchmarks", "examples")
 EXEMPT = ("src/repro/runtime/",)
+# Per-rule exemption: only the serving package may construct the queue.
+QUEUE_EXEMPT = ("src/repro/serving/",)
 
 
 def _callee_name(call: ast.Call) -> str | None:
@@ -90,6 +105,9 @@ def scan_file(path: Path) -> list[tuple[int, str, str]]:
             hits.append(
                 (node.lineno, name or "CholQRGuard", "guard construction")
             )
+            continue
+        if name in QUEUE_CONSTRUCTORS:
+            hits.append((node.lineno, name, "queue construction"))
             continue
         if name not in ENTRY_POINTS:
             continue
@@ -146,6 +164,14 @@ def main() -> int:
                     violations.append(
                         f"{rel}:{lineno}: {name}(...) — CholQRGuard constructed "
                         f"outside repro.runtime"
+                    )
+                elif kwargs == "queue construction":
+                    if any(rel.startswith(pref) for pref in QUEUE_EXEMPT):
+                        continue  # the serving package owns the queue
+                    violations.append(
+                        f"{rel}:{lineno}: {name}(...) — coalescing queue "
+                        f"constructed outside repro.serving (configure a "
+                        f"QRServer instead)"
                     )
                 else:
                     violations.append(f"{rel}:{lineno}: {name}(..., {kwargs}=...)")
