@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Sharded multi-device CAQR: measured numerics + modeled scaling curves.
+
+Two tiers, one row:
+
+* **Measured** (feasible shape, real arrays): factor through
+  ``ExecutionPolicy(path="sharded", shards=P)``, assert the R factor is
+  **bit-identical** to the same shard/reduction schedule executed
+  without the communicator (``sharded_bit_gap == 0`` — the transport
+  layer adds zero perturbation), compare sign-canonicalized R against
+  the single-process tree (``sharded_r_gap``), and pin the exact
+  communication counts (messages, words, critical path) the
+  ``FakeComm`` recorded.
+* **Modeled** (the paper-scale 2,000,000 x 1000 target): strong-scaling
+  speedups at P in {4, 8, 16} from :func:`repro.caqr_gpu.simulate_sharded`
+  (per-device local CAQR + stacked-triangle reductions + alpha-beta
+  interconnect charges), plus weak-scaling speedups holding 125,000
+  rows per rank.  Pure shape arithmetic — deterministic, so CI can gate
+  the curve itself.
+
+The full run writes ``benchmarks/results/BENCH_distributed.json``; the
+quick run writes ``benchmarks/results/BENCH_sharded_quick.json`` when
+``--out`` is given.  ``tools/check_bench.py --check-sharded`` re-runs
+the quick row and diffs it against the committed baseline (strong
+scaling at P=4 carries an absolute 2x floor).
+
+Usage::
+
+    python benchmarks/bench_distributed.py            # full row
+    python benchmarks/bench_distributed.py --quick    # CI smoke
+    python benchmarks/bench_distributed.py --check    # assert the floors
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:  # self-locating: only extend sys.path when repro is not installed
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.caqr_gpu import simulate_caqr, simulate_sharded  # noqa: E402
+from repro.core.caqr import caqr  # noqa: E402
+from repro.core.validation import sign_canonical  # noqa: E402
+from repro.distributed import INTERCONNECTS, sharded_reference_r  # noqa: E402
+from repro.runtime import ExecutionPolicy, plan_qr  # noqa: E402
+
+# The modeled target: the acceptance-criterion scale.
+TARGET_M, TARGET_N = 2_000_000, 1000
+SHARD_COUNTS = (4, 8, 16)
+WEAK_ROWS_PER_RANK = 125_000  # TARGET_M / 16
+
+# Measured (materialized) shapes: multi-panel, uneven row deals.
+FULL_M, FULL_N = 65_536, 192
+QUICK_M, QUICK_N = 8_192, 96
+MEASURED_SHARDS = 4
+INTERCONNECT = "pcie2"
+
+
+def bench_row(
+    m: int,
+    n: int,
+    shards: int = MEASURED_SHARDS,
+    reps: int = 3,
+    seed: int = 7,
+) -> dict:
+    """One measured + modeled row for the committed baseline."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, n))
+    policy = ExecutionPolicy(
+        path="sharded", shards=shards, interconnect=INTERCONNECT
+    )
+    plan = plan_qr(m, n, policy=policy)
+
+    best = float("inf")
+    f = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        f = plan.factor(A)
+        best = min(best, time.perf_counter() - t0)
+
+    # Bit-identity: the communicated run vs the same schedule in-process.
+    R_ref = sharded_reference_r(A, policy, schedule=plan._schedule)
+    bit_gap = float(np.abs(f.R - R_ref).max()) if f.R.size else 0.0
+
+    # Sign-canonicalized R agreement with the single-process tree.
+    single = caqr(A, policy=ExecutionPolicy(path="batched"))
+    scale = max(float(np.linalg.norm(A)), 1.0)
+    _, Rc = sign_canonical(np.eye(min(m, n)), f.R)
+    _, Rsc = sign_canonical(np.eye(min(m, n)), single.R)
+    r_gap = float(np.abs(Rc - Rsc).max()) / scale
+
+    comm = f.comm
+    net = f.network_seconds(INTERCONNECTS[INTERCONNECT])
+    row = {
+        "m": m,
+        "n": n,
+        "shards": shards,
+        "seconds_sharded_measured": best,
+        "sharded_bit_gap": bit_gap,
+        "sharded_r_gap": r_gap,
+        "sharded_schedule_fingerprint": plan._schedule.fingerprint(),
+        "sharded_messages": comm.total_messages if comm else 0,
+        "sharded_words": comm.total_words if comm else 0.0,
+        "sharded_critical_path_messages": (
+            comm.critical_path_messages() if comm else 0
+        ),
+        "sharded_network_seconds_modeled": net,
+    }
+    row.update(modeled_scaling())
+    return row
+
+
+def modeled_scaling(
+    target_m: int = TARGET_M,
+    target_n: int = TARGET_N,
+    shard_counts: tuple[int, ...] = SHARD_COUNTS,
+) -> dict:
+    """Strong/weak scaling of the modeled target, as gateable metrics.
+
+    Strong: fixed 2M x 1000, speedup of P devices over one.  Weak: fixed
+    125k rows per device, speedup of the P-device run over one device
+    solving its own shard (ideal = P x the work in the same time, so the
+    reported ratio is the parallel efficiency — near 1.0 when the
+    reduction and interconnect stay off the critical path).
+    """
+    ic = INTERCONNECTS[INTERCONNECT]
+    base = simulate_caqr(target_m, target_n).seconds
+    one_shard = simulate_caqr(WEAK_ROWS_PER_RANK, target_n).seconds
+    out = {
+        "sharded_target_m": target_m,
+        "sharded_target_n": target_n,
+        "seconds_modeled_p1": base,
+    }
+    for p in shard_counts:
+        strong = simulate_sharded(
+            target_m, target_n, shards=p, interconnect=ic
+        )
+        weak = simulate_sharded(
+            WEAK_ROWS_PER_RANK * p, target_n, shards=p, interconnect=ic
+        )
+        out[f"seconds_modeled_p{p}"] = strong.seconds
+        out[f"sharded_strong_speedup_p{p}"] = base / strong.seconds
+        out[f"sharded_weak_speedup_p{p}"] = one_shard / weak.seconds
+    return out
+
+
+def format_row(row: dict) -> str:
+    lines = [
+        f"measured {row['m']}x{row['n']} over {row['shards']} ranks: "
+        f"{row['seconds_sharded_measured'] * 1e3:.1f} ms, "
+        f"bit gap {row['sharded_bit_gap']:g}, "
+        f"R gap vs single-process tree {row['sharded_r_gap']:.3e}",
+        f"  comm: {row['sharded_messages']} message(s), "
+        f"{row['sharded_words']:.0f} words, critical path "
+        f"{row['sharded_critical_path_messages']} message(s), "
+        f"modeled network {row['sharded_network_seconds_modeled'] * 1e6:.1f} us "
+        f"({INTERCONNECT})",
+        f"modeled target {row['sharded_target_m']}x{row['sharded_target_n']} "
+        f"(P=1: {row['seconds_modeled_p1']:.2f} s):",
+    ]
+    for p in SHARD_COUNTS:
+        lines.append(
+            f"  P={p:>2}: {row[f'seconds_modeled_p{p}']:.3f} s  "
+            f"strong {row[f'sharded_strong_speedup_p{p}']:.2f}x  "
+            f"weak-efficiency {row[f'sharded_weak_speedup_p{p}']:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke: measure {QUICK_M}x{QUICK_N} instead of "
+        f"{FULL_M}x{FULL_N}",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="fail unless bit-identity holds, the R gap stays below "
+        "1e-12, and the modeled strong-scaling speedup at P=4 clears "
+        "2x (the committed-baseline diff in check_bench.py gates "
+        "tighter)",
+    )
+    ap.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON (default: benchmarks/results/"
+        "BENCH_distributed.json on the full run; --quick writes nothing "
+        "unless --out is given)",
+    )
+    args = ap.parse_args(argv)
+
+    m, n = (QUICK_M, QUICK_N) if args.quick else (FULL_M, FULL_N)
+    row = bench_row(m, n)
+    print(format_row(row))
+
+    if args.check:
+        ok = True
+        if row["sharded_bit_gap"] != 0.0:
+            print(
+                f"FAIL: sharded R differs from the in-process reference "
+                f"by {row['sharded_bit_gap']:g} — the communicator "
+                f"perturbed the numerics"
+            )
+            ok = False
+        if row["sharded_r_gap"] > 1e-12:
+            print(
+                f"FAIL: sharded R gap vs the single-process tree "
+                f"{row['sharded_r_gap']:.3e} above 1e-12"
+            )
+            ok = False
+        if row["sharded_strong_speedup_p4"] < 2.0:
+            print(
+                f"FAIL: modeled strong-scaling speedup at P=4 "
+                f"{row['sharded_strong_speedup_p4']:.2f}x below the 2x floor"
+            )
+            ok = False
+        if not ok:
+            return 1
+        print("\ncheck: bit-identity, R gap and the P=4 scaling floor all hold")
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "benchmarks" / "results" / "BENCH_distributed.json"
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps({"sharded": [row]}, indent=1) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

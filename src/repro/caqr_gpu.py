@@ -55,11 +55,13 @@ from .verify.guards import validate_matrix
 
 __all__ = [
     "CAQRGpuResult",
+    "ShardedGpuResult",
     "enumerate_caqr_launches",
     "enumerate_cholqr2_launches",
     "simulate_caqr",
     "simulate_cholqr2",
     "simulate_form_q",
+    "simulate_sharded",
     "caqr_gpu_factor",
     "caqr_gflops",
 ]
@@ -290,6 +292,103 @@ def simulate_cholqr2(
     for spec in enumerate_cholqr2_launches(m, n, cfg, dev, mixed=mixed, guard=guard):
         tl.launch(spec)
     return CAQRGpuResult(m=m, n=n, config=cfg, device=dev, timeline=tl)
+
+
+@dataclass
+class ShardedGpuResult:
+    """Modeled cost of a sharded multi-device CAQR run.
+
+    Per-device compute comes from :func:`simulate_caqr` on the tallest
+    shard (the critical rank — shards run concurrently); the fan-in
+    reduction adds, per round, the modeled QR of the stacked triangles
+    plus the alpha-beta time of moving them over the interconnect.  Pure
+    shape arithmetic, so it runs at the 2,000,000 x 1000 target scale.
+    """
+
+    m: int
+    n: int
+    shards: int
+    fanin: int
+    interconnect: object  # repro.distributed.comm.InterconnectModel
+    local: CAQRGpuResult  # tallest shard's modeled factorization
+    reduce_seconds: float
+    network_seconds: float
+    network_messages: int
+    network_words: float
+    levels: int
+
+    @property
+    def seconds(self) -> float:
+        return self.local.seconds + self.reduce_seconds + self.network_seconds
+
+    @property
+    def standard_flops(self) -> float:
+        return qr_flops(self.m, self.n)
+
+    @property
+    def gflops(self) -> float:
+        return self.standard_flops / self.seconds / 1e9
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "shard_local": self.local.seconds,
+            "reduce_compute": self.reduce_seconds,
+            "network": self.network_seconds,
+        }
+
+
+def simulate_sharded(
+    m: int,
+    n: int,
+    cfg: KernelConfig = REFERENCE_CONFIG,
+    dev: DeviceSpec = C2050,
+    shards: int = 4,
+    fanin: int = 2,
+    interconnect=None,
+) -> ShardedGpuResult:
+    """Simulate sharded CAQR: P concurrent devices + a fan-in R reduction.
+
+    The critical path is the tallest shard's local CAQR, then one
+    stacked-triangle QR and one round of triangle transfers per
+    reduction level.  The reduction QRs reuse :func:`simulate_caqr` (one
+    model, every path); traffic is charged ``alpha + beta * words`` on
+    the busiest rank of each round, mirroring
+    ``FakeComm.critical_path_words`` on the executed path.
+    """
+    if m < 1 or n < 1:
+        raise ValueError("matrix dimensions must be positive")
+    from repro.distributed.comm import INTERCONNECTS
+    from repro.distributed.sharded import build_shard_schedule
+
+    if interconnect is None:
+        interconnect = INTERCONNECTS["pcie2"]
+    schedule = build_shard_schedule(m, n, shards, fanin)
+    s0, e0 = schedule.rows[0]  # tallest shard
+    local = simulate_caqr(e0 - s0, n, cfg, dev)
+    tri_h = min(n, e0 - s0)  # R-triangle height each rank contributes
+    tri_words = tri_h * n - tri_h * (tri_h - 1) / 2.0  # trapezoid entries
+    reduce_seconds = 0.0
+    messages = 0
+    words = 0.0
+    for merges in schedule.rounds:
+        arity = max(len(srcs) for _dst, srcs in merges) + 1
+        stack_rows = max(1, arity * tri_h)
+        reduce_seconds += simulate_caqr(stack_rows, n, cfg, dev).seconds
+        messages += arity - 1
+        words += (arity - 1) * tri_words
+    return ShardedGpuResult(
+        m=m,
+        n=n,
+        shards=schedule.shards,
+        fanin=schedule.fanin,
+        interconnect=interconnect,
+        local=local,
+        reduce_seconds=reduce_seconds,
+        network_seconds=interconnect.seconds(messages, words),
+        network_messages=messages,
+        network_words=words,
+        levels=schedule.levels,
+    )
 
 
 def simulate_form_q(

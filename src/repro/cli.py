@@ -68,9 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="batched",
         help="execution path: seed | batched | structured | lookahead | "
-        "cholqr2 | cholqr2_mixed | auto",
+        "cholqr2 | cholqr2_mixed | auto | sharded",
     )
     pl.add_argument("--workers", type=int, default=None, help="look-ahead worker count")
+    pl.add_argument(
+        "--shards", type=int, default=None, help="sharded rank count (path=sharded)"
+    )
+    pl.add_argument(
+        "--fanin", type=int, default=None, help="sharded reduction-tree arity"
+    )
+    pl.add_argument(
+        "--interconnect",
+        type=str,
+        default=None,
+        help="alpha-beta link model: pcie2 | cluster | ethernet | grid",
+    )
 
     tr = sub.add_parser(
         "trace",
@@ -268,7 +280,13 @@ def main(argv: list[str] | None = None) -> int:
 
         from repro.runtime import ExecutionPolicy, plan_qr
 
-        policy = ExecutionPolicy(path=args.path, workers=args.workers)
+        policy = ExecutionPolicy(
+            path=args.path,
+            workers=args.workers,
+            shards=args.shards,
+            fanin=args.fanin,
+            interconnect=args.interconnect,
+        )
         plan = plan_qr(args.m, args.n, dtype=np.dtype(args.dtype), policy=policy)
         print(plan.describe())
         return 0

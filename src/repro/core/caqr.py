@@ -203,6 +203,15 @@ def caqr(
                 "caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path
             ):
                 return run_cholqr(A, policy)
+    if policy.path == "sharded":
+        from repro.distributed.sharded import run_sharded
+
+        with _obs.maybe_trace(policy.trace):
+            A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
+            with _obs.span(
+                "caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path
+            ):
+                return run_sharded(A, policy)
     with _obs.maybe_trace(policy.trace):
         A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
         with _obs.span("caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path):

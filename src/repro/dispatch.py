@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .baselines import CULAQR, MAGMAQR, MKLQR
-from .caqr_gpu import simulate_caqr, simulate_cholqr2
+from .caqr_gpu import simulate_caqr, simulate_cholqr2, simulate_sharded
 from .core.blocked import blocked_qr
 from .gpusim.device import C2050, DeviceSpec
 from .kernels.config import REFERENCE_CONFIG, KernelConfig
@@ -220,6 +220,16 @@ class QRDispatcher:
                 self.device,
                 mixed=self.policy.path == "cholqr2_mixed",
                 guard=self.policy.path == "auto",
+            )
+        elif self.policy.path == "sharded":
+            r = simulate_sharded(
+                m,
+                n,
+                self.config,
+                self.device,
+                shards=self.policy.shards,
+                fanin=self.policy.effective_fanin,
+                interconnect=self.policy.resolved_interconnect(),
             )
         else:
             r = simulate_caqr(m, n, self.config, self.device)

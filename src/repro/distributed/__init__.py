@@ -1,13 +1,37 @@
-"""Distributed-memory TSQR over a simulated message-passing fabric.
+"""Distributed-memory TSQR/CAQR over a simulated message-passing fabric.
 
 The setting TSQR was invented for (the paper's Section I citations):
 P processors, horizontal matrix slices, R factors combined up a
-binomial tree with one message per level — versus Theta(n log P)
+reduction tree with one message per level — versus Theta(n log P)
 messages for column-by-column Householder.  Communication is counted
-exactly and charged an alpha-beta cost.
+exactly and charged a calibrated alpha-beta cost
+(:class:`~repro.distributed.comm.InterconnectModel`).
+
+Two layers:
+
+* :func:`distributed_tsqr` — the classic single-panel parallel TSQR
+  over a binomial tree (one ``geqr2`` per rank, triangles up the tree).
+* :mod:`repro.distributed.sharded` — full sharded CAQR: each rank runs
+  the local batched compact-WY machinery on its row shard, and per-rank
+  R factors reduce through a configurable fan-in tree.  Reached through
+  ``ExecutionPolicy(path="sharded", shards=P, fanin=...)``.
 """
 
-from .comm import CommStats, FakeComm, simulated_network_seconds
+from .comm import (
+    DEFAULT_INTERCONNECT,
+    INTERCONNECTS,
+    CommStats,
+    FakeComm,
+    InterconnectModel,
+    simulated_network_seconds,
+)
+from .sharded import (
+    ShardedCAQRFactors,
+    ShardSchedule,
+    build_shard_schedule,
+    run_sharded,
+    sharded_reference_r,
+)
 from .tsqr import (
     DistributedTSQRResult,
     distributed_tsqr,
@@ -18,9 +42,17 @@ from .tsqr import (
 __all__ = [
     "CommStats",
     "FakeComm",
+    "InterconnectModel",
+    "INTERCONNECTS",
+    "DEFAULT_INTERCONNECT",
     "simulated_network_seconds",
     "DistributedTSQRResult",
     "distributed_tsqr",
     "householder_message_count",
     "tsqr_message_lower_bound",
+    "ShardSchedule",
+    "ShardedCAQRFactors",
+    "build_shard_schedule",
+    "run_sharded",
+    "sharded_reference_r",
 ]

@@ -1,0 +1,346 @@
+"""Sharded multi-device CAQR: the parallel CAQR of Demmel et al. (arXiv
+0809.2407), executed over P simulated ranks.
+
+The tall matrix is partitioned into P contiguous row shards.  Each rank
+factors its shard with the *existing* single-process CAQR machinery
+(panel loop + batched compact-WY kernels, :func:`repro.core.caqr._caqr_serial`
+under the shard's :class:`~repro.runtime.policy.ExecutionPolicy`
+geometry), producing a local upper-trapezoidal R.  The per-rank R
+factors are then eliminated up a configurable fan-in tree over
+:class:`~repro.distributed.comm.FakeComm`: at every round, groups of up
+to ``fanin`` surviving ranks send their packed triangles to the group's
+first member, which stacks and re-factors them — ``ceil(log_fanin P)``
+rounds on the critical path, ``~n(n+1)/2`` words per message.
+
+Inter-rank traffic is charged through a calibrated alpha-beta
+:class:`~repro.distributed.comm.InterconnectModel`, the same accounting
+discipline :mod:`repro.gpusim` applies to global-memory bytes.  The
+whole execution is reachable as ``ExecutionPolicy(path="sharded",
+shards=P, fanin=...)`` through every policy-accepting entry point, and
+:func:`build_shard_schedule` precomputes the row deal plus the
+reduction schedule once per shape so :class:`repro.runtime.plan.QRPlan`
+replays it with zero re-planning.
+
+Numerics contract: the communicator moves packed upper-trapezoid
+entries bit-exactly, so the sharded R is **bit-identical** to the same
+shard/reduction tree executed in a single process
+(:func:`sharded_reference_r`), and agrees with the single-process CAQR
+paths to the usual sign-canonicalized backward-error tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.householder import geqr2, orm2r
+from repro.obs import tracer as _obs
+
+from .comm import FakeComm, InterconnectModel
+
+__all__ = [
+    "ShardSchedule",
+    "ShardedCAQRFactors",
+    "build_shard_schedule",
+    "run_sharded",
+    "sharded_reference_r",
+]
+
+
+@dataclass(frozen=True)
+class ShardSchedule:
+    """Precomputed shard row-deal + fan-in reduction schedule for a shape.
+
+    ``rows[r]`` is rank ``r``'s contiguous ``[start, stop)`` row range.
+    ``rounds`` is the reduction tree, one level per entry; each level is
+    a tuple of ``(dst, srcs)`` merges — ``srcs`` send their current R to
+    ``dst``, which stacks ``[R_dst, R_src0, ...]`` and re-factors.  All
+    merges within a level touch disjoint ranks, so a level is one
+    communication round.
+    """
+
+    m: int
+    n: int
+    shards: int  # effective rank count (every rank owns >= 1 row)
+    fanin: int
+    rows: tuple[tuple[int, int], ...]
+    rounds: tuple[tuple[tuple[int, tuple[int, ...]], ...], ...]
+
+    @property
+    def levels(self) -> int:
+        """Reduction rounds on the critical path (= ceil(log_fanin P))."""
+        return len(self.rounds)
+
+    def fingerprint(self) -> str:
+        """SHA-256 (truncated) of the row deal + reduction schedule."""
+        h = hashlib.sha256()
+        h.update(repr((self.m, self.n, self.shards, self.fanin)).encode())
+        h.update(repr(self.rows).encode())
+        h.update(repr(self.rounds).encode())
+        return h.hexdigest()[:16]
+
+    def describe(self) -> str:
+        """One human-readable line per reduction round."""
+        lines = [
+            f"shard schedule {self.m}x{self.n}: {self.shards} rank(s), "
+            f"fan-in {self.fanin}, {self.levels} round(s)"
+        ]
+        for lvl, merges in enumerate(self.rounds):
+            parts = ", ".join(
+                f"{list(srcs)}->{dst}" for dst, srcs in merges
+            )
+            lines.append(f"  round {lvl}: {parts}")
+        return "\n".join(lines)
+
+
+def build_shard_schedule(m: int, n: int, shards: int, fanin: int = 2) -> ShardSchedule:
+    """Deal ``m`` rows across ``shards`` ranks and build the fan-in tree.
+
+    Rows are dealt in contiguous slices (the first ``m % P`` ranks get
+    one extra row).  The effective rank count is clamped so every rank
+    owns at least one row — sharding a 3-row matrix across 8 ranks runs
+    3 ranks, not 8 with 5 idle.  The reduction tree groups ``fanin``
+    consecutive survivors per merge until one rank holds the global R.
+    """
+    if m < 0 or n < 0:
+        raise ValueError("matrix dimensions must be non-negative")
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    if fanin < 2:
+        raise ValueError("fan-in must be at least 2")
+    p = max(1, min(shards, m))
+    base, extra = divmod(m, p)
+    rows = []
+    start = 0
+    for r in range(p):
+        h = base + (1 if r < extra else 0)
+        rows.append((start, start + h))
+        start += h
+    rounds: list[tuple[tuple[int, tuple[int, ...]], ...]] = []
+    survivors = list(range(p))
+    while len(survivors) > 1:
+        level = []
+        nxt = []
+        for i in range(0, len(survivors), fanin):
+            group = survivors[i : i + fanin]
+            dst = group[0]
+            nxt.append(dst)
+            if len(group) > 1:
+                level.append((dst, tuple(group[1:])))
+        if level:
+            rounds.append(tuple(level))
+        survivors = nxt
+    return ShardSchedule(
+        m=m, n=n, shards=p, fanin=fanin, rows=tuple(rows), rounds=tuple(rounds)
+    )
+
+
+@dataclass
+class _ShardTreeNode:
+    """Householder factor of one fan-in merge of stacked R factors."""
+
+    level: int
+    dst: int
+    srcs: tuple[int, ...]
+    heights: tuple[int, ...]  # R rows contributed by dst, then each src
+    VR: np.ndarray
+    tau: np.ndarray
+
+
+@dataclass
+class ShardedCAQRFactors:
+    """Implicit Q and explicit R of a sharded CAQR factorization.
+
+    Duck-type compatible with :class:`~repro.core.caqr.CAQRFactors`
+    where the entry points need it (``R``, ``form_q``): the implicit Q
+    is the composition of every rank's local CAQR factors with the
+    fan-in tree eliminations.
+    """
+
+    m: int
+    n: int
+    schedule: ShardSchedule
+    comm: FakeComm | None
+    local: list  # per-rank CAQRFactors
+    tree: list[_ShardTreeNode]
+    R: np.ndarray  # min(m, n) x n upper trapezoidal (held by rank 0)
+
+    @property
+    def shards(self) -> int:
+        return self.schedule.shards
+
+    def network_seconds(self, interconnect: InterconnectModel) -> float:
+        """Modeled critical-path communication time of this run."""
+        if self.comm is None:
+            return 0.0
+        return interconnect.seconds(
+            self.comm.critical_path_messages(), self.comm.critical_path_words()
+        )
+
+    def form_q(self) -> np.ndarray:
+        """Form the explicit thin ``m x min(m, n)`` orthonormal Q.
+
+        Walks the fan-in tree top-down (mirroring the elimination
+        order), then applies each rank's local implicit Q to its row
+        slice.  All temporaries are allocated in the factorization's
+        working dtype, so float32 survives reconstruction.
+        """
+        k = min(self.m, self.n)
+        dtype = self.R.dtype
+        Q = np.zeros((self.m, k), dtype=dtype)
+        if k == 0:
+            return Q
+        # slots[r]: rank r's coefficient block (its R rows x k).
+        slots: dict[int, np.ndarray] = {0: np.eye(k, dtype=dtype)}
+        for node in sorted(self.tree, key=lambda t: -t.level):
+            cur = slots[node.dst]
+            stacked = np.zeros((sum(node.heights), k), dtype=dtype)
+            stacked[: cur.shape[0]] = cur
+            orm2r(node.VR, node.tau, stacked, transpose=False)
+            ofs = 0
+            for rank, h in zip((node.dst,) + node.srcs, node.heights):
+                slots[rank] = stacked[ofs : ofs + h]
+                ofs += h
+        for r, (s, e) in enumerate(self.schedule.rows):
+            f = self.local[r]
+            h = e - s
+            block = np.zeros((h, k), dtype=dtype)
+            kr = min(h, self.n)
+            block[:kr] = slots[r][:kr]
+            f.apply_q(block)
+            Q[s:e] = block
+        return Q
+
+
+def _trapezoid_pack(R: np.ndarray) -> tuple[np.ndarray, tuple]:
+    """Pack the nonzero (upper-trapezoid) entries of a ``k x n`` R."""
+    idx = np.triu_indices(R.shape[0], 0, R.shape[1])
+    return R[idx], idx
+
+
+def _local_factor(A_shard: np.ndarray, policy) -> tuple:
+    """One rank's local CAQR under the policy geometry.
+
+    Returns ``(factors, R)`` with R upper-trapezoidal
+    ``min(h, n) x n`` — the block the rank contributes to the tree.
+    """
+    from repro.core.caqr import _caqr_serial
+
+    f = _caqr_serial(A_shard, policy)
+    return f, np.triu(f.R)
+
+
+def _reduce(
+    schedule: ShardSchedule,
+    current: dict[int, np.ndarray],
+    comm: FakeComm | None,
+    n: int,
+    dtype,
+) -> tuple[dict[int, np.ndarray], list[_ShardTreeNode]]:
+    """Run the fan-in rounds; returns surviving R(s) and the tree factors.
+
+    With a communicator, every source rank packs its trapezoid and
+    sends it (tagged with the round index, so per-level critical-path
+    accounting works); without one, the same arrays are handed over
+    directly — the arithmetic is identical either way, which is the
+    bit-identity contract :func:`sharded_reference_r` pins.
+    """
+    tree: list[_ShardTreeNode] = []
+    for level, merges in enumerate(schedule.rounds):
+        with _obs.span("shard.reduce", cat="shard", level=level, merges=len(merges)):
+            for dst, srcs in merges:
+                blocks = [current[dst]]
+                heights = [current[dst].shape[0]]
+                for src in srcs:
+                    if comm is not None:
+                        packed, idx = _trapezoid_pack(current[src])
+                        comm.send(packed, src=src, dst=dst, tag=level)
+                        received = comm.recv(src=src, dst=dst, tag=level)
+                        Rs = np.zeros(current[src].shape, dtype=dtype)
+                        Rs[idx] = received
+                    else:
+                        Rs = current[src]
+                    blocks.append(Rs)
+                    heights.append(Rs.shape[0])
+                    del current[src]
+                stacked = np.vstack(blocks)
+                VR, tau = geqr2(stacked)
+                kd = min(stacked.shape[0], n)
+                tree.append(
+                    _ShardTreeNode(
+                        level=level,
+                        dst=dst,
+                        srcs=srcs,
+                        heights=tuple(heights),
+                        VR=VR,
+                        tau=tau,
+                    )
+                )
+                current[dst] = np.triu(VR[:kd, :])
+    return current, tree
+
+
+def run_sharded(A: np.ndarray, policy, schedule: ShardSchedule | None = None) -> ShardedCAQRFactors:
+    """Factor an *already validated* matrix across ``policy.shards`` ranks.
+
+    Called by the ``caqr`` entry point and :class:`~repro.runtime.plan.QRPlan`
+    after the one public-boundary validation, mirroring
+    :func:`repro.core.caqr._caqr_serial`.  Each rank's work and every
+    reduction round is spanned (``rank=`` / ``level=`` tags) so traces
+    attribute time per simulated device.
+    """
+    m, n = A.shape
+    if schedule is None:
+        schedule = build_shard_schedule(m, n, policy.shards, policy.effective_fanin)
+    comm = FakeComm(size=schedule.shards) if schedule.shards > 1 else None
+    with _obs.span(
+        "sharded", cat="shard", m=m, n=n, shards=schedule.shards, fanin=schedule.fanin
+    ):
+        local = []
+        current: dict[int, np.ndarray] = {}
+        for r, (s, e) in enumerate(schedule.rows):
+            with _obs.span("shard.local", cat="shard", rank=r, rows=e - s):
+                f, Rr = _local_factor(A[s:e], policy)
+            local.append(f)
+            current[r] = Rr
+        current, tree = _reduce(schedule, current, comm, n, A.dtype)
+        if comm is not None:
+            _obs.counters(
+                shard_messages=comm.total_messages,
+                shard_words=int(comm.total_words),
+            )
+        if current:
+            R_root = current[0]
+        else:  # m == 0: no ranks dealt, R is the empty trapezoid
+            R_root = np.zeros((0, n), dtype=A.dtype)
+        k = min(m, n)
+        R = np.zeros((k, n), dtype=A.dtype)
+        R[: R_root.shape[0]] = R_root[:k]
+    return ShardedCAQRFactors(
+        m=m, n=n, schedule=schedule, comm=comm, local=local, tree=tree, R=R
+    )
+
+
+def sharded_reference_r(A: np.ndarray, policy, schedule: ShardSchedule | None = None) -> np.ndarray:
+    """The single-process reference R for a sharded run: same shard
+    partition, same local factorizations, same fan-in tree — no
+    communicator.  ``run_sharded(...).R`` must equal this **bitwise**;
+    any difference means the communication layer (packing, transport,
+    reconstruction) perturbed the numerics.
+    """
+    A = np.asarray(A)
+    m, n = A.shape
+    if schedule is None:
+        schedule = build_shard_schedule(m, n, policy.shards, policy.effective_fanin)
+    current: dict[int, np.ndarray] = {}
+    for r, (s, e) in enumerate(schedule.rows):
+        _f, Rr = _local_factor(A[s:e], policy)
+        current[r] = Rr
+    current, _tree = _reduce(schedule, current, None, n, A.dtype)
+    R_root = current[0] if current else np.zeros((0, n), dtype=A.dtype)
+    k = min(m, n)
+    R = np.zeros((k, n), dtype=A.dtype)
+    R[: R_root.shape[0]] = R_root[:k]
+    return R

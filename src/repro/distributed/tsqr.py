@@ -9,6 +9,13 @@ of ScaLAPACK-style column-by-column Householder.  This module implements
 the algorithm over :class:`~repro.distributed.comm.FakeComm`, counts
 exactly that communication, and can reconstruct the global Q for
 verification.
+
+Input validation follows the repo-wide entry-point policy
+(:mod:`repro.verify.guards`): complex input raises ``TypeError``,
+NaN/Inf raises ``ValueError`` unless ``nonfinite="propagate"``, and
+float32 is preserved end to end — the local factors, the tree
+eliminations and the reconstructed Q all stay in the input's working
+precision.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.householder import geqr2, orm2r
+from repro.verify.guards import validate_matrix
 
 from .comm import CommStats, FakeComm
 
@@ -41,13 +49,14 @@ class DistributedTSQRResult:
         """Reconstruct the global thin Q (gathered; verification only)."""
         m = self.rows_per_rank[-1][1]
         n = self.n
-        Q = np.zeros((m, n))
-        Q[:n] = np.eye(n)
+        dtype = self.R.dtype
+        Q = np.zeros((m, n), dtype=dtype)
+        Q[:n] = np.eye(n, dtype=dtype)
         # Walk the tree top-down, mirroring the elimination order.
         P = len(self.rows_per_rank)
         levels = sorted({lvl for (lvl, _r) in self.tree_factors}, reverse=True)
         # Rank r's R-slot occupies the top n rows of its row range.
-        slots = {r: np.zeros((n, n)) for r in range(P)}
+        slots = {r: np.zeros((n, n), dtype=dtype) for r in range(P)}
         slots[0] = Q[:n].copy()
         for lvl in levels:
             for (l, r), (VR, tau, partner) in self.tree_factors.items():
@@ -60,7 +69,7 @@ class DistributedTSQRResult:
         for r, (s, e) in enumerate(self.rows_per_rank):
             VR, tau = self.local_factors[r]
             h = e - s
-            block = np.zeros((h, n))
+            block = np.zeros((h, n), dtype=dtype)
             block[: min(h, n)] = slots[r][: min(h, n)]
             orm2r(VR, tau, block, transpose=False)
             Q[s:e] = block
@@ -78,18 +87,22 @@ def householder_message_count(n: int, p: int) -> int:
     return 2 * n * tsqr_message_lower_bound(p)
 
 
-def distributed_tsqr(A: np.ndarray, p: int) -> DistributedTSQRResult:
+def distributed_tsqr(A: np.ndarray, p: int, nonfinite: str = "raise") -> DistributedTSQRResult:
     """Run parallel TSQR over ``p`` simulated ranks.
 
     Rows are dealt in contiguous slices; each rank factors its slice
     locally (no communication), then the binomial-tree elimination sends
     each surviving R (its upper triangle, ``n(n+1)/2`` words) to its
     partner — one message per rank per level.
+
+    ``A`` passes through the standard entry-point guards: complex input
+    raises ``TypeError``, non-finite entries raise ``ValueError`` unless
+    ``nonfinite="propagate"``, and float32 input stays float32 through
+    the tree and the reconstructed Q.
     """
-    A = np.asarray(A, dtype=float)
-    if A.ndim != 2:
-        raise ValueError("A must be 2-D")
+    A = validate_matrix(A, where="distributed_tsqr", nonfinite=nonfinite)
     m, n = A.shape
+    dtype = A.dtype
     if p < 1:
         raise ValueError("need at least one rank")
     if m < p * n:
@@ -124,7 +137,7 @@ def distributed_tsqr(A: np.ndarray, p: int) -> DistributedTSQRResult:
             tri = current_r[partner][np.triu_indices(n)]
             comm.send(tri, src=partner, dst=r, tag=level)
             received = comm.recv(src=partner, dst=r, tag=level)
-            Rp = np.zeros((n, n))
+            Rp = np.zeros((n, n), dtype=dtype)
             Rp[np.triu_indices(n)] = received
             stacked = np.vstack([current_r[r], Rp])
             VR, tau = geqr2(stacked)

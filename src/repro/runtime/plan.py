@@ -196,6 +196,10 @@ class QRPlan:
                         workspace=self._cholqr_workspace(),
                         schedule=self._schedule,
                     )
+                if self.policy.path == "sharded":
+                    from repro.distributed.sharded import run_sharded
+
+                    return run_sharded(A, self.policy, schedule=self._schedule)
                 from repro.core.caqr import _caqr_serial
 
                 return _caqr_serial(A, self.policy)
@@ -235,6 +239,22 @@ class QRPlan:
                     guard=self.policy.path == "auto",
                 )
             return self._sim
+        if self.policy.path == "sharded":
+            # Per-device local CAQR + modeled reduction traffic; the
+            # ``streams`` knob is per-device and does not apply here.
+            if self._sim is None:
+                from repro.caqr_gpu import simulate_sharded
+
+                self._sim = simulate_sharded(
+                    self.m,
+                    self.n,
+                    self.policy.resolved_config(),
+                    self.policy.resolved_device(),
+                    shards=self.policy.shards,
+                    fanin=self.policy.effective_fanin,
+                    interconnect=self.policy.resolved_interconnect(),
+                )
+            return self._sim
         if streams is not None:
             from repro.caqr_gpu import simulate_caqr
 
@@ -259,7 +279,12 @@ class QRPlan:
         lines = [
             f"QR plan for {self.m} x {self.n} ({self.dtype})",
             f"  path         {p.path}"
-            + (f" (workers={p.effective_workers})" if p.path == "lookahead" else ""),
+            + (f" (workers={p.effective_workers})" if p.path == "lookahead" else "")
+            + (
+                f" (shards={p.shards}, fanin={p.effective_fanin})"
+                if p.path == "sharded"
+                else ""
+            ),
             f"  geometry     panel_width={p.panel_width} block_rows={p.block_rows} "
             f"tree={p.tree_shape}",
             f"  panels       {len(self.panels)}",
@@ -314,6 +339,33 @@ def _plan_qr_impl(m: int, n: int, dtype, policy: ExecutionPolicy) -> QRPlan:
             from repro.runtime.cholqr import _fallback_schedule
 
             schedule = _fallback_schedule(m, n, policy)
+        return QRPlan(
+            m=m,
+            n=n,
+            dtype=dt,
+            policy=policy,
+            panels=(),
+            schedule=schedule,
+            recipes=(),
+            wy_scratch_bytes=scratch,
+        )
+    if policy.path == "sharded":
+        # The shard row deal and fan-in reduction schedule are pure
+        # functions of (m, n, shards, fanin): build them once here so
+        # every execute replays the same tree (its fingerprint is what
+        # tests/data/fingerprints.json pins).  Panel structure lives
+        # per shard; the plan-level scratch is the widest shard's
+        # compact-WY footprint times the rank count.
+        from repro.distributed.sharded import build_shard_schedule
+
+        schedule = build_shard_schedule(m, n, policy.shards, policy.effective_fanin)
+        scratch = 0
+        if schedule.rows:
+            s0, e0 = schedule.rows[0]  # first shard is the tallest
+            shard_panels = _panel_specs(e0 - s0, n, policy)
+            scratch = schedule.shards * _wy_scratch_bytes(
+                e0 - s0, n, policy, shard_panels, dt.itemsize
+            )
         return QRPlan(
             m=m,
             n=n,

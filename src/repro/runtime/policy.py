@@ -45,6 +45,13 @@ Path names
     (including on Cholesky breakdown mid-factorization).  Never
     raises on ill-conditioned input; ``condition_limit`` overrides the
     guard threshold.
+``sharded``
+    Multi-device parallel CAQR (:mod:`repro.distributed.sharded`): the
+    matrix is row-partitioned across ``shards`` simulated ranks, each
+    runs the local batched compact-WY machinery, and per-rank R factors
+    reduce through a ``fanin``-ary tree over ``FakeComm``, with traffic
+    charged to a calibrated ``interconnect`` alpha-beta model.
+    Requires ``shards=``; ``fanin`` and ``interconnect`` are optional.
 """
 
 from __future__ import annotations
@@ -72,6 +79,7 @@ PATH_NAMES = (
     "cholqr2",
     "cholqr2_mixed",
     "auto",
+    "sharded",
 )
 
 # The CholeskyQR2 family: condition-guarded BLAS3 fast paths.  ``auto``
@@ -135,6 +143,16 @@ class ExecutionPolicy:
             falling back to ``lookahead`` (``auto``).  ``None`` resolves
             to the dtype-aware default inside
             :class:`repro.runtime.cholqr.CholQRGuard`.
+        shards: simulated rank count for ``path="sharded"`` (required
+            there, rejected elsewhere).  The effective count clamps to
+            the row count at run time so tiny matrices never deal empty
+            shards.
+        fanin: reduction-tree arity for the sharded path (default 2,
+            i.e. binomial); sharded-only.
+        interconnect: name of a calibrated alpha-beta link model from
+            ``repro.distributed.comm.INTERCONNECTS`` used to charge the
+            sharded path's inter-rank traffic (default ``"pcie2"``);
+            sharded-only.
         coalesce: whether a serving front end (:mod:`repro.serving`) may
             merge same-shape requests under this policy into one stacked
             batched invocation.  ``False`` forces per-request dispatch —
@@ -156,6 +174,9 @@ class ExecutionPolicy:
     lookahead_edge: bool = True
     nonfinite: str = "raise"
     condition_limit: float | None = None
+    shards: int | None = None
+    fanin: int | None = None
+    interconnect: str | None = None
     coalesce: bool = True
     device: Any | None = field(default=None, compare=False)
     config: Any | None = field(default=None, compare=False)
@@ -187,6 +208,37 @@ class ExecutionPolicy:
                 )
             if not self.condition_limit > 0:
                 raise ValueError("condition_limit must be positive")
+        if self.path == "sharded":
+            if self.shards is None:
+                raise ValueError(
+                    "path='sharded' requires shards= (the simulated rank count)"
+                )
+            if self.shards < 1:
+                raise ValueError("shards must be positive")
+        elif self.shards is not None:
+            raise ValueError(
+                f"shards applies only to path='sharded', got path={self.path!r}"
+            )
+        if self.fanin is not None:
+            if self.path != "sharded":
+                raise ValueError(
+                    f"fanin applies only to path='sharded', got path={self.path!r}"
+                )
+            if self.fanin < 2:
+                raise ValueError("fanin must be at least 2")
+        if self.interconnect is not None:
+            if self.path != "sharded":
+                raise ValueError(
+                    f"interconnect applies only to path='sharded', "
+                    f"got path={self.path!r}"
+                )
+            from repro.distributed.comm import INTERCONNECTS
+
+            if self.interconnect not in INTERCONNECTS:
+                raise ValueError(
+                    f"unknown interconnect {self.interconnect!r}; "
+                    f"known: {tuple(INTERCONNECTS)}"
+                )
         validate_nonfinite_policy(self.nonfinite, "ExecutionPolicy")
 
     # -- derived views -----------------------------------------------------
@@ -209,6 +261,17 @@ class ExecutionPolicy:
     def uses_cholqr(self) -> bool:
         """Whether the CholeskyQR2 fast-path engine runs first."""
         return self.path in CHOLQR_PATHS
+
+    @property
+    def effective_fanin(self) -> int:
+        """Sharded reduction-tree arity (binomial when unset)."""
+        return 2 if self.fanin is None else self.fanin
+
+    def resolved_interconnect(self):
+        """The calibrated link model for the sharded path's traffic."""
+        from repro.distributed.comm import DEFAULT_INTERCONNECT, INTERCONNECTS
+
+        return INTERCONNECTS[self.interconnect or DEFAULT_INTERCONNECT]
 
     def resolved_device(self):
         """The modeled device (C2050 unless overridden)."""

@@ -15,6 +15,7 @@ factored through every execution path —
 * ``cholqr2``       — BLAS3 CholeskyQR2 (guard *refuses* ill-conditioned)
 * ``cholqr2_mixed`` — CholeskyQR2 with a float32 first-pass Gram
 * ``auto``          — condition-guarded cholqr2 with tree fallback
+* ``sharded``       — multi-device CAQR over 3 simulated ranks
 
 — and cross-checked three ways: the QR invariants of
 :mod:`repro.verify.invariants` (orthogonality, residual,
@@ -78,6 +79,10 @@ PATHS: dict[str, dict] = {
     "cholqr2": {"path": "cholqr2"},
     "cholqr2_mixed": {"path": "cholqr2_mixed"},
     "auto": {"path": "auto"},
+    # Sharded multi-device CAQR: 3 ranks (uneven deals on most shapes)
+    # over the default binomial fan-in; the effective rank count clamps
+    # to the row count, so degenerate grid shapes run too.
+    "sharded": {"path": "sharded", "shards": 3},
 }
 
 # Fuzz names whose policy is a CholeskyQR2 path that may *refuse*

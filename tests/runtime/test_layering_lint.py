@@ -169,3 +169,59 @@ class TestQueueRuleEndToEnd:
         rc, out = self._run_main(tmp_path, monkeypatch, capsys)
         assert rc == 0
         assert "clean" in out
+
+
+class TestCommRuleEndToEnd:
+    """The FakeComm fence: flagged outside ``repro.distributed``, owned
+    inside it — same shape as the queue rule above."""
+
+    def _run_main(self, tmp_path, monkeypatch, capsys):
+        sys.path.insert(0, str(LINT.parent))
+        try:
+            import lint_layering
+        finally:
+            sys.path.pop(0)
+        monkeypatch.setattr(lint_layering, "REPO", tmp_path)
+        rc = lint_layering.main()
+        return rc, capsys.readouterr().out
+
+    def test_scanner_flags_comm_construction(self, tmp_path):
+        sys.path.insert(0, str(LINT.parent))
+        try:
+            import lint_layering
+        finally:
+            sys.path.pop(0)
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "from repro.distributed import FakeComm\n"
+            "c = FakeComm(size=4)\n"
+        )
+        assert lint_layering.scan_file(f) == [(2, "FakeComm", "comm construction")]
+
+    def test_injected_comm_violation_is_caught(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "src" / "repro" / "experiments"
+        bad.mkdir(parents=True)
+        (bad / "rogue.py").write_text(
+            "from repro.distributed.comm import FakeComm\n"
+            "comm = FakeComm(size=8)\n"
+        )
+        ok = tmp_path / "src" / "repro" / "distributed"
+        ok.mkdir(parents=True)
+        (ok / "sharded.py").write_text(
+            "from .comm import FakeComm\n"
+            "comm = FakeComm(size=8)\n"
+        )
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 1
+        assert "src/repro/experiments/rogue.py:2" in out
+        assert "outside repro.distributed" in out
+        assert "ExecutionPolicy(path='sharded'" in out
+        assert "distributed/sharded.py" not in out
+
+    def test_distributed_only_tree_is_clean(self, tmp_path, monkeypatch, capsys):
+        ok = tmp_path / "src" / "repro" / "distributed"
+        ok.mkdir(parents=True)
+        (ok / "comm.py").write_text("comm = FakeComm(size=4)\n")
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 0
+        assert "clean" in out

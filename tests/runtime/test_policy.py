@@ -163,3 +163,45 @@ class TestEntryPointShims:
 
         caqr_qr(rng.standard_normal((32, 8)))
         assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestShardedPolicy:
+    """path='sharded' wiring: shards/fanin/interconnect validation."""
+
+    def test_shards_required(self):
+        with pytest.raises(ValueError, match="requires shards"):
+            ExecutionPolicy(path="sharded")
+
+    def test_shards_rejected_elsewhere(self):
+        with pytest.raises(ValueError, match="shards applies only"):
+            ExecutionPolicy(path="batched", shards=4)
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError, match="shards must be positive"):
+            ExecutionPolicy(path="sharded", shards=0)
+
+    def test_fanin_bounds_and_scope(self):
+        with pytest.raises(ValueError, match="fanin must be at least 2"):
+            ExecutionPolicy(path="sharded", shards=4, fanin=1)
+        with pytest.raises(ValueError, match="fanin applies only"):
+            ExecutionPolicy(path="batched", fanin=2)
+        assert ExecutionPolicy(path="sharded", shards=4).effective_fanin == 2
+        assert ExecutionPolicy(path="sharded", shards=4, fanin=4).effective_fanin == 4
+
+    def test_interconnect_validated_and_resolved(self):
+        from repro.distributed import INTERCONNECTS
+
+        with pytest.raises(ValueError, match="unknown interconnect"):
+            ExecutionPolicy(path="sharded", shards=4, interconnect="carrier-pigeon")
+        with pytest.raises(ValueError, match="interconnect applies only"):
+            ExecutionPolicy(path="batched", interconnect="pcie2")
+        p = ExecutionPolicy(path="sharded", shards=4, interconnect="ethernet")
+        assert p.resolved_interconnect() is INTERCONNECTS["ethernet"]
+        default = ExecutionPolicy(path="sharded", shards=4).resolved_interconnect()
+        assert default is INTERCONNECTS["pcie2"]
+
+    def test_describe_names_the_shard_geometry(self):
+        from repro.runtime import plan_qr
+
+        plan = plan_qr(64, 8, policy=ExecutionPolicy(path="sharded", shards=4, fanin=3))
+        assert "shards=4" in plan.describe() and "fanin=3" in plan.describe()

@@ -42,6 +42,7 @@ def test_golden_file_is_committed():
         "cholqr2",
         "cholqr2_mixed",
         "auto",
+        "sharded",
     }
 
 
@@ -75,6 +76,26 @@ def test_cholqr_paths_pin_distinct_streams(checker):
     for shape in fresh["cholqr2"]:
         assert fresh["cholqr2"][shape] != fresh["cholqr2_mixed"][shape]
         assert fresh["auto"][shape] != fresh["cholqr2"][shape]
+
+
+def test_sharded_fingerprint_tracks_the_schedule(checker):
+    """The sharded pin is the reduction schedule's hash: a different
+    shard count or fan-in must move it, and the golden must match what
+    plan_qr builds for the reference configuration."""
+    from repro.distributed.sharded import build_shard_schedule
+    from repro.runtime import ExecutionPolicy, plan_qr
+
+    shards, fanin = checker.SHARDED_PATHS["sharded"]
+    golden = json.loads(GOLDEN.read_text())["sharded"]
+    for shape, pin in golden.items():
+        m, n = map(int, shape.split("x"))
+        assert build_shard_schedule(m, n, shards, fanin).fingerprint() == pin
+    plan = plan_qr(
+        1024, 256, policy=ExecutionPolicy(path="sharded", shards=shards, fanin=fanin)
+    )
+    assert plan._schedule.fingerprint() == golden["1024x256"]
+    moved = build_shard_schedule(1024, 256, shards + 1, fanin).fingerprint()
+    assert moved != golden["1024x256"]
 
 
 def test_diff_is_readable(checker):

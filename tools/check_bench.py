@@ -22,6 +22,21 @@ per-metric tolerances:
 * ``launches`` and ``launch_stream_sha256_16`` — exact (the modeled
   launch stream moving is a silent behavioural change, never noise).
 
+The sharded tier (``benchmarks/bench_distributed.py``) is gated under
+``--check-sharded`` / ``--sharded-only``:
+
+* ``sharded_bit_gap`` — exactly 0.0: the sharded R must be bit-identical
+  to the same shard/reduction schedule executed without the
+  communicator (transport exactness is a correctness contract, not a
+  tolerance).
+* ``sharded_r_gap`` — sign-canonicalized agreement with the
+  single-process tree, < 1e-12.
+* ``sharded_strong_speedup_p4`` — relative floor plus the absolute
+  ``MIN_BOUNDS`` floor of 2.0 (the acceptance criterion: four modeled
+  devices must at least halve the 2M x 1000 target's runtime).
+* comm counts and the schedule fingerprint — exact: the reduction
+  schedule or traffic silently changing is a behavioural change.
+
 The serving tier (``benchmarks/bench_serving.py``) is gated the same
 way under ``--serving`` / ``--serving-only``:
 
@@ -41,6 +56,7 @@ Usage::
     python tools/check_bench.py --quick --self-test     # gate the gate
     python tools/check_bench.py --quick --inject-slowdown 2.0   # must exit 1
     python tools/check_bench.py --quick --serving-only  # serving tier only
+    python tools/check_bench.py --quick --sharded-only  # sharded tier only
 """
 
 from __future__ import annotations
@@ -64,6 +80,12 @@ FULL_BASELINE = REPO_ROOT / "BENCH_caqr.json"
 SERVING_QUICK_BASELINE = (
     REPO_ROOT / "benchmarks" / "results" / "BENCH_serving_quick.json"
 )
+SHARDED_QUICK_BASELINE = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_sharded_quick.json"
+)
+SHARDED_FULL_BASELINE = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_distributed.json"
+)
 
 # Residual-gap metrics carry the bench's own hard bounds instead of a
 # relative tolerance (they pin cross-path agreement, not speed).
@@ -77,6 +99,12 @@ GAP_BOUNDS = {
     "caqr_orth_cholqr2": 1e-14,
     "caqr_orth_cholqr2_mixed": 1e-14,
     "caqr_orth_auto": 1e-14,
+    # Sharded acceptance: the communicated run reproduces the in-process
+    # reference bit for bit (0.0 — transport exactness, not a
+    # tolerance), and agrees with the single-process tree to the usual
+    # cross-path bound.
+    "sharded_bit_gap": 0.0,
+    "sharded_r_gap": 1e-12,
 }
 # Ratio metrics with an *absolute* floor on top of the relative check:
 # the headline acceptance criterion (cholqr2 at least 2x the tree).  The
@@ -93,6 +121,11 @@ MIN_BOUNDS = {
     # silently degrading to the per-request rung would read ~1.0) can
     # cross it, because shared CI runners swing both sides of the ratio.
     "serving_coalesce_speedup": 3.0,
+    # The sharded acceptance floor: four modeled devices must at least
+    # halve the 2M x 1000 target's runtime.  The committed baseline sits
+    # near the ideal 4x, so the floor only trips on a real model change
+    # (e.g. reduction or interconnect cost landing on the critical path).
+    "sharded_strong_speedup_p4": 2.0,
 }
 MIN_BOUND_MARGIN = 1.25
 # Metrics with an absolute ceiling (noise-tolerant): ratio metrics like
@@ -107,7 +140,17 @@ MAX_BOUNDS = {
     "serving_p95_ms": 50.0,
     "serving_p99_ms": 75.0,
 }
-EXACT_KEYS = ("launches", "launch_stream_sha256_16")
+EXACT_KEYS = (
+    "launches",
+    "launch_stream_sha256_16",
+    # The sharded reduction schedule and its recorded traffic are pure
+    # functions of (m, n, shards, fanin): any drift is a silent
+    # behavioural change, never noise.
+    "sharded_schedule_fingerprint",
+    "sharded_messages",
+    "sharded_words",
+    "sharded_critical_path_messages",
+)
 ACCURACY_FACTOR = 10.0  # ferr/orth headroom vs baseline
 
 
@@ -305,6 +348,52 @@ def run_serving_gate(
     return ok, measured_rows, all_deltas
 
 
+def _inject_sharded(rows: list[dict], factor: float) -> list[dict]:
+    """A synthetic slowdown of sharded rows (gate self-check): times
+    scale up, the scaling speedups scale down — the way a reduction or
+    interconnect regression would read."""
+    out = []
+    for r in rows:
+        row = {}
+        for k, v in r.items():
+            if _is_time(k):
+                row[k] = v * factor
+            elif _is_speedup(k):
+                row[k] = v / factor
+            else:
+                row[k] = v
+        out.append(row)
+    return out
+
+
+def run_sharded_gate(
+    baseline_rows: list[dict],
+    time_tol: float,
+    inject_slowdown: float | None = None,
+    measured_rows: list[dict] | None = None,
+) -> tuple[bool, list[dict], list[dict]]:
+    """Re-run every baseline sharded row (same shape/shards) and diff."""
+    import bench_distributed  # deferred: loads only when gated
+
+    if measured_rows is None:
+        measured_rows = [
+            bench_distributed.bench_row(m=b["m"], n=b["n"], shards=b["shards"])
+            for b in baseline_rows
+        ]
+    rows = measured_rows
+    if inject_slowdown:
+        rows = _inject_sharded(rows, inject_slowdown)
+    ok = True
+    all_deltas = []
+    for base, meas in zip(baseline_rows, rows):
+        deltas = compare_row(meas, base, time_tol)
+        shape = f"sharded {base['m']}x{base['n']} P={base['shards']}"
+        all_deltas.append({"shape": shape, "deltas": deltas})
+        print(format_deltas(shape, deltas))
+        ok &= all(d["ok"] for d in deltas)
+    return ok, measured_rows, all_deltas
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -331,6 +420,19 @@ def main(argv: list[str] | None = None) -> int:
         help="gate only the serving rows (implies --serving; skips the "
         "CAQR shape grid)",
     )
+    ap.add_argument(
+        "--check-sharded",
+        action="store_true",
+        help="also gate the sharded rows (bit-identity, R gap, comm "
+        "counts, modeled strong/weak scaling) from "
+        "benchmarks/bench_distributed.py",
+    )
+    ap.add_argument(
+        "--sharded-only",
+        action="store_true",
+        help="gate only the sharded rows (implies --check-sharded; "
+        "skips the CAQR shape grid)",
+    )
     ap.add_argument("--reps", type=int, default=3, help="timed repetitions (best-of)")
     ap.add_argument(
         "--time-tol",
@@ -354,8 +456,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", type=Path, default=None, help="write the delta table JSON here")
     args = ap.parse_args(argv)
 
-    do_core = not args.serving_only
+    do_core = not (args.serving_only or args.sharded_only)
     do_serving = args.serving or args.serving_only
+    do_sharded = args.check_sharded or args.sharded_only
 
     baseline_rows: list[dict] = []
     baseline_path = args.baseline or (QUICK_BASELINE if args.quick else FULL_BASELINE)
@@ -382,6 +485,23 @@ def main(argv: list[str] | None = None) -> int:
                   f"run bench_serving.py first")
             return 2
         print(f"gating serving against {serving_path} ({len(serving_rows)} "
+              f"row(s), time tolerance ±{args.time_tol:.0%})\n")
+
+    sharded_rows: list[dict] = []
+    if do_sharded:
+        sharded_path = args.baseline or (
+            SHARDED_QUICK_BASELINE if args.quick else SHARDED_FULL_BASELINE
+        )
+        if not sharded_path.exists():
+            print(f"sharded baseline {sharded_path} not found — run "
+                  f"bench_distributed.py first")
+            return 2
+        sharded_rows = json.loads(sharded_path.read_text()).get("sharded", [])
+        if not sharded_rows:
+            print(f"sharded baseline {sharded_path} has no 'sharded' rows — "
+                  f"run bench_distributed.py first")
+            return 2
+        print(f"gating sharded against {sharded_path} ({len(sharded_rows)} "
               f"row(s), time tolerance ±{args.time_tol:.0%})\n")
 
     if args.self_test:
@@ -417,6 +537,21 @@ def main(argv: list[str] | None = None) -> int:
                 print("\nself-test: FAILED — injected 2x serving slowdown "
                       "was not caught")
                 ok = False
+        if do_sharded:
+            d_pass, d_measured, _ = run_sharded_gate(sharded_rows, args.time_tol)
+            print("\nself-test: injecting 2.0x sharded slowdown (the "
+                  "scaling-speedup floors below must FAIL)\n")
+            d_fail, _, _ = run_sharded_gate(
+                sharded_rows, args.time_tol,
+                inject_slowdown=2.0, measured_rows=d_measured,
+            )
+            if not d_pass:
+                print("\nself-test: FAILED — clean sharded run did not pass")
+                ok = False
+            if d_fail:
+                print("\nself-test: FAILED — injected 2x sharded slowdown "
+                      "was not caught")
+                ok = False
         if ok:
             print("\nself-test: ok (clean run passes, 2x slowdown trips the gate)")
         return 0 if ok else 1
@@ -436,6 +571,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         ok &= serving_ok
         all_deltas.extend(serving_deltas)
+    if do_sharded:
+        sharded_ok, _, sharded_deltas = run_sharded_gate(
+            sharded_rows, args.time_tol, inject_slowdown=args.inject_slowdown
+        )
+        ok &= sharded_ok
+        all_deltas.extend(sharded_deltas)
     if args.out:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(

@@ -19,6 +19,12 @@ Three fingerprint families, all pure shape arithmetic:
   two-pass scale/gram/chol/trsm sequence, keyed on the mixed-precision
   flag and on whether the ``auto`` guard precheck launches.  Host-side
   fusion must never move these pins (the modeled stream is shape-pure).
+* **Shard reduction schedule** (``sharded``) —
+  :meth:`repro.distributed.sharded.ShardSchedule.fingerprint`: the
+  SHA-256 of the row deal plus the fan-in reduction rounds built by
+  ``plan_qr`` for the reference shard count (4, binomial fan-in).  A
+  moved pin means the row partition or tree changed — which silently
+  changes which R the "bit-identical" contract pins.
 
 Golden values live in ``tests/data/fingerprints.json``.  A mismatch
 means a PR silently changed the launch stream or the task schedule —
@@ -62,6 +68,15 @@ CHOLQR_PATHS = {
     "cholqr2_mixed": (True, False),
     "auto": (False, True),
 }
+# name -> (shards, fanin); the reference sharded configuration.
+SHARDED_PATHS = {"sharded": (4, 2)}
+
+
+def _sharded_fingerprint(m: int, n: int, shards: int, fanin: int) -> str:
+    """SHA-256 of the shard row deal + fan-in reduction schedule."""
+    from repro.distributed.sharded import build_shard_schedule
+
+    return build_shard_schedule(m, n, shards, fanin).fingerprint()
 
 
 def _cholqr_fingerprint(m: int, n: int, cfg, mixed: bool, guard: bool) -> str:
@@ -118,6 +133,11 @@ def compute_fingerprints() -> dict:
     for path, (mixed, guard) in CHOLQR_PATHS.items():
         out[path] = {
             f"{m}x{n}": _cholqr_fingerprint(m, n, cfg, mixed, guard)
+            for m, n in SHAPES
+        }
+    for path, (shards, fanin) in SHARDED_PATHS.items():
+        out[path] = {
+            f"{m}x{n}": _sharded_fingerprint(m, n, shards, fanin)
             for m, n in SHAPES
         }
     return out

@@ -23,6 +23,14 @@ the coalescing window are admission-control policy owned by
 :class:`~repro.serving.server.QRServer`, and a privately built queue
 would bypass backpressure accounting and the per-tenant obs spans.
 
+So does the distributed subsystem: constructing
+:class:`repro.distributed.comm.FakeComm` anywhere outside
+``repro.distributed`` is a violation — the communicator's per-level
+counters feed the critical-path accounting and the alpha-beta interconnect
+charges, so a privately built communicator would produce traffic no
+scaling report or gate ever sees.  Code wanting a sharded run goes
+through ``ExecutionPolicy(path="sharded", shards=P)``.
+
 AST-based, not regex: a call like ``caqr_qr(A, batched=False)`` is
 flagged wherever the callee name matches a policy-accepting entry point,
 while unrelated keywords named ``workers`` on non-entry-point calls
@@ -76,10 +84,19 @@ GUARD_CONSTRUCTORS = {"CholQRGuard"}
 # constructed queue would bypass admission control and the obs counters.
 QUEUE_CONSTRUCTORS = {"CoalescingQueue"}
 
+# Classes whose construction is reserved to repro.distributed: the
+# communicator's per-level counters are what the critical-path and
+# interconnect accounting is computed from, so every rank-to-rank
+# message must flow through the one communicator the sharded runner
+# builds.  Sharded execution is requested via ExecutionPolicy.
+COMM_CONSTRUCTORS = {"FakeComm"}
+
 SCAN_ROOTS = ("src/repro", "benchmarks", "examples")
 EXEMPT = ("src/repro/runtime/",)
 # Per-rule exemption: only the serving package may construct the queue.
 QUEUE_EXEMPT = ("src/repro/serving/",)
+# Per-rule exemption: only the distributed package may construct the comm.
+COMM_EXEMPT = ("src/repro/distributed/",)
 
 
 def _callee_name(call: ast.Call) -> str | None:
@@ -108,6 +125,9 @@ def scan_file(path: Path) -> list[tuple[int, str, str]]:
             continue
         if name in QUEUE_CONSTRUCTORS:
             hits.append((node.lineno, name, "queue construction"))
+            continue
+        if name in COMM_CONSTRUCTORS:
+            hits.append((node.lineno, name, "comm construction"))
             continue
         if name not in ENTRY_POINTS:
             continue
@@ -172,6 +192,14 @@ def main() -> int:
                         f"{rel}:{lineno}: {name}(...) — coalescing queue "
                         f"constructed outside repro.serving (configure a "
                         f"QRServer instead)"
+                    )
+                elif kwargs == "comm construction":
+                    if any(rel.startswith(pref) for pref in COMM_EXEMPT):
+                        continue  # the distributed package owns the comm
+                    violations.append(
+                        f"{rel}:{lineno}: {name}(...) — communicator "
+                        f"constructed outside repro.distributed (use "
+                        f"ExecutionPolicy(path='sharded', shards=P) instead)"
                     )
                 else:
                     violations.append(f"{rel}:{lineno}: {name}(..., {kwargs}=...)")
