@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
+    ExecutionPolicy,
     caqr,
     caqr_qr,
     factorization_error,
@@ -25,16 +26,17 @@ def main() -> None:
     # --- numerics: a 20,000 x 64 tall-skinny matrix -----------------------
     A = rng.standard_normal((20_000, 64))
 
-    Q, R = tsqr_qr(A, block_rows=256, tree_shape="quad")
+    Q, R = tsqr_qr(A, policy=ExecutionPolicy(block_rows=256, tree_shape="quad"))
     print("TSQR   ||QtQ - I|| =", orthogonality_error(Q))
     print("TSQR   ||A - QR||/||A|| =", factorization_error(A, Q, R))
 
-    Q, R = caqr_qr(A, panel_width=16, block_rows=64)
+    caqr_policy = ExecutionPolicy(panel_width=16, block_rows=64)
+    Q, R = caqr_qr(A, policy=caqr_policy)
     print("CAQR   ||QtQ - I|| =", orthogonality_error(Q))
     print("CAQR   ||A - QR||/||A|| =", factorization_error(A, Q, R))
 
     # The implicit Q can be applied without ever forming it:
-    f = caqr(A, panel_width=16, block_rows=64)
+    f = caqr(A, policy=caqr_policy)
     b = rng.standard_normal((20_000, 1))
     qtb = f.apply_qt(b.copy())
     print("Q^T b computed via implicit factors, leading entry:", qtb[0, 0])

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import orthogonality_error, simulate_caqr, tsqr
+from repro import ExecutionPolicy, orthogonality_error, simulate_caqr, tsqr
 from repro.core.validation import factorization_error
 
 
@@ -44,7 +44,7 @@ def main() -> None:
     print(f"monomial-basis Gram condition number: {np.linalg.cond(G):.2e}")
 
     # TSQR orthogonalizes the basis in one pass over the million rows.
-    f = tsqr(K, block_rows=4096, tree_shape="quad")
+    f = tsqr(K, policy=ExecutionPolicy(block_rows=4096, tree_shape="quad"))
     Q = f.form_q()
     print(f"TSQR orthogonality error:  {orthogonality_error(Q):.2e}")
     print(f"TSQR factorization error:  {factorization_error(K, Q, f.R):.2e}")

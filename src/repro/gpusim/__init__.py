@@ -20,7 +20,13 @@ from .device import (
     PCIeLink,
 )
 from .block_machine import BlockCounters, BlockMachine, SharedMemory
-from .concurrent import ConcurrentTimeline, ScheduledLaunch, list_schedule, occupancy_weight
+from .concurrent import (
+    ConcurrentTimeline,
+    ScheduledLaunch,
+    list_schedule,
+    list_schedule_graph,
+    occupancy_weight,
+)
 from .schedule import EventSchedule, Task
 from .launch import LaunchSpec, LaunchTiming, occupancy_blocks_per_sm, time_launch
 from .timeline import Event, Timeline
@@ -45,6 +51,7 @@ __all__ = [
     "ConcurrentTimeline",
     "ScheduledLaunch",
     "list_schedule",
+    "list_schedule_graph",
     "occupancy_weight",
     "BlockCounters",
     "BlockMachine",

@@ -34,7 +34,13 @@ from typing import Protocol, Sequence
 from .device import C2050, DeviceSpec
 from .launch import LaunchSpec, occupancy_blocks_per_sm, time_launch
 
-__all__ = ["ScheduledLaunch", "ConcurrentTimeline", "occupancy_weight", "list_schedule"]
+__all__ = [
+    "ScheduledLaunch",
+    "ConcurrentTimeline",
+    "occupancy_weight",
+    "list_schedule",
+    "list_schedule_graph",
+]
 
 _EPS = 1e-12
 
@@ -174,5 +180,59 @@ def list_schedule(
         )
         tl.launches.append(ev)
         finish[i] = ev.finish
+        stream_free[s] = ev.finish
+    return tl
+
+
+def list_schedule_graph(tg, dev: DeviceSpec = C2050, streams: int = 4) -> ConcurrentTimeline:
+    """Greedy list schedule of a :class:`~repro.graph.highlevel.TaskGraph`.
+
+    Launches are issued in the graph's *static order* (the
+    critical-path-aware pass from :mod:`repro.graph.order`) rather than
+    emission order, so long dependency chains start as early as the
+    stream model allows.  Per-layer ``stream`` annotations pin tasks to
+    a stream (modulo ``streams``); unannotated layers take the
+    earliest-available stream.  Every task must carry a
+    :class:`LaunchSpec`; ``node_id`` in the returned timeline is the
+    task's emission index.
+    """
+    # Deferred: repro.graph sits above gpusim in the layering; importing
+    # it lazily keeps this module importable on its own and breaks the
+    # import cycle (graph.dag imports gpusim.launch at module scope).
+    from repro.graph.order import static_order
+
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    tl = ConcurrentTimeline(device=dev, streams=streams)
+    finish: dict = {}
+    stream_free = [0.0] * streams
+    for key in static_order(tg):
+        task = tg.task(key)
+        if task.spec is None:
+            raise ValueError(f"task {key!r} has no launch spec; cannot schedule")
+        ann = tg.annotations(task)
+        timing = time_launch(task.spec, dev)
+        dur = timing.seconds
+        ov = timing.overhead_s
+        w = occupancy_weight(task.spec, dev)
+        ready = max((finish[d] for d in task.deps), default=0.0)
+        if ann.stream is not None:
+            s = ann.stream % streams
+        else:
+            s = min(range(streams), key=lambda j: (max(stream_free[j], ready), j))
+        t0 = max(stream_free[s], ready)
+        t0 = _earliest_capacity_start(tl.launches, t0, w, ov, dur)
+        ev = ScheduledLaunch(
+            node_id=task.seq,
+            kernel=task.spec.kernel,
+            tag=task.spec.tag,
+            stream=s,
+            start=t0,
+            body_start=t0 + min(ov, dur),
+            finish=t0 + dur,
+            weight=w,
+        )
+        tl.launches.append(ev)
+        finish[key] = ev.finish
         stream_free[s] = ev.finish
     return tl

@@ -46,6 +46,8 @@ import numpy as np
 from repro.core.dtypes import as_float_array, working_dtype
 from repro.core.tree import batch_level, build_tree
 from repro.core.tsqr import _WyPlan, _tsqr_impl, apply_wy_plan, row_blocks
+from repro.graph.highlevel import TaskGraph
+from repro.graph.order import static_order
 from repro.obs import tracer as _obs
 from repro.runtime.policy import UNSET, ExecutionPolicy, resolve_executor_policy
 from repro.smallblas.wy import extract_v, larft
@@ -56,8 +58,10 @@ __all__ = [
     "LookaheadSchedule",
     "build_lookahead_schedule",
     "caqr_lookahead",
+    "emit_lookahead_layers",
     "form_q_columns",
     "run_lookahead_schedule",
+    "run_task_graph",
 ]
 
 _MIN_TILE = 16  # narrowest "rest" tile worth a task of its own
@@ -504,6 +508,60 @@ def _run_threaded(tasks: list[_Task], workers: int) -> None:
         raise state["error"]
 
 
+def run_task_graph(
+    tg: TaskGraph,
+    workers: int = 1,
+    threaded: bool | None = None,
+    instrument: bool = False,
+) -> None:
+    """Execute a bound :class:`TaskGraph` — the shared numeric engine.
+
+    Tasks run in the graph's static order (:mod:`repro.graph.order`):
+    serially when ``workers <= 1`` (or ``threaded=False``), else on the
+    dependency-counting thread pool with roots seeded in static order.
+    Dependencies are ordering constraints only — data flows through the
+    producer's closures/bind state — so any topological execution is
+    race-free and the two engines are bit-identical by construction.
+
+    ``instrument=True`` wraps every task in an obs span named after its
+    layer (producers whose closures don't span themselves get per-task
+    attribution for free; the look-ahead driver passes ``False`` because
+    its closures already do).  Tasks with ``fn=None`` (model-only
+    placeholders) are skipped.
+    """
+    if threaded is None:
+        threaded = workers > 1
+    order = static_order(tg)
+
+    def payload(key):
+        t = tg.task(key)
+        fn = t.fn
+        if fn is None:
+            return None
+        if not instrument:
+            return fn
+        def run(t=t, fn=fn):
+            with _obs.span(t.layer, cat=f"graph.{tg.name}", key=repr(t.key)):
+                fn()
+        return run
+
+    if not threaded or workers <= 1:
+        for key in order:
+            fn = payload(key)
+            if fn is not None:
+                fn()
+        return
+    pos = {key: i for i, key in enumerate(order)}
+    tasks = []
+    for key in order:
+        fn = payload(key)
+        tasks.append(
+            _Task(fn=fn if fn is not None else (lambda: None),
+                  deps=[pos[d] for d in tg.task(key).deps])
+        )
+    _run_threaded(tasks, workers)
+
+
 @dataclass(frozen=True)
 class _TaskSpec:
     """One task of a captured schedule (closure-free, matrix-free)."""
@@ -576,6 +634,45 @@ def build_lookahead_schedule(m: int, n: int, policy: ExecutionPolicy) -> Lookahe
     )
 
 
+def emit_lookahead_layers(
+    sched: LookaheadSchedule,
+    bind: list | None = None,
+) -> TaskGraph:
+    """Compile a captured :class:`LookaheadSchedule` into a task graph.
+
+    Two layers: ``panel`` (the factor tasks, higher ordering priority —
+    the look-ahead edge in annotation form) and ``trailing`` (the tiled
+    updates).  Keys are ``("factor", p)`` / ``("update", p, lo, hi)``;
+    dependencies are the schedule's own, translated from positional ids
+    to keys.  ``bind``, when given, is the per-task payload list in
+    schedule order (as built by :func:`run_lookahead_schedule`); without
+    it the graph is structural — same fingerprint, nothing runnable.
+    """
+    if bind is not None and len(bind) != len(sched.tasks):
+        raise ValueError(
+            f"bind has {len(bind)} payload(s) for {len(sched.tasks)} task(s)"
+        )
+    tg = TaskGraph(name=f"lookahead[{sched.m}x{sched.n}]")
+    tg.add_layer("panel", priority=1)
+    tg.add_layer("trailing", priority=0)
+    keys: list = []
+    for i, ts in enumerate(sched.tasks):
+        if ts.kind == "factor":
+            layer, key = "panel", ("factor", ts.panel)
+        else:
+            layer, key = "trailing", ("update", ts.panel, ts.lo, ts.hi)
+        tg.add_task(
+            layer,
+            key,
+            fn=bind[i] if bind is not None else None,
+            deps=[keys[d] for d in ts.deps],
+            panel=ts.panel,
+            cols=(ts.lo, ts.hi),
+        )
+        keys.append(key)
+    return tg
+
+
 def run_lookahead_schedule(
     sched: LookaheadSchedule,
     A: np.ndarray,
@@ -607,7 +704,7 @@ def run_lookahead_schedule(
         _PanelPlan(row_start=r0, col_start=c0, col_stop=c0 + pw_p, hp=m - r0)
         for c0, pw_p, r0, _bh, _wt in sched.panels
     ]
-    tasks: list[_Task] = []
+    bind: list = []
     for ts in sched.tasks:
         c0, pw_p, r0, bh, wt = sched.panels[ts.panel]
         pp = panels[ts.panel]
@@ -623,13 +720,13 @@ def run_lookahead_schedule(
                 with _obs.span("update", cat="update", panel=p, lo=lo, hi=hi):
                     pp.apply_qt(W[r0:, lo:hi])
 
-        tasks.append(_Task(fn=fn, deps=list(ts.deps)))
+        bind.append(fn)
 
-    if threaded and workers > 1:
-        _run_threaded(tasks, workers)
-    else:
-        for t in tasks:
-            t.fn()
+    # Compile to the shared graph representation and run on the shared
+    # engine — serial static order and the thread pool execute the same
+    # tasks on the same operands, so both are bit-identical.
+    tg = emit_lookahead_layers(sched, bind=bind)
+    run_task_graph(tg, workers=workers, threaded=threaded and workers > 1)
 
     # Assemble R: the trailing updates left every super-diagonal entry in
     # W; panel diagonal blocks come from the panels' own R factors (the

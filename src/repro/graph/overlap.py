@@ -1,8 +1,9 @@
 """Modeled multi-stream overlap for CAQR — serial vs overlapped seconds.
 
-Glue between :func:`repro.graph.dag.build_caqr_graph` and
-:func:`repro.gpusim.concurrent.list_schedule`: build the dependency DAG,
-schedule it on 1..S streams, and report the overlapped runtime next to
+Glue between :func:`repro.graph.dag.emit_caqr_layers` and
+:func:`repro.gpusim.concurrent.list_schedule_graph`: emit the task
+graph, schedule it on 1..S streams in its critical-path static order
+(:mod:`repro.graph.order`), and report the overlapped runtime next to
 the serial Figure-4 stream (which remains the default everywhere — this
 is the opt-in path behind ``streams=``).
 
@@ -20,11 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.caqr_gpu import simulate_caqr
-from repro.gpusim.concurrent import ConcurrentTimeline, list_schedule
+from repro.gpusim.concurrent import ConcurrentTimeline, list_schedule_graph
 from repro.gpusim.device import C2050, DeviceSpec
 from repro.kernels.config import REFERENCE_CONFIG, KernelConfig
 
-from .dag import LaunchGraph, build_caqr_graph
+from .dag import LaunchGraph, emit_caqr_layers, launch_graph_from_tasks
+from .highlevel import TaskGraph
 
 __all__ = ["OverlapResult", "simulate_caqr_overlap"]
 
@@ -40,6 +42,7 @@ class OverlapResult:
     streams: int
     lookahead: bool
     graph: LaunchGraph
+    task_graph: TaskGraph | None
     serial_seconds: float
     critical_path_seconds: float
     makespans: dict[int, float] = field(default_factory=dict)  # streams -> raw makespan
@@ -78,15 +81,17 @@ def simulate_caqr_overlap(
 ) -> OverlapResult:
     """Model CAQR on ``streams`` concurrent streams.
 
-    Builds the launch DAG (look-ahead edges by default), list-schedules
-    it for every stream count ``2..streams``, and returns the result
-    alongside the serial reference produced by the untouched
+    Emits the panel/tree/trailing task graph (look-ahead edges by
+    default), list-schedules it in static order for every stream count
+    ``2..streams``, and returns the result alongside the serial
+    reference produced by the untouched
     :func:`~repro.caqr_gpu.simulate_caqr`.
     """
     if streams < 1:
         raise ValueError("streams must be >= 1")
     serial = simulate_caqr(m, n, cfg, dev).seconds
-    graph = build_caqr_graph(m, n, cfg, dev, lookahead=lookahead)
+    tg = emit_caqr_layers(m, n, cfg, dev, lookahead=lookahead)
+    graph = launch_graph_from_tasks(tg, cfg, lookahead)
     res = OverlapResult(
         m=m,
         n=n,
@@ -95,12 +100,13 @@ def simulate_caqr_overlap(
         streams=streams,
         lookahead=lookahead,
         graph=graph,
+        task_graph=tg,
         serial_seconds=serial,
         critical_path_seconds=graph.critical_path_seconds(dev),
     )
     best_tl: ConcurrentTimeline | None = None
     for s in range(2, streams + 1):
-        tl = list_schedule(graph.nodes, dev, streams=s)
+        tl = list_schedule_graph(tg, dev, streams=s)
         res.makespans[s] = tl.makespan
         if best_tl is None or tl.makespan < best_tl.makespan:
             best_tl = tl

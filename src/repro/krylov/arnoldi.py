@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.tsqr import tsqr
+from repro.runtime.policy import ExecutionPolicy
 
 from .basis import newton_basis
 from .operators import LinearOperator
@@ -127,7 +128,7 @@ def sstep_arnoldi(
         for _ in range(2):
             W -= Vmat @ (Vmat.T @ W)
         # TSQR of the orthogonalized panel — the paper's kernel.
-        f = tsqr(W, block_rows=block_rows, tree_shape="quad")
+        f = tsqr(W, policy=ExecutionPolicy(block_rows=block_rows, tree_shape="quad"))
         Q = f.form_q()
         # Rank check: a (near-)invariant subspace shows up as tiny R rows.
         diag = np.abs(np.diag(f.R))

@@ -52,6 +52,7 @@ def rpca_ialm(
     svd: SVDFunc | None = None,
     svt: SVTFunc | None = None,
     callback: Callable[[int, float], None] | None = None,
+    engine: str = "direct",
 ) -> RPCAResult:
     """Decompose ``M`` into low-rank ``L`` plus sparse ``S``.
 
@@ -72,6 +73,12 @@ def rpca_ialm(
             :class:`repro.rpca.adaptive.AdaptiveSVT` for rank-adaptive
             partial SVDs.  Takes precedence over ``svd``.
         callback: optional per-iteration hook ``(iteration, residual)``.
+        engine: ``"direct"`` runs the loop inline; ``"graph"`` compiles
+            each iteration to a :class:`~repro.graph.highlevel.TaskGraph`
+            (:mod:`repro.rpca.graphs`) run on the shared executor —
+            bit-identical, with per-stage obs spans.  The graph engine
+            fixes the default QR→SVT pipeline, so it rejects ``svd`` /
+            ``svt`` overrides.
     """
     M = np.asarray(M, dtype=float)
     if M.ndim != 2 or M.size == 0:
@@ -92,6 +99,30 @@ def rpca_ialm(
     Y = M / max(spectral, np.abs(M).max() / lam)
     S = np.zeros_like(M)
     L = np.zeros_like(M)
+    if engine not in ("direct", "graph"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'direct' or 'graph'")
+    if engine == "graph":
+        if svd is not None or svt is not None:
+            raise ValueError(
+                "engine='graph' compiles the default QR->SVT pipeline; "
+                "svd/svt overrides need engine='direct'"
+            )
+        from .graphs import run_ialm_graph
+
+        return run_ialm_graph(
+            M,
+            Y=Y,
+            S=S,
+            L=L,
+            mu=mu,
+            mu_max=mu_max,
+            lam=lam,
+            rho=rho,
+            tol=tol,
+            max_iter=max_iter,
+            norm_M=norm_M,
+            callback=callback,
+        )
     residuals: list[float] = []
     ranks: list[int] = []
     converged = False

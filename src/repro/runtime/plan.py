@@ -273,6 +273,40 @@ class QRPlan:
             )
         return self._sim
 
+    def task_graph(self):
+        """The plan's :class:`~repro.graph.highlevel.TaskGraph` (structural).
+
+        Compiled by the producer matching the plan's path: the captured
+        look-ahead schedule, the prebuilt shard-reduction schedule, or
+        the CAQR panel/tree/trailing layers for the serial strategies.
+        The graph is unbound (``fn=None``) — it is the schedulable /
+        fingerprintable shape of the plan, not a second execution engine
+        (``factor`` stays the way to run a plan).  CholeskyQR2 paths are
+        O(1) launch chains with no graph form.
+        """
+        if self.policy.uses_cholqr:
+            raise ValueError(
+                "task_graph: CholeskyQR2 paths are O(1) launch chains; "
+                "there is no task graph to compile"
+            )
+        if self.policy.path == "lookahead":
+            from repro.graph.executor import emit_lookahead_layers
+
+            return emit_lookahead_layers(self._schedule)
+        if self.policy.path == "sharded":
+            from repro.distributed.sharded import emit_sharded_layers
+
+            return emit_sharded_layers(self._schedule)
+        from repro.graph.dag import emit_caqr_layers
+
+        return emit_caqr_layers(
+            self.m,
+            self.n,
+            self.policy.resolved_config(),
+            self.policy.resolved_device(),
+            lookahead=self.policy.lookahead_edge,
+        )
+
     def describe(self) -> str:
         """One human-readable block summarizing the plan."""
         p = self.policy

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.gpusim import C2050, list_schedule, occupancy_weight, time_launch
-from repro.graph import build_caqr_graph, simulate_caqr_overlap
+from repro.graph import caqr_launch_graph, simulate_caqr_overlap
 
 SHAPES = [(1000, 192), (10000, 192), (4096, 64)]
 
@@ -35,7 +35,7 @@ def test_stream_count_monotonicity():
 @pytest.mark.parametrize("m,n", SHAPES)
 @pytest.mark.parametrize("streams", [2, 4])
 def test_schedule_respects_streams_deps_capacity(m, n, streams):
-    g = build_caqr_graph(m, n)
+    g = caqr_launch_graph(m, n)
     tl = list_schedule(g.nodes, C2050, streams=streams)
     assert len(tl.launches) == len(g.nodes)
     # In-order, non-overlapping within each stream.
@@ -60,7 +60,7 @@ def test_schedule_respects_streams_deps_capacity(m, n, streams):
 
 
 def test_single_stream_degenerates_to_serial_order():
-    g = build_caqr_graph(1000, 192)
+    g = caqr_launch_graph(1000, 192)
     tl = list_schedule(g.nodes, C2050, streams=1)
     evs = sorted(tl.launches, key=lambda e: e.node_id)
     for a, b in zip(evs, evs[1:]):
@@ -68,14 +68,14 @@ def test_single_stream_degenerates_to_serial_order():
 
 
 def test_occupancy_weight_bounds():
-    g = build_caqr_graph(1000, 192)
+    g = caqr_launch_graph(1000, 192)
     for node in g.nodes:
         w = occupancy_weight(node.spec, C2050)
         assert 0.0 < w <= 1.0
 
 
 def test_makespan_at_least_longest_launch():
-    g = build_caqr_graph(4096, 64)
+    g = caqr_launch_graph(4096, 64)
     tl = list_schedule(g.nodes, C2050, streams=4)
     longest = max(time_launch(nd.spec, C2050).seconds for nd in g.nodes)
     assert tl.makespan >= longest
@@ -83,7 +83,7 @@ def test_makespan_at_least_longest_launch():
 
 
 def test_invalid_stream_count():
-    g = build_caqr_graph(256, 48)
+    g = caqr_launch_graph(256, 48)
     with pytest.raises(ValueError):
         list_schedule(g.nodes, C2050, streams=0)
     with pytest.raises(ValueError):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.caqr_gpu import enumerate_caqr_launches
 from repro.gpusim.device import C2050
-from repro.graph import build_caqr_graph
+from repro.graph import caqr_launch_graph
 from repro.kernels.config import REFERENCE_CONFIG
 
 SHAPES = [(256, 48), (1000, 192), (4096, 64), (130, 200), (64, 16)]
@@ -14,7 +14,7 @@ SHAPES = [(256, 48), (1000, 192), (4096, 64), (130, 200), (64, 16)]
 
 @pytest.mark.parametrize("m,n", SHAPES)
 def test_graph_validates(m, n):
-    g = build_caqr_graph(m, n)
+    g = caqr_launch_graph(m, n)
     g.validate()  # ids positional, edges backwards, no duplicate deps
     assert len(g) > 0
 
@@ -23,7 +23,7 @@ def test_graph_validates(m, n):
 def test_graph_merges_back_into_serial_stream(m, n):
     """Per (kernel, tag): the split nodes cover the serial launch's blocks."""
     serial = list(enumerate_caqr_launches(m, n))
-    g = build_caqr_graph(m, n)
+    g = caqr_launch_graph(m, n)
     ser = {}
     for spec in serial:
         key = (spec.kernel, spec.tag)
@@ -42,8 +42,8 @@ def test_graph_merges_back_into_serial_stream(m, n):
 
 def test_lookahead_loosens_factor_deps():
     m, n = 1000, 192
-    la = build_caqr_graph(m, n, lookahead=True)
-    bar = build_caqr_graph(m, n, lookahead=False)
+    la = caqr_launch_graph(m, n, lookahead=True)
+    bar = caqr_launch_graph(m, n, lookahead=False)
     assert len(la) == len(bar)
     # Same nodes in the same order; look-ahead edges are a subset.
     stricter = 0
@@ -72,7 +72,7 @@ def test_lookahead_loosens_factor_deps():
 
 def test_update_column_intervals_tile_the_trailing_matrix():
     m, n = 1000, 192
-    g = build_caqr_graph(m, n)
+    g = caqr_launch_graph(m, n)
     cfg = REFERENCE_CONFIG
     k = min(m, n)
     for panel, c0 in enumerate(range(0, k, cfg.panel_width)):
@@ -92,15 +92,15 @@ def test_update_column_intervals_tile_the_trailing_matrix():
 
 def test_critical_path_below_serial_sum():
     for m, n in [(1000, 192), (100000, 192)]:
-        g = build_caqr_graph(m, n)
+        g = caqr_launch_graph(m, n)
         assert 0 < g.critical_path_seconds(C2050) < g.serial_seconds(C2050)
 
 
 def test_bad_shapes_rejected():
     with pytest.raises(ValueError):
-        build_caqr_graph(0, 5)
+        caqr_launch_graph(0, 5)
     with pytest.raises(ValueError):
-        build_caqr_graph(5, 0)
+        caqr_launch_graph(5, 0)
 
 
 def test_tile_split_block_counts():
@@ -108,7 +108,7 @@ def test_tile_split_block_counts():
     from repro.caqr_gpu import _tile_width
 
     m, n = 2000, 192
-    g = build_caqr_graph(m, n)
+    g = caqr_launch_graph(m, n)
     cfg = REFERENCE_CONFIG
     for nd in g.nodes:
         if nd.part != "t0" or nd.kernel != "apply_qt_h":

@@ -225,3 +225,81 @@ class TestCommRuleEndToEnd:
         rc, out = self._run_main(tmp_path, monkeypatch, capsys)
         assert rc == 0
         assert "clean" in out
+
+
+class TestGraphRuleEndToEnd:
+    """The TaskGraph/Layer fence: layer emission belongs to ``repro.graph``
+    and the modules registered in ``repro.graph.highlevel.PRODUCERS``."""
+
+    def _lint(self):
+        sys.path.insert(0, str(LINT.parent))
+        try:
+            import lint_layering
+        finally:
+            sys.path.pop(0)
+        return lint_layering
+
+    def _run_main(self, tmp_path, monkeypatch, capsys):
+        lint_layering = self._lint()
+        monkeypatch.setattr(lint_layering, "REPO", tmp_path)
+        rc = lint_layering.main()
+        return rc, capsys.readouterr().out
+
+    def test_scanner_flags_taskgraph_construction(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "from repro.graph.highlevel import TaskGraph\n"
+            "tg = TaskGraph(name='rogue')\n"
+        )
+        assert self._lint().scan_file(f) == [(2, "TaskGraph", "graph construction")]
+
+    def test_scanner_flags_layer_construction(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("layer = repro.graph.highlevel.Layer(name='x')\n")
+        assert self._lint().scan_file(f) == [(1, "Layer", "graph construction")]
+
+    def test_injected_graph_violation_is_caught(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "src" / "repro" / "serving"
+        bad.mkdir(parents=True)
+        (bad / "rogue.py").write_text(
+            "from repro.graph.highlevel import TaskGraph\n"
+            "tg = TaskGraph(name='private')\n"
+        )
+        ok = tmp_path / "src" / "repro" / "graph"
+        ok.mkdir(parents=True)
+        (ok / "dag.py").write_text("tg = TaskGraph(name='caqr')\n")
+        producer = tmp_path / "src" / "repro" / "rpca"
+        producer.mkdir(parents=True)
+        (producer / "graphs.py").write_text("tg = TaskGraph(name='rpca_ialm')\n")
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 1
+        assert "src/repro/serving/rogue.py:2" in out
+        assert "outside repro.graph" in out
+        assert "PRODUCERS" in out
+        assert "graph/dag.py" not in out
+        assert "rpca/graphs.py" not in out
+
+    def test_graph_only_tree_is_clean(self, tmp_path, monkeypatch, capsys):
+        ok = tmp_path / "src" / "repro" / "graph"
+        ok.mkdir(parents=True)
+        (ok / "highlevel.py").write_text(
+            "tg = TaskGraph(name='x')\n"
+            "layer = Layer(name='panel')\n"
+        )
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 0
+        assert "clean" in out
+
+    def test_graph_exemptions_cover_producers(self):
+        # The lint's hardcoded exemption list must stay in sync with the
+        # producer registry: every registered emitter's module must be
+        # allowed to construct layers.
+        from repro.graph.highlevel import PRODUCERS
+
+        lint_layering = self._lint()
+        for target in PRODUCERS.values():
+            module = target.split(":", 1)[0]
+            rel = "src/" + module.replace(".", "/") + ".py"
+            assert any(
+                rel.startswith(pref) for pref in lint_layering.GRAPH_EXEMPT
+            ), f"producer module {module} not exempt from the graph fence"

@@ -43,6 +43,9 @@ def test_golden_file_is_committed():
         "cholqr2_mixed",
         "auto",
         "sharded",
+        "rsvd_graph",
+        "sharded_graph",
+        "caqr_order",
     }
 
 
@@ -96,6 +99,60 @@ def test_sharded_fingerprint_tracks_the_schedule(checker):
     assert plan._schedule.fingerprint() == golden["1024x256"]
     moved = build_shard_schedule(1024, 256, shards + 1, fanin).fingerprint()
     assert moved != golden["1024x256"]
+
+
+def test_rsvd_graph_pin_is_bind_independent(checker):
+    """The rsvd_graph pin hashes structure only: the bound graph (the one
+    randomized_svd_graph actually runs) must fingerprint identically to
+    the structural emission the gate computes."""
+    from repro.core.randomized_svd import emit_rsvd_layers
+
+    k, oversample, power = checker.RSVD_GRAPH_PATHS["rsvd_graph"]
+    golden = json.loads(GOLDEN.read_text())["rsvd_graph"]
+    for shape, pin in golden.items():
+        m, n = map(int, shape.split("x"))
+        bound = emit_rsvd_layers(
+            m, n, k, oversample, power, bind={"A": None, "rng": None}
+        )
+        assert bound.fingerprint() == pin, shape
+
+
+def test_sharded_graph_pin_tracks_the_layers(checker):
+    """The sharded_graph pin is the layer compilation of the reference
+    reduction schedule: a different shard count must move it while the
+    schedule-level ``sharded`` pin stays the authority on the row deal."""
+    from repro.distributed.sharded import build_shard_schedule, emit_sharded_layers
+
+    shards, fanin = checker.SHARDED_GRAPH_PATHS["sharded_graph"]
+    golden = json.loads(GOLDEN.read_text())["sharded_graph"]
+    for shape, pin in golden.items():
+        m, n = map(int, shape.split("x"))
+        sched = build_shard_schedule(m, n, shards, fanin)
+        assert emit_sharded_layers(sched).fingerprint() == pin, shape
+    moved = emit_sharded_layers(
+        build_shard_schedule(1024, 256, shards + 1, fanin)
+    ).fingerprint()
+    assert moved != golden["1024x256"]
+
+
+def test_caqr_order_pin_is_deterministic(checker):
+    """Tier-1 ordering determinism: the static order of the CAQR graph is
+    pinned, so any drift in the ordering pass fails fast — two fresh
+    emissions must agree with each other and with the golden."""
+    from repro.graph.dag import emit_caqr_layers
+    from repro.graph.order import order_fingerprint
+    from repro.kernels.config import KernelConfig
+
+    cfg = KernelConfig(
+        block_rows=checker.BLOCK_ROWS, panel_width=checker.PANEL_WIDTH
+    )
+    golden = json.loads(GOLDEN.read_text())["caqr_order"]
+    for shape, pin in golden.items():
+        m, n = map(int, shape.split("x"))
+        first = order_fingerprint(emit_caqr_layers(m, n, cfg))
+        again = order_fingerprint(emit_caqr_layers(m, n, cfg))
+        assert first == again, shape
+        assert first == pin, shape
 
 
 def test_diff_is_readable(checker):

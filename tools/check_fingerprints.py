@@ -25,6 +25,18 @@ Three fingerprint families, all pure shape arithmetic:
   ``plan_qr`` for the reference shard count (4, binomial fan-in).  A
   moved pin means the row partition or tree changed — which silently
   changes which R the "bit-identical" contract pins.
+* **Task-graph layers** (``rsvd_graph`` / ``sharded_graph``) —
+  :meth:`repro.graph.highlevel.TaskGraph.fingerprint` of the rSVD
+  pipeline and the sharded-reduction rounds compiled by their registered
+  producers.  The hash covers layers, keys, deps and annotations but
+  never the numeric payloads, so the structural (unbound) emission pins
+  exactly what the bound execution runs.
+* **Static order** (``caqr_order``) —
+  :func:`repro.graph.order.order_fingerprint` of the CAQR task graph:
+  the deterministic critical-path-aware total order every consumer
+  (serial runner, threaded executor, stream scheduler) issues from.  A
+  moved pin means the ordering pass changed its mind — which is a
+  scheduling change even when the graph itself did not move.
 
 Golden values live in ``tests/data/fingerprints.json``.  A mismatch
 means a PR silently changed the launch stream or the task schedule —
@@ -70,6 +82,13 @@ CHOLQR_PATHS = {
 }
 # name -> (shards, fanin); the reference sharded configuration.
 SHARDED_PATHS = {"sharded": (4, 2)}
+# name -> (k, oversample, power_iters); the rSVD pipeline-graph pin.
+RSVD_GRAPH_PATHS = {"rsvd_graph": (8, 8, 1)}
+# name -> (shards, fanin); the sharded-reduction layer pin (same
+# reference configuration as the schedule pin above, hashed as layers).
+SHARDED_GRAPH_PATHS = {"sharded_graph": (4, 2)}
+# name -> lookahead edge; the CAQR static-order pin.
+CAQR_ORDER_PATHS = {"caqr_order": True}
 
 
 def _sharded_fingerprint(m: int, n: int, shards: int, fanin: int) -> str:
@@ -77,6 +96,28 @@ def _sharded_fingerprint(m: int, n: int, shards: int, fanin: int) -> str:
     from repro.distributed.sharded import build_shard_schedule
 
     return build_shard_schedule(m, n, shards, fanin).fingerprint()
+
+
+def _rsvd_graph_fingerprint(m: int, n: int, k: int, oversample: int, power: int) -> str:
+    """SHA-256 of the (unbound) rSVD pipeline task graph."""
+    from repro.core.randomized_svd import emit_rsvd_layers
+
+    return emit_rsvd_layers(m, n, k, oversample, power).fingerprint()
+
+
+def _sharded_graph_fingerprint(m: int, n: int, shards: int, fanin: int) -> str:
+    """SHA-256 of the sharded reduction compiled to task-graph layers."""
+    from repro.distributed.sharded import build_shard_schedule, emit_sharded_layers
+
+    return emit_sharded_layers(build_shard_schedule(m, n, shards, fanin)).fingerprint()
+
+
+def _caqr_order_fingerprint(m: int, n: int, cfg, lookahead: bool) -> str:
+    """SHA-256 of the CAQR graph's deterministic static order."""
+    from repro.graph.dag import emit_caqr_layers
+    from repro.graph.order import order_fingerprint
+
+    return order_fingerprint(emit_caqr_layers(m, n, cfg, lookahead=lookahead))
 
 
 def _cholqr_fingerprint(m: int, n: int, cfg, mixed: bool, guard: bool) -> str:
@@ -138,6 +179,21 @@ def compute_fingerprints() -> dict:
     for path, (shards, fanin) in SHARDED_PATHS.items():
         out[path] = {
             f"{m}x{n}": _sharded_fingerprint(m, n, shards, fanin)
+            for m, n in SHAPES
+        }
+    for path, (k, oversample, power) in RSVD_GRAPH_PATHS.items():
+        out[path] = {
+            f"{m}x{n}": _rsvd_graph_fingerprint(m, n, k, oversample, power)
+            for m, n in SHAPES
+        }
+    for path, (shards, fanin) in SHARDED_GRAPH_PATHS.items():
+        out[path] = {
+            f"{m}x{n}": _sharded_graph_fingerprint(m, n, shards, fanin)
+            for m, n in SHAPES
+        }
+    for path, lookahead in CAQR_ORDER_PATHS.items():
+        out[path] = {
+            f"{m}x{n}": _caqr_order_fingerprint(m, n, cfg, lookahead)
             for m, n in SHAPES
         }
     return out

@@ -31,6 +31,14 @@ charges, so a privately built communicator would produce traffic no
 scaling report or gate ever sees.  Code wanting a sharded run goes
 through ``ExecutionPolicy(path="sharded", shards=P)``.
 
+The task-graph layer gets the same treatment: constructing
+:class:`repro.graph.highlevel.TaskGraph` (or a raw ``Layer``) anywhere
+outside ``repro.graph`` and the registered producers
+(:data:`repro.graph.highlevel.PRODUCERS`) is a violation — the graph's
+fingerprint is a CI-pinned artifact, so every layer emission must go
+through a producer the registry (and the fingerprint gate) knows about.
+Consumers receive a built ``TaskGraph``; they never assemble one.
+
 AST-based, not regex: a call like ``caqr_qr(A, batched=False)`` is
 flagged wherever the callee name matches a policy-accepting entry point,
 while unrelated keywords named ``workers`` on non-entry-point calls
@@ -91,12 +99,26 @@ QUEUE_CONSTRUCTORS = {"CoalescingQueue"}
 # builds.  Sharded execution is requested via ExecutionPolicy.
 COMM_CONSTRUCTORS = {"FakeComm"}
 
+# Classes whose construction is reserved to repro.graph and the
+# registered producers: graph shape is a CI-fingerprinted artifact, so
+# layers are emitted only by code the PRODUCERS registry names.
+GRAPH_CONSTRUCTORS = {"TaskGraph", "Layer"}
+
 SCAN_ROOTS = ("src/repro", "benchmarks", "examples")
 EXEMPT = ("src/repro/runtime/",)
 # Per-rule exemption: only the serving package may construct the queue.
 QUEUE_EXEMPT = ("src/repro/serving/",)
 # Per-rule exemption: only the distributed package may construct the comm.
 COMM_EXEMPT = ("src/repro/distributed/",)
+# Per-rule exemption: repro.graph plus the producer modules registered in
+# repro.graph.highlevel.PRODUCERS (kept in sync by
+# tests/runtime/test_layering_lint.py::test_graph_exemptions_cover_producers).
+GRAPH_EXEMPT = (
+    "src/repro/graph/",
+    "src/repro/core/randomized_svd.py",
+    "src/repro/rpca/graphs.py",
+    "src/repro/distributed/sharded.py",
+)
 
 
 def _callee_name(call: ast.Call) -> str | None:
@@ -128,6 +150,9 @@ def scan_file(path: Path) -> list[tuple[int, str, str]]:
             continue
         if name in COMM_CONSTRUCTORS:
             hits.append((node.lineno, name, "comm construction"))
+            continue
+        if name in GRAPH_CONSTRUCTORS:
+            hits.append((node.lineno, name, "graph construction"))
             continue
         if name not in ENTRY_POINTS:
             continue
@@ -200,6 +225,14 @@ def main() -> int:
                         f"{rel}:{lineno}: {name}(...) — communicator "
                         f"constructed outside repro.distributed (use "
                         f"ExecutionPolicy(path='sharded', shards=P) instead)"
+                    )
+                elif kwargs == "graph construction":
+                    if any(rel.startswith(pref) for pref in GRAPH_EXEMPT):
+                        continue  # repro.graph and its producers own layers
+                    violations.append(
+                        f"{rel}:{lineno}: {name}(...) — task-graph layers "
+                        f"constructed outside repro.graph / registered "
+                        f"producers (emit via repro.graph.highlevel.PRODUCERS)"
                     )
                 else:
                     violations.append(f"{rel}:{lineno}: {name}(..., {kwargs}=...)")
