@@ -212,6 +212,15 @@ def caqr(
                 "caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path
             ):
                 return run_sharded(A, policy)
+    if policy.path == "streaming":
+        from repro.streaming.qr import run_streaming_matrix
+
+        with _obs.maybe_trace(policy.trace):
+            A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
+            with _obs.span(
+                "caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path
+            ):
+                return run_streaming_matrix(A, policy)
     with _obs.maybe_trace(policy.trace):
         A = validate_matrix(A, where="caqr", nonfinite=policy.nonfinite)
         with _obs.span("caqr", cat="entry", m=A.shape[0], n=A.shape[1], path=policy.path):

@@ -322,6 +322,7 @@ PRODUCERS: dict[str, str] = {
     "rsvd": "repro.core.randomized_svd:emit_rsvd_layers",
     "rpca_ialm": "repro.rpca.graphs:emit_ialm_layers",
     "sharded_reduction": "repro.distributed.sharded:emit_sharded_layers",
+    "streaming": "repro.streaming.graphs:emit_streaming_layers",
 }
 
 

@@ -52,6 +52,19 @@ class OnlineRPCA:
     carried background subspace (making the remaining problem almost
     purely sparse), runs a short RPCA on the residual to catch subspace
     drift, and updates the carried subspace.
+
+    The carried subspace is *cached*: when a warm chunk's residual
+    low-rank part is negligible relative to its L (no drift — the
+    carried U already explains the background, so re-deriving it could
+    not change the rank estimate), the per-chunk full SVD is skipped and
+    the cached U is reused.  ``subspace_refresh_tol`` sets the relative
+    Frobenius threshold; ``subspace_svd_calls`` counts actual SVDs, so a
+    constant-rank stream costs one SVD total instead of one per chunk.
+
+    ``keep_history=False`` drops per-chunk L/S history after returning
+    each :class:`ChunkResult` — the bounded-memory mode the streaming
+    soak runs in (``assemble()`` then raises; consume chunks as they
+    come).
     """
 
     chunk_frames: int = 25
@@ -63,6 +76,9 @@ class OnlineRPCA:
     # How the inner SVT's QR factorizations execute; builds a
     # rank-adaptive SVT when no explicit ``svd`` hook is given.
     policy: "ExecutionPolicy | None" = None
+    subspace_refresh_tol: float = 1e-6
+    keep_history: bool = True
+    subspace_svd_calls: int = 0
     _U: np.ndarray | None = field(default=None, repr=False)  # carried subspace
     frames_seen: int = 0
     chunks: list[ChunkResult] = field(default_factory=list)
@@ -91,6 +107,7 @@ class OnlineRPCA:
         if self._U is not None and frames.shape[0] != self._U.shape[0]:
             raise ValueError("pixel count changed mid-stream")
         start = self.frames_seen
+        refresh = True
         if self._U is None:
             # Cold start: full RPCA on the first chunk.
             res = rpca_ialm(frames, tol=self.tol, max_iter=self.max_iter_cold, svd=self.svd)
@@ -105,7 +122,14 @@ class OnlineRPCA:
             L = L_proj + res.L
             S = res.S
             iters, conv = res.n_iterations, res.converged
-        self._U = self._subspace_from(L)
+            # No drift: L is (to tolerance) a projection onto the cached
+            # U, so an SVD of L could only re-derive span(U) — skip it.
+            drift = float(np.linalg.norm(res.L))
+            scale = max(float(np.linalg.norm(L)), np.finfo(float).tiny)
+            refresh = drift > self.subspace_refresh_tol * scale
+        if refresh:
+            self._U = self._subspace_from(L)
+            self.subspace_svd_calls += 1
         self.frames_seen += frames.shape[1]
         chunk = ChunkResult(
             frame_start=start,
@@ -115,7 +139,8 @@ class OnlineRPCA:
             n_iterations=iters,
             converged=conv,
         )
-        self.chunks.append(chunk)
+        if self.keep_history:
+            self.chunks.append(chunk)
         return chunk
 
     def process(self, M: np.ndarray) -> list[ChunkResult]:
@@ -134,6 +159,11 @@ class OnlineRPCA:
 
     def assemble(self) -> RPCAResult:
         """Concatenate all chunk decompositions into one result."""
+        if not self.keep_history:
+            raise ValueError(
+                "assemble() needs per-chunk history, but keep_history=False "
+                "(bounded-memory mode); consume ChunkResults as they come"
+            )
         if not self.chunks:
             raise ValueError("no chunks processed yet")
         L = np.hstack([c.L for c in self.chunks])

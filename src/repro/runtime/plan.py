@@ -200,6 +200,10 @@ class QRPlan:
                     from repro.distributed.sharded import run_sharded
 
                     return run_sharded(A, self.policy, schedule=self._schedule)
+                if self.policy.path == "streaming":
+                    from repro.streaming.qr import run_streaming_matrix
+
+                    return run_streaming_matrix(A, self.policy, schedule=self._schedule)
                 from repro.core.caqr import _caqr_serial
 
                 return _caqr_serial(A, self.policy)
@@ -224,6 +228,12 @@ class QRPlan:
         """Modeled GPU cost of this shape (cached for the serial stream)."""
         if self.m < 1 or self.n < 1:
             raise ValueError("simulate: degenerate shapes have no modeled timeline")
+        if self.policy.path == "streaming":
+            raise ValueError(
+                "simulate: the streaming path is out-of-core (no single "
+                "modeled timeline); simulate the per-chunk shape "
+                f"({self.policy.chunk_rows} x {self.n}) instead"
+            )
         if self.policy.uses_cholqr:
             # O(1) launches on one stream: the ``streams`` knob has no
             # effect on the modeled CholeskyQR2 timeline.
@@ -297,6 +307,12 @@ class QRPlan:
             from repro.distributed.sharded import emit_sharded_layers
 
             return emit_sharded_layers(self._schedule)
+        if self.policy.path == "streaming":
+            from repro.streaming.graphs import emit_streaming_layers
+
+            return emit_streaming_layers(
+                self.m, self.n, self.policy.chunk_rows, schedule=self._schedule
+            )
         from repro.graph.dag import emit_caqr_layers
 
         return emit_caqr_layers(
@@ -318,13 +334,14 @@ class QRPlan:
                 f" (shards={p.shards}, fanin={p.effective_fanin})"
                 if p.path == "sharded"
                 else ""
-            ),
+            )
+            + (f" (chunk_rows={p.chunk_rows})" if p.path == "streaming" else ""),
             f"  geometry     panel_width={p.panel_width} block_rows={p.block_rows} "
             f"tree={p.tree_shape}",
             f"  panels       {len(self.panels)}",
             f"  wy scratch   {self.wy_scratch_bytes / 1e6:.2f} MB",
         ]
-        if self.m >= 1 and self.n >= 1:
+        if self.m >= 1 and self.n >= 1 and p.path != "streaming":
             sim = self.simulate()
             lines.append(
                 f"  modeled      {sim.seconds * 1e3:.2f} ms on "
@@ -406,6 +423,30 @@ def _plan_qr_impl(m: int, n: int, dtype, policy: ExecutionPolicy) -> QRPlan:
             dtype=dt,
             policy=policy,
             panels=(),
+            schedule=schedule,
+            recipes=(),
+            wy_scratch_bytes=scratch,
+        )
+    if policy.path == "streaming":
+        # The chunk row deal is a pure function of (m, chunk_rows); the
+        # plan-level panel specs describe one full-height chunk (the
+        # shape every steady-state chunk replays).  Scratch is the
+        # out-of-core resident bound: one chunk's compact-WY footprint
+        # plus the n x n carry and the (2n) x n merge stack — notably
+        # *not* a function of m.
+        from repro.streaming.qr import build_stream_schedule
+
+        schedule = build_stream_schedule(m, n, policy.chunk_rows)
+        ch = min(policy.chunk_rows, m) if m else policy.chunk_rows
+        chunk_panels = _panel_specs(ch, n, policy) if ch and n else ()
+        scratch = _wy_scratch_bytes(ch, n, policy, chunk_panels, dt.itemsize)
+        scratch += 3 * min(m, n) * n * dt.itemsize
+        return QRPlan(
+            m=m,
+            n=n,
+            dtype=dt,
+            policy=policy,
+            panels=chunk_panels,
             schedule=schedule,
             recipes=(),
             wy_scratch_bytes=scratch,

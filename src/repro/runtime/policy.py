@@ -52,6 +52,13 @@ Path names
     reduce through a ``fanin``-ary tree over ``FakeComm``, with traffic
     charged to a calibrated ``interconnect`` alpha-beta model.
     Requires ``shards=``; ``fanin`` and ``interconnect`` are optional.
+``streaming``
+    Out-of-core sequential CAQR (:mod:`repro.streaming`): the tall axis
+    is cut into ``chunk_rows``-row chunks, each chunk runs the local
+    batched compact-WY machinery, and the chunk's R folds into the
+    running n x n triangle through the same stacked-triangle
+    elimination the tree nodes use — so resident memory is bounded by
+    the chunk, not the stream.  Requires ``chunk_rows=``.
 """
 
 from __future__ import annotations
@@ -80,6 +87,7 @@ PATH_NAMES = (
     "cholqr2_mixed",
     "auto",
     "sharded",
+    "streaming",
 )
 
 # The CholeskyQR2 family: condition-guarded BLAS3 fast paths.  ``auto``
@@ -153,6 +161,12 @@ class ExecutionPolicy:
             ``repro.distributed.comm.INTERCONNECTS`` used to charge the
             sharded path's inter-rank traffic (default ``"pcie2"``);
             sharded-only.
+        chunk_rows: tall-axis chunk height for ``path="streaming"``
+            (required there, rejected elsewhere).  Each chunk is
+            factored locally and folded into the running triangle, so
+            this is the knob that trades per-chunk arithmetic
+            efficiency against resident memory — the streaming path
+            never holds more than one chunk plus the n x n carry.
         coalesce: whether a serving front end (:mod:`repro.serving`) may
             merge same-shape requests under this policy into one stacked
             batched invocation.  ``False`` forces per-request dispatch —
@@ -177,6 +191,7 @@ class ExecutionPolicy:
     shards: int | None = None
     fanin: int | None = None
     interconnect: str | None = None
+    chunk_rows: int | None = None
     coalesce: bool = True
     device: Any | None = field(default=None, compare=False)
     config: Any | None = field(default=None, compare=False)
@@ -226,6 +241,19 @@ class ExecutionPolicy:
                 )
             if self.fanin < 2:
                 raise ValueError("fanin must be at least 2")
+        if self.path == "streaming":
+            if self.chunk_rows is None:
+                raise ValueError(
+                    "path='streaming' requires chunk_rows= (the tall-axis "
+                    "chunk height)"
+                )
+            if self.chunk_rows < 1:
+                raise ValueError("chunk_rows must be positive")
+        elif self.chunk_rows is not None:
+            raise ValueError(
+                f"chunk_rows applies only to path='streaming', "
+                f"got path={self.path!r}"
+            )
         if self.interconnect is not None:
             if self.path != "sharded":
                 raise ValueError(

@@ -1,0 +1,172 @@
+"""Bounded-memory online video background model with drift adaptation.
+
+The paper's motivating application (Section VI) runs RPCA over 100
+video frames in one batch; a deployed camera never stops producing
+frames.  :class:`StreamingBackground` closes that gap by composing the
+two streaming layers this package and :mod:`repro.rpca.online` provide:
+
+* frames arrive as *rows* (one flattened frame per row, any batch
+  height) and are re-blocked to the model's chunk size through the same
+  bounded :class:`~repro.streaming.ingest.ChunkBuffer` window the QR
+  stream uses;
+* each chunk runs :class:`~repro.rpca.online.OnlineRPCA` in its
+  bounded-memory mode (``keep_history=False`` — no per-chunk L/S
+  history, the cached-subspace fast path on drift-free chunks), so
+  resident state is one chunk plus the carried rank-``r`` subspace no
+  matter how long the stream runs;
+* **drift adaptation**: the per-chunk foreground fraction
+  ``||S||_F / ||chunk||_F`` is the drift signal.  Slow drift is
+  absorbed by the model's own residual-RPCA subspace refresh; a
+  *sustained* spike (``drift_threshold`` exceeded ``drift_patience``
+  chunks in a row — a camera move, a lighting flip) triggers
+  re-detection: the carried subspace is dropped and the next chunk
+  cold-starts a full RPCA, re-learning the scene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import tracer as _obs
+from repro.rpca.online import OnlineRPCA
+
+from .ingest import ChunkBuffer
+
+__all__ = ["BackgroundChunk", "StreamingBackground"]
+
+
+@dataclass
+class BackgroundChunk:
+    """Summary of one processed chunk (no frame payloads retained)."""
+
+    frame_start: int
+    frame_stop: int
+    rank: int
+    foreground_fraction: float
+    n_iterations: int
+    converged: bool
+    redetected: bool  # this chunk cold-started after a drift trip
+
+
+class StreamingBackground:
+    """Consume an unbounded frame stream into a background subspace.
+
+    Args:
+        chunk_frames: temporal chunk size (frames per RPCA solve).
+        rank_cap: maximum carried background rank.
+        drift_threshold: foreground fraction above which a chunk counts
+            as drifted (default 0.5 — more unexplained energy than
+            explained).
+        drift_patience: consecutive drifted chunks before re-detection
+            (default 2; one chunk might just be a busy scene).
+        subspace_refresh_tol: forwarded to
+            :class:`~repro.rpca.online.OnlineRPCA` — the no-drift
+            threshold under which the carried subspace SVD is skipped.
+        max_in_flight: ingestion window (assembled chunks buffered).
+        policy: optional :class:`~repro.runtime.policy.ExecutionPolicy`
+            for the inner SVT factorizations.
+    """
+
+    def __init__(
+        self,
+        chunk_frames: int = 25,
+        rank_cap: int = 4,
+        drift_threshold: float = 0.5,
+        drift_patience: int = 2,
+        subspace_refresh_tol: float = 1e-6,
+        max_in_flight: int = 2,
+        policy=None,
+    ) -> None:
+        if drift_patience < 1:
+            raise ValueError("drift_patience must be positive")
+        self.drift_threshold = float(drift_threshold)
+        self.drift_patience = int(drift_patience)
+        self._model = OnlineRPCA(
+            chunk_frames=chunk_frames,
+            rank_cap=rank_cap,
+            keep_history=False,
+            subspace_refresh_tol=subspace_refresh_tol,
+            policy=policy,
+        )
+        self._buf = ChunkBuffer(chunk_frames, max_in_flight=max_in_flight)
+        self._drift_run = 0
+        self._pending_redetect = False
+        self.redetections = 0
+        self.chunks_processed = 0
+        self.summaries: list[BackgroundChunk] = []
+
+    # -- state views -------------------------------------------------------
+
+    @property
+    def frames_seen(self) -> int:
+        return self._model.frames_seen
+
+    @property
+    def background_rank(self) -> int:
+        return self._model.background_rank
+
+    @property
+    def subspace_svd_calls(self) -> int:
+        return self._model.subspace_svd_calls
+
+    def subspace(self) -> np.ndarray | None:
+        """The carried pixels x rank background basis (``None`` cold)."""
+        return self._model._U
+
+    @property
+    def peak_tracked_bytes(self) -> int:
+        """Deterministic footprint: ingestion window + carried basis."""
+        u = self._model._U
+        return self._buf.peak_buffered_bytes + (0 if u is None else int(u.nbytes))
+
+    # -- the pipeline ------------------------------------------------------
+
+    def push(self, frame_rows) -> list[BackgroundChunk]:
+        """Buffer a block of frames (one flattened frame per row).
+
+        Returns the summaries of every chunk that became complete and
+        was processed by this push (possibly empty).
+        """
+        self._buf.push(frame_rows)
+        return [self._process(c) for c in self._buf.drain()]
+
+    def finish(self) -> list[BackgroundChunk]:
+        """Flush the ragged tail chunk (call once, at end of stream)."""
+        return [self._process(c) for c in self._buf.flush()]
+
+    def _process(self, chunk: np.ndarray) -> BackgroundChunk:
+        redetected = False
+        if self._pending_redetect:
+            # Drop the stale subspace: the next model push cold-starts.
+            self._model._U = None
+            self._pending_redetect = False
+            self._drift_run = 0
+            self.redetections += 1
+            redetected = True
+        with _obs.span(
+            "stream.background", cat="stream", frames=chunk.shape[0]
+        ):
+            res = self._model.push(chunk.T)  # model wants pixels x frames
+        scale = max(float(np.linalg.norm(chunk)), np.finfo(float).tiny)
+        fg = float(np.linalg.norm(res.S)) / scale
+        if fg > self.drift_threshold:
+            self._drift_run += 1
+            if self._drift_run >= self.drift_patience:
+                self._pending_redetect = True
+        else:
+            self._drift_run = 0
+        self.chunks_processed += 1
+        summary = BackgroundChunk(
+            frame_start=res.frame_start,
+            frame_stop=res.frame_stop,
+            rank=self._model.background_rank,
+            foreground_fraction=fg,
+            n_iterations=res.n_iterations,
+            converged=res.converged,
+            redetected=redetected,
+        )
+        self.summaries.append(summary)
+        _obs.counters(background_frames=chunk.shape[0], background_chunks=1)
+        return summary

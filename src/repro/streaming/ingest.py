@@ -1,0 +1,197 @@
+"""Chunked out-of-core ingestion: dask-style block IO for row streams.
+
+The streaming pipeline consumes an *unbounded* sequence of row blocks
+(video frames flattened to rows, sensor batches, log shards...) whose
+producers rarely align with the factorization's preferred chunk height.
+:class:`ChunkBuffer` sits between the two: it re-blocks arbitrary-height
+input into fixed ``chunk_rows``-row chunks the way ``dask.array``
+re-chunks block IO, while enforcing a bounded in-flight window so a fast
+producer cannot silently buffer the whole stream in memory.
+
+Memory contract
+---------------
+The buffer holds at most ``max_in_flight`` assembled-but-undrained
+chunks plus one partial chunk of remainder rows.  ``push`` raises
+:class:`StreamBackpressure` when a producer gets further ahead than
+that — the caller must drain before pushing more (the
+:func:`stream_chunks` generator does this automatically after every
+push, so sources that are consumed lazily never trip it).  Peak
+buffered bytes are tracked deterministically (pure shape arithmetic
+over what was actually buffered), so soak gates can pin the ingestion
+layer's footprint without OS-level noise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.obs import tracer as _obs
+from repro.verify.guards import validate_stream_chunk
+
+__all__ = ["ChunkBuffer", "StreamBackpressure", "stream_chunks"]
+
+
+class StreamBackpressure(RuntimeError):
+    """The producer out-ran the bounded in-flight window — drain first."""
+
+
+class ChunkBuffer:
+    """Re-block arbitrary-height row blocks into fixed-height chunks.
+
+    Args:
+        chunk_rows: height of every assembled chunk (the last one may be
+            a shorter ragged tail, surfaced only by :meth:`flush`).
+        max_in_flight: how many assembled chunks may sit undrained
+            before :meth:`push` raises :class:`StreamBackpressure`.
+        nonfinite: per-chunk guard policy (``"raise"``/``"propagate"``),
+            applied by :func:`repro.verify.guards.validate_stream_chunk`.
+
+    The first pushed block establishes the stream's column count and
+    working dtype; later blocks that disagree are rejected by the guard
+    layer (``ValueError`` for column drift, ``TypeError`` for dtype
+    mixing) *before* they are buffered, so a bad producer cannot corrupt
+    rows already in flight.
+    """
+
+    def __init__(
+        self,
+        chunk_rows: int,
+        max_in_flight: int = 2,
+        nonfinite: str = "raise",
+    ) -> None:
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive")
+        self.chunk_rows = int(chunk_rows)
+        self.max_in_flight = int(max_in_flight)
+        self.nonfinite = nonfinite
+        self.n_cols: int | None = None
+        self.dtype: np.dtype | None = None
+        self._parts: deque[np.ndarray] = deque()
+        self._rows = 0
+        self.rows_in = 0  # total rows ever pushed
+        self.chunks_out = 0  # total chunks ever drained
+        self.peak_buffered_bytes = 0
+
+    # -- state views -------------------------------------------------------
+
+    @property
+    def buffered_rows(self) -> int:
+        """Rows currently held (assembled + partial)."""
+        return self._rows
+
+    @property
+    def ready_chunks(self) -> int:
+        """Full chunks assemblable from the buffered rows right now."""
+        return self._rows // self.chunk_rows
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(int(p.nbytes) for p in self._parts)
+
+    # -- the pipeline ------------------------------------------------------
+
+    def push(self, block) -> None:
+        """Buffer one producer block (any row count, matching columns).
+
+        Raises :class:`StreamBackpressure` when accepting the block
+        would leave more than ``max_in_flight`` undrained full chunks —
+        the bounded-window contract that keeps ingestion out-of-core.
+        """
+        block = validate_stream_chunk(
+            block,
+            where="ChunkBuffer.push",
+            n_cols=self.n_cols,
+            dtype=self.dtype,
+            nonfinite=self.nonfinite,
+        )
+        if self.n_cols is None:
+            self.n_cols = int(block.shape[1])
+            self.dtype = block.dtype
+        if (self._rows + block.shape[0]) // self.chunk_rows > self.max_in_flight:
+            raise StreamBackpressure(
+                f"ChunkBuffer: accepting {block.shape[0]} rows would leave "
+                f"more than max_in_flight={self.max_in_flight} chunks "
+                f"buffered ({self._rows} rows already held, "
+                f"chunk_rows={self.chunk_rows}); drain() first"
+            )
+        if block.shape[0] == 0:
+            return
+        self._parts.append(block)
+        self._rows += int(block.shape[0])
+        self.rows_in += int(block.shape[0])
+        self.peak_buffered_bytes = max(self.peak_buffered_bytes, self.buffered_bytes)
+
+    def drain(self) -> Iterator[np.ndarray]:
+        """Yield every currently assemblable full chunk (lazily)."""
+        while self._rows >= self.chunk_rows:
+            yield self._assemble(self.chunk_rows)
+
+    def flush(self) -> Iterator[np.ndarray]:
+        """Drain, then yield the final ragged chunk (if any rows remain)."""
+        yield from self.drain()
+        if self._rows:
+            yield self._assemble(self._rows)
+
+    def _assemble(self, rows: int) -> np.ndarray:
+        """Copy ``rows`` buffered rows into one fresh contiguous chunk.
+
+        The copy is the block "read": downstream factorization mutates
+        its chunk freely without aliasing producer arrays, and the
+        producer's blocks are released as soon as their rows are cut.
+        """
+        out = np.empty((rows, self.n_cols), dtype=self.dtype)
+        filled = 0
+        while filled < rows:
+            part = self._parts[0]
+            take = min(part.shape[0], rows - filled)
+            out[filled : filled + take] = part[:take]
+            filled += take
+            if take == part.shape[0]:
+                self._parts.popleft()
+            else:
+                self._parts[0] = part[take:]
+        self._rows -= rows
+        self.chunks_out += 1
+        return out
+
+
+def stream_chunks(
+    source: Iterable,
+    chunk_rows: int,
+    max_in_flight: int = 2,
+    nonfinite: str = "raise",
+) -> Iterator[np.ndarray]:
+    """Re-block an iterable of row blocks into fixed-height chunks.
+
+    The out-of-core ingestion loop: each source block is buffered, every
+    assemblable chunk is yielded immediately (so at most
+    ``max_in_flight`` chunks are ever resident), and the final ragged
+    tail is flushed when the source ends.  Consuming this generator
+    lazily is what keeps the pipeline bounded — the source is only
+    advanced when the consumer asks for the next chunk.
+    """
+    buf = ChunkBuffer(chunk_rows, max_in_flight=max_in_flight, nonfinite=nonfinite)
+    # A single producer block bigger than the in-flight window is cut
+    # into window-sized slices, drained between slices — so even a
+    # pathological "here is the whole stream at once" source stays
+    # within the bounded-window contract.
+    window = chunk_rows * max_in_flight
+    with _obs.span("stream.ingest", cat="stream", chunk_rows=chunk_rows):
+        for block in source:
+            block = np.asarray(block)
+            if block.ndim == 2 and block.shape[0] > window:
+                for off in range(0, block.shape[0], window):
+                    buf.push(block[off : off + window])
+                    yield from buf.drain()
+            else:
+                buf.push(block)
+                yield from buf.drain()
+        yield from buf.flush()
+        _obs.counters(
+            stream_rows_ingested=buf.rows_in, stream_chunks_cut=buf.chunks_out
+        )

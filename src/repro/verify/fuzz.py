@@ -16,6 +16,7 @@ factored through every execution path —
 * ``cholqr2_mixed`` — CholeskyQR2 with a float32 first-pass Gram
 * ``auto``          — condition-guarded cholqr2 with tree fallback
 * ``sharded``       — multi-device CAQR over 3 simulated ranks
+* ``streaming``     — out-of-core chunked CAQR (11-row chunks)
 
 — and cross-checked three ways: the QR invariants of
 :mod:`repro.verify.invariants` (orthogonality, residual,
@@ -83,6 +84,11 @@ PATHS: dict[str, dict] = {
     # over the default binomial fan-in; the effective rank count clamps
     # to the row count, so degenerate grid shapes run too.
     "sharded": {"path": "sharded", "shards": 3},
+    # Streaming out-of-core CAQR: an 11-row chunk leaves a ragged tail
+    # on most grid shapes and forces chunks narrower than the panel
+    # width, exercising both merge regimes (dense start-up + structured
+    # steady state) against the in-core paths.
+    "streaming": {"path": "streaming", "chunk_rows": 11},
 }
 
 # Fuzz names whose policy is a CholeskyQR2 path that may *refuse*

@@ -42,6 +42,7 @@ __all__ = [
     "count_validations",
     "validate_matrix",
     "validate_nonfinite_policy",
+    "validate_stream_chunk",
 ]
 
 NONFINITE_POLICIES = ("raise", "propagate")
@@ -159,4 +160,57 @@ def validate_matrix(
         out = as_float_array(A)
     if nonfinite == "raise":
         _raise_on_nonfinite(out, where)
+    return out
+
+
+def validate_stream_chunk(
+    chunk,
+    where: str,
+    n_cols: int | None = None,
+    dtype: np.dtype | None = None,
+    nonfinite: str = "raise",
+) -> np.ndarray:
+    """Validate one chunk of a row stream against the stream's contract.
+
+    A streamed factorization sees its input one chunk at a time, so the
+    per-matrix checks of :func:`validate_matrix` are not enough: every
+    chunk must also *agree with the chunks before it*.  This guard adds
+    the two stream-level rejections on top of the usual matrix checks:
+
+    * **column drift** — a chunk whose width differs from the stream's
+      established ``n_cols`` raises ``ValueError`` (the running R would
+      silently be the factorization of garbage);
+    * **dtype mixing** — a chunk whose working float dtype differs from
+      the stream's established ``dtype`` raises ``TypeError``.  Folding
+      a float32 chunk into a float64 carry (or vice versa) would change
+      the arithmetic mid-stream, breaking the streamed-equals-one-shot
+      contract the fuzz harness pins.
+
+    Args:
+        chunk: the caller's row block (array-like, 2-D).
+        where: the entry point's name for diagnostics.
+        n_cols: the stream's established column count (``None`` for the
+            first chunk, which sets it).
+        dtype: the stream's established working dtype (``None`` for the
+            first chunk).
+        nonfinite: per-chunk non-finite policy, as in
+            :func:`validate_matrix`.
+
+    Returns:
+        The validated chunk in its working float dtype.
+    """
+    out = validate_matrix(chunk, where=where, nonfinite=nonfinite)
+    if n_cols is not None and out.shape[1] != n_cols:
+        raise ValueError(
+            f"{where}: chunk has {out.shape[1]} columns but the stream "
+            f"established {n_cols}; every chunk of a stream must share "
+            f"one column count"
+        )
+    if dtype is not None and out.dtype != np.dtype(dtype):
+        raise TypeError(
+            f"{where}: chunk dtype {out.dtype} differs from the stream's "
+            f"established {np.dtype(dtype)}; dtype-mixed chunks would "
+            f"change the arithmetic mid-stream — cast the stream to one "
+            f"dtype at the source"
+        )
     return out

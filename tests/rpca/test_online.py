@@ -83,3 +83,74 @@ class TestOnlineRPCA:
         # Warm chunks see a ~1e-14-relative residual problem.
         assert chunks[1].n_iterations <= 15
         assert np.linalg.norm(chunks[1].S) < 1e-10
+
+
+class TestSubspaceCache:
+    """The cached-subspace fast path: a constant-rank stream must not
+    re-derive the carried U every chunk (the per-chunk full SVD used to
+    run unconditionally — the cost-flat contract pins the fix)."""
+
+    @staticmethod
+    def _static_stream(rng, pixels=120, frames=80):
+        return rng.random((pixels, 1)) @ (1.0 + 0.05 * rng.random((1, frames)))
+
+    def test_constant_rank_stream_costs_one_svd(self, rng):
+        online = OnlineRPCA(chunk_frames=20)
+        online.process(self._static_stream(rng))
+        # Cold start derives U once; every warm chunk hits the cache.
+        assert online.subspace_svd_calls == 1
+        assert online.background_rank == 1
+
+    def test_per_chunk_cost_stays_flat(self, rng):
+        """Doubling the stream length must not add SVD calls."""
+        short = OnlineRPCA(chunk_frames=20)
+        short.process(self._static_stream(rng, frames=40))
+        long = OnlineRPCA(chunk_frames=20)
+        long.process(self._static_stream(rng, frames=160))
+        assert long.subspace_svd_calls == short.subspace_svd_calls == 1
+
+    def test_cached_subspace_is_reused_not_copied(self, rng):
+        online = OnlineRPCA(chunk_frames=20)
+        M = self._static_stream(rng)
+        online.push(M[:, :20])
+        u_after_cold = online._U
+        online.push(M[:, 20:40])
+        assert online._U is u_after_cold  # same array: the SVD was skipped
+
+    def test_drift_refreshes_the_subspace(self, rng):
+        """A genuine subspace change must still be picked up."""
+        pixels = 120
+        u1 = rng.standard_normal((pixels, 1))
+        u2 = rng.standard_normal((pixels, 1))
+        coeff = np.vstack([np.ones((1, 40)), rng.standard_normal((1, 40))])
+        M = np.hstack([
+            u1 @ np.ones((1, 40)),
+            np.hstack([u1, u2]) @ coeff,  # a second, varying mode appears
+        ])
+        online = OnlineRPCA(chunk_frames=20)
+        online.process(M)
+        assert online.subspace_svd_calls > 1
+        assert online.background_rank == 2
+
+    def test_results_unchanged_by_caching(self, rng):
+        """The cache may only skip SVDs whose outcome cannot differ: the
+        decomposition with an effectively-disabled cache is identical."""
+        M = self._static_stream(rng)
+        cached = OnlineRPCA(chunk_frames=20)
+        cached.process(M)
+        always = OnlineRPCA(chunk_frames=20, subspace_refresh_tol=0.0)
+        always.process(M)
+        assert always.subspace_svd_calls == 4
+        a, b = cached.assemble(), always.assemble()
+        assert np.allclose(a.L, b.L, atol=1e-9)
+        assert np.allclose(a.S, b.S, atol=1e-9)
+
+
+class TestBoundedHistory:
+    def test_keep_history_false_drops_chunk_payloads(self, rng):
+        online = OnlineRPCA(chunk_frames=20, keep_history=False)
+        res = online.push(rng.random((50, 1)) @ np.ones((1, 20)))
+        assert res.L.shape == (50, 20)  # the caller still gets the chunk
+        assert online.chunks == []
+        with pytest.raises(ValueError, match="keep_history"):
+            online.assemble()

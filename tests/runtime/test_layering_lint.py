@@ -303,3 +303,85 @@ class TestGraphRuleEndToEnd:
             assert any(
                 rel.startswith(pref) for pref in lint_layering.GRAPH_EXEMPT
             ), f"producer module {module} not exempt from the graph fence"
+
+
+class TestStreamRule:
+    """The streaming fence: StreamingQR / ChunkBuffer construction is
+    reserved to ``repro.streaming`` — chunk geometry rides on
+    ``ExecutionPolicy(path='streaming', chunk_rows=...)`` and a
+    privately built engine would bypass the bounded in-flight window and
+    the tracked-memory accounting the soak gate pins."""
+
+    def _lint(self):
+        sys.path.insert(0, str(LINT.parent))
+        try:
+            import lint_layering
+        finally:
+            sys.path.pop(0)
+        return lint_layering
+
+    def _run_main(self, tmp_path, monkeypatch, capsys):
+        lint_layering = self._lint()
+        monkeypatch.setattr(lint_layering, "REPO", tmp_path)
+        rc = lint_layering.main()
+        return rc, capsys.readouterr().out
+
+    def test_scanner_flags_engine_construction(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "from repro.streaming import StreamingQR\n"
+            "sq = StreamingQR(n_cols=8)\n"
+        )
+        assert self._lint().scan_file(f) == [
+            (2, "StreamingQR", "stream construction")
+        ]
+
+    def test_scanner_flags_buffer_construction(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("buf = repro.streaming.ingest.ChunkBuffer(chunk_rows=64)\n")
+        assert self._lint().scan_file(f) == [
+            (1, "ChunkBuffer", "stream construction")
+        ]
+
+    def test_stream_qr_entry_point_is_sanctioned(self, tmp_path):
+        # The generator-consuming entry point is the public surface;
+        # only the raw engine and buffer are fenced.
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "from repro.streaming import stream_qr, stream_chunks\n"
+            "sq = stream_qr(blocks, policy=policy)\n"
+            "for c in stream_chunks(blocks, 64):\n"
+            "    pass\n"
+        )
+        assert self._lint().scan_file(f) == []
+
+    def test_injected_stream_violation_is_caught(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "src" / "repro" / "rpca"
+        bad.mkdir(parents=True)
+        (bad / "rogue.py").write_text(
+            "from repro.streaming.qr import StreamingQR\n"
+            "sq = StreamingQR(n_cols=4)\n"
+        )
+        ok = tmp_path / "src" / "repro" / "streaming"
+        ok.mkdir(parents=True)
+        (ok / "background.py").write_text(
+            "buf = ChunkBuffer(chunk_rows=25)\n"
+            "sq = StreamingQR(n_cols=4)\n"
+        )
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 1
+        assert "src/repro/rpca/rogue.py:2" in out
+        assert "outside repro.streaming" in out
+        assert "stream_qr / stream_chunks" in out
+        assert "streaming/background.py" not in out
+
+    def test_streaming_only_tree_is_clean(self, tmp_path, monkeypatch, capsys):
+        ok = tmp_path / "src" / "repro" / "streaming"
+        ok.mkdir(parents=True)
+        (ok / "qr.py").write_text(
+            "sq = StreamingQR(n_cols=4)\n"
+            "buf = ChunkBuffer(chunk_rows=8, max_in_flight=2)\n"
+        )
+        rc, out = self._run_main(tmp_path, monkeypatch, capsys)
+        assert rc == 0
+        assert "clean" in out

@@ -1,0 +1,131 @@
+"""Streaming background model: bounded memory, cached subspace, drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming import StreamingBackground
+
+PIXELS = 30
+
+
+def static_frames(n_frames: int, seed: int, basis_seed: int = 0) -> np.ndarray:
+    """Rank-1 scene: one fixed pixel pattern, per-frame intensity."""
+    brng = np.random.default_rng(basis_seed)
+    u = brng.standard_normal(PIXELS)
+    coeff = 1.0 + 0.1 * np.random.default_rng(seed).standard_normal(n_frames)
+    return np.outer(coeff, u)  # frames as rows
+
+
+def spike_frames(n_frames: int, seed: int) -> np.ndarray:
+    """Sparse-corruption chunk: most energy belongs in S, not L."""
+    rng = np.random.default_rng(seed)
+    F = np.zeros((n_frames, PIXELS))
+    mask = rng.random(F.shape) < 0.2
+    F[mask] = 25.0 * rng.standard_normal(int(mask.sum()))
+    return F
+
+
+class TestStaticScene:
+    def test_one_subspace_svd_total(self):
+        """Constant-rank stream: the carried subspace is cached, so the
+        per-chunk cost stays flat — one SVD at cold start, zero after."""
+        sb = StreamingBackground(chunk_frames=10, rank_cap=2)
+        for i in range(6):
+            sb.push(static_frames(10, seed=i))
+        assert sb.frames_seen == 60
+        assert sb.chunks_processed == 6
+        assert sb.subspace_svd_calls == 1
+        assert sb.background_rank == 1
+
+    def test_no_redetection_and_no_history(self):
+        sb = StreamingBackground(chunk_frames=10)
+        for i in range(4):
+            sb.push(static_frames(10, seed=i))
+        assert sb.redetections == 0
+        assert all(not s.redetected for s in sb.summaries)
+        # Bounded-memory mode: the inner model keeps no L/S history.
+        assert sb._model.chunks == []
+        with pytest.raises(ValueError, match="keep_history"):
+            sb._model.assemble()
+
+    def test_foreground_fraction_is_low(self):
+        sb = StreamingBackground(chunk_frames=10)
+        for i in range(3):
+            sb.push(static_frames(10, seed=i))
+        assert all(s.foreground_fraction < 0.1 for s in sb.summaries[1:])
+
+    def test_ragged_tail_via_finish(self):
+        sb = StreamingBackground(chunk_frames=10)
+        sb.push(static_frames(23, seed=5))
+        done = sb.finish()
+        assert sb.frames_seen == 23
+        assert done[-1].frame_stop == 23
+
+    def test_arbitrary_push_heights_reblock(self):
+        sb = StreamingBackground(chunk_frames=10)
+        F = static_frames(30, seed=9)
+        for lo, hi in [(0, 7), (7, 19), (19, 30)]:
+            sb.push(F[lo:hi])
+        sb.finish()
+        assert sb.frames_seen == 30
+        assert sb.chunks_processed == 3
+
+
+class TestDriftAdaptation:
+    def test_sustained_drift_triggers_redetection(self):
+        sb = StreamingBackground(
+            chunk_frames=10, drift_threshold=0.5, drift_patience=2
+        )
+        for i in range(2):
+            sb.push(static_frames(10, seed=i))
+        # Scene break: two chunks dominated by unexplained sparse energy.
+        sb.push(spike_frames(10, seed=100))
+        sb.push(spike_frames(10, seed=101))
+        assert all(
+            s.foreground_fraction > 0.5 for s in sb.summaries[2:4]
+        ), "spike chunks must read as foreground-dominated"
+        # The next chunk cold-starts on the new scene.
+        sb.push(static_frames(10, seed=200, basis_seed=7))
+        assert sb.redetections == 1
+        assert sb.summaries[4].redetected
+        # And the new scene is re-learned and stable again.
+        before = sb.subspace_svd_calls
+        sb.push(static_frames(10, seed=201, basis_seed=7))
+        assert not sb.summaries[5].redetected
+        assert sb.summaries[5].foreground_fraction < 0.1
+        assert sb.subspace_svd_calls == before
+
+    def test_single_busy_chunk_is_tolerated(self):
+        """One drifted chunk under patience=2 must not reset the model."""
+        sb = StreamingBackground(
+            chunk_frames=10, drift_threshold=0.5, drift_patience=2
+        )
+        sb.push(static_frames(10, seed=0))
+        sb.push(spike_frames(10, seed=50))
+        sb.push(static_frames(10, seed=1))
+        sb.push(static_frames(10, seed=2))
+        assert sb.redetections == 0
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError, match="patience"):
+            StreamingBackground(drift_patience=0)
+
+
+class TestBoundedFootprint:
+    def test_tracked_bytes_independent_of_stream_length(self):
+        def run(chunks: int) -> int:
+            sb = StreamingBackground(chunk_frames=10)
+            for i in range(chunks):
+                sb.push(static_frames(10, seed=i))
+            return sb.peak_tracked_bytes
+
+        assert run(12) == run(3)
+
+    def test_subspace_shape(self):
+        sb = StreamingBackground(chunk_frames=10, rank_cap=3)
+        assert sb.subspace() is None
+        sb.push(static_frames(10, seed=0))
+        U = sb.subspace()
+        assert U.shape[0] == PIXELS and U.shape[1] <= 3

@@ -45,6 +45,7 @@ def test_golden_file_is_committed():
         "sharded",
         "rsvd_graph",
         "sharded_graph",
+        "streaming",
         "caqr_order",
     }
 
@@ -132,6 +133,29 @@ def test_sharded_graph_pin_tracks_the_layers(checker):
     moved = emit_sharded_layers(
         build_shard_schedule(1024, 256, shards + 1, fanin)
     ).fingerprint()
+    assert moved != golden["1024x256"]
+
+
+def test_streaming_pin_tracks_the_chunk_pipeline(checker):
+    """The streaming pin hashes the chunk/factor/fold layers for the
+    reference chunk height: a different chunk_rows must move it, the
+    bound emission (what run_streaming_graph executes) must fingerprint
+    identically to the structural one, and plan_qr's task_graph() must
+    agree with the gate."""
+    from repro.runtime import ExecutionPolicy, plan_qr
+    from repro.streaming.graphs import emit_streaming_layers
+
+    chunk_rows = checker.STREAMING_PATHS["streaming"]
+    golden = json.loads(GOLDEN.read_text())["streaming"]
+    for shape, pin in golden.items():
+        m, n = map(int, shape.split("x"))
+        assert emit_streaming_layers(m, n, chunk_rows).fingerprint() == pin, shape
+    plan = plan_qr(
+        1024, 256,
+        policy=ExecutionPolicy(path="streaming", chunk_rows=chunk_rows),
+    )
+    assert plan.task_graph().fingerprint() == golden["1024x256"]
+    moved = emit_streaming_layers(1024, 256, chunk_rows // 2).fingerprint()
     assert moved != golden["1024x256"]
 
 

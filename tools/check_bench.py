@@ -37,6 +37,26 @@ The sharded tier (``benchmarks/bench_distributed.py``) is gated under
 * comm counts and the schedule fingerprint — exact: the reduction
   schedule or traffic silently changing is a behavioural change.
 
+The streaming tier (``benchmarks/bench_streaming.py``) is gated under
+``--check-streaming`` / ``--streaming-only``:
+
+* ``streaming_rows_per_sec`` — a throughput floor (mirror of the time
+  ceilings): the soak must not slow past the tolerance.
+* ``streaming_peak_tracked_mb`` — the engine's deterministic working-set
+  high-water mark, against both the relative memory ceiling and an
+  absolute ``MAX_BOUNDS`` ceiling set well under 2x the committed
+  baseline, so the self-test's injected 2x memory blow-up always trips.
+* ``streaming_peak_rss_mb`` — the OS high-water mark, relative ceiling.
+* ``streaming_bounded_ratio`` — tracked peak at the full stream length
+  over the half-length probe; absolute ceiling 1.05.  Peak memory
+  growing with stream length is the one regression an out-of-core
+  pipeline must never ship, and it cannot hide inside run-to-run noise
+  (a healthy engine reads exactly 1.0).
+* ``streaming_r_gap`` — sign-canonicalized agreement between the
+  streamed R and one-shot CAQR, < 1e-12; ``streaming_graph_bit_gap`` —
+  exactly 0.0 (the registered task-graph producer replays the identical
+  fold arithmetic).
+
 The serving tier (``benchmarks/bench_serving.py``) is gated the same
 way under ``--serving`` / ``--serving-only``:
 
@@ -57,6 +77,7 @@ Usage::
     python tools/check_bench.py --quick --inject-slowdown 2.0   # must exit 1
     python tools/check_bench.py --quick --serving-only  # serving tier only
     python tools/check_bench.py --quick --sharded-only  # sharded tier only
+    python tools/check_bench.py --quick --streaming-only  # soak tier only
 """
 
 from __future__ import annotations
@@ -86,6 +107,12 @@ SHARDED_QUICK_BASELINE = (
 SHARDED_FULL_BASELINE = (
     REPO_ROOT / "benchmarks" / "results" / "BENCH_distributed.json"
 )
+STREAMING_QUICK_BASELINE = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_streaming_quick.json"
+)
+STREAMING_FULL_BASELINE = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_streaming.json"
+)
 
 # Residual-gap metrics carry the bench's own hard bounds instead of a
 # relative tolerance (they pin cross-path agreement, not speed).
@@ -105,6 +132,11 @@ GAP_BOUNDS = {
     # cross-path bound.
     "sharded_bit_gap": 0.0,
     "sharded_r_gap": 1e-12,
+    # Streaming acceptance: the out-of-core fold agrees with one-shot
+    # CAQR to the cross-path bound, and the registered task-graph
+    # producer replays the identical fold arithmetic bit for bit.
+    "streaming_r_gap": 1e-12,
+    "streaming_graph_bit_gap": 0.0,
 }
 # Ratio metrics with an *absolute* floor on top of the relative check:
 # the headline acceptance criterion (cholqr2 at least 2x the tree).  The
@@ -139,6 +171,16 @@ MAX_BOUNDS = {
     "serving_p50_ms": 25.0,
     "serving_p95_ms": 50.0,
     "serving_p99_ms": 75.0,
+    # The soak memory contract.  The tracked working set of the
+    # reference configuration (4096-row chunks, 64 columns) is ~6.1 MB
+    # and independent of stream length, so the absolute ceiling sits
+    # between the baseline and 2x it — the self-test's injected 2x
+    # memory blow-up must always trip.  The bounded ratio (full-length
+    # tracked peak over the half-length probe) is exactly 1.0 for a
+    # healthy engine; 1.05 tolerates only schedule-edge effects, never
+    # per-chunk accumulation.
+    "streaming_peak_tracked_mb": 10.0,
+    "streaming_bounded_ratio": 1.05,
 }
 EXACT_KEYS = (
     "launches",
@@ -163,11 +205,17 @@ def _is_speedup(key: str) -> bool:
 
 
 def _is_qps(key: str) -> bool:
-    return "qps" in key
+    # Request throughput (qps) and row throughput (rows per second) are
+    # gated identically: floors, never ceilings.
+    return "qps" in key or "per_sec" in key
 
 
 def _is_latency(key: str) -> bool:
     return key.endswith("_ms")
+
+
+def _is_memory(key: str) -> bool:
+    return key.endswith("_mb")
 
 
 def _is_accuracy(key: str) -> bool:
@@ -227,6 +275,13 @@ def compare_row(measured: dict, baseline: dict, time_tol: float) -> list[dict]:
             if val > base * (1.0 + time_tol):
                 row["ok"] = False
                 row["why"] = f"latency above baseline by >{time_tol:.0%}"
+        elif _is_memory(key):
+            # Peak-memory ceilings read like the time ceilings: lower is
+            # never a failure, blowing past the tolerance is.
+            row["ratio"] = val / base if base else float("inf")
+            if val > base * (1.0 + time_tol):
+                row["ok"] = False
+                row["why"] = f"peak memory above baseline by >{time_tol:.0%}"
         elif _is_accuracy(key):
             if val > max(base * ACCURACY_FACTOR, 1e-15):
                 row["ok"] = False
@@ -394,6 +449,55 @@ def run_sharded_gate(
     return ok, measured_rows, all_deltas
 
 
+def _inject_streaming(rows: list[dict], factor: float) -> list[dict]:
+    """A synthetic streaming regression (gate self-check): memory peaks
+    and the bounded ratio blow up by ``factor``, the soak slows down and
+    throughput falls by the same factor — the way a per-chunk leak (or a
+    silently unbounded carry) would read."""
+    out = []
+    for r in rows:
+        row = {}
+        for k, v in r.items():
+            if _is_memory(k) or k == "streaming_bounded_ratio" or _is_time(k):
+                row[k] = v * factor
+            elif _is_qps(k):
+                row[k] = v / factor
+            else:
+                row[k] = v
+        out.append(row)
+    return out
+
+
+def run_streaming_gate(
+    baseline_rows: list[dict],
+    time_tol: float,
+    inject_slowdown: float | None = None,
+    measured_rows: list[dict] | None = None,
+) -> tuple[bool, list[dict], list[dict]]:
+    """Re-run every baseline soak row (same rows/chunking) and diff."""
+    import bench_streaming  # deferred: loads only when gated
+
+    if measured_rows is None:
+        measured_rows = [
+            bench_streaming.bench_streaming(
+                rows=b["rows"], n=b["n"], chunk_rows=b["chunk_rows"]
+            )
+            for b in baseline_rows
+        ]
+    rows = measured_rows
+    if inject_slowdown:
+        rows = _inject_streaming(rows, inject_slowdown)
+    ok = True
+    all_deltas = []
+    for base, meas in zip(baseline_rows, rows):
+        deltas = compare_row(meas, base, time_tol)
+        shape = f"streaming {base['rows']}x{base['n']} C={base['chunk_rows']}"
+        all_deltas.append({"shape": shape, "deltas": deltas})
+        print(format_deltas(shape, deltas))
+        ok &= all(d["ok"] for d in deltas)
+    return ok, measured_rows, all_deltas
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -433,6 +537,19 @@ def main(argv: list[str] | None = None) -> int:
         help="gate only the sharded rows (implies --check-sharded; "
         "skips the CAQR shape grid)",
     )
+    ap.add_argument(
+        "--check-streaming",
+        action="store_true",
+        help="also gate the streaming soak rows (rows/sec floor, peak-"
+        "memory ceilings, bounded-memory ratio, streamed-vs-oneshot R "
+        "gap) from benchmarks/bench_streaming.py",
+    )
+    ap.add_argument(
+        "--streaming-only",
+        action="store_true",
+        help="gate only the streaming soak rows (implies "
+        "--check-streaming; skips the CAQR shape grid)",
+    )
     ap.add_argument("--reps", type=int, default=3, help="timed repetitions (best-of)")
     ap.add_argument(
         "--time-tol",
@@ -456,9 +573,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", type=Path, default=None, help="write the delta table JSON here")
     args = ap.parse_args(argv)
 
-    do_core = not (args.serving_only or args.sharded_only)
+    do_core = not (args.serving_only or args.sharded_only or args.streaming_only)
     do_serving = args.serving or args.serving_only
     do_sharded = args.check_sharded or args.sharded_only
+    do_streaming = args.check_streaming or args.streaming_only
 
     baseline_rows: list[dict] = []
     baseline_path = args.baseline or (QUICK_BASELINE if args.quick else FULL_BASELINE)
@@ -503,6 +621,24 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(f"gating sharded against {sharded_path} ({len(sharded_rows)} "
               f"row(s), time tolerance ±{args.time_tol:.0%})\n")
+
+    streaming_rows: list[dict] = []
+    if do_streaming:
+        streaming_path = args.baseline or (
+            STREAMING_QUICK_BASELINE if args.quick else STREAMING_FULL_BASELINE
+        )
+        if not streaming_path.exists():
+            print(f"streaming baseline {streaming_path} not found — run "
+                  f"bench_streaming.py first")
+            return 2
+        streaming_rows = json.loads(streaming_path.read_text()).get("streaming", [])
+        if not streaming_rows:
+            print(f"streaming baseline {streaming_path} has no 'streaming' "
+                  f"rows — run bench_streaming.py first")
+            return 2
+        print(f"gating streaming against {streaming_path} "
+              f"({len(streaming_rows)} row(s), time tolerance "
+              f"±{args.time_tol:.0%})\n")
 
     if args.self_test:
         # One real measurement per gate; the injected comparisons reuse
@@ -552,6 +688,24 @@ def main(argv: list[str] | None = None) -> int:
                 print("\nself-test: FAILED — injected 2x sharded slowdown "
                       "was not caught")
                 ok = False
+        if do_streaming:
+            t_pass, t_measured, _ = run_streaming_gate(
+                streaming_rows, args.time_tol
+            )
+            print("\nself-test: injecting 2.0x streaming memory blow-up "
+                  "(the peak-memory ceilings and the bounded ratio below "
+                  "must FAIL)\n")
+            t_fail, _, _ = run_streaming_gate(
+                streaming_rows, args.time_tol,
+                inject_slowdown=2.0, measured_rows=t_measured,
+            )
+            if not t_pass:
+                print("\nself-test: FAILED — clean streaming run did not pass")
+                ok = False
+            if t_fail:
+                print("\nself-test: FAILED — injected 2x streaming memory "
+                      "blow-up was not caught")
+                ok = False
         if ok:
             print("\nself-test: ok (clean run passes, 2x slowdown trips the gate)")
         return 0 if ok else 1
@@ -577,6 +731,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         ok &= sharded_ok
         all_deltas.extend(sharded_deltas)
+    if do_streaming:
+        streaming_ok, _, streaming_deltas = run_streaming_gate(
+            streaming_rows, args.time_tol, inject_slowdown=args.inject_slowdown
+        )
+        ok &= streaming_ok
+        all_deltas.extend(streaming_deltas)
     if args.out:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(

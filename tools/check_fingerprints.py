@@ -31,6 +31,13 @@ Three fingerprint families, all pure shape arithmetic:
   producers.  The hash covers layers, keys, deps and annotations but
   never the numeric payloads, so the structural (unbound) emission pins
   exactly what the bound execution runs.
+* **Streaming chunk pipeline** (``streaming``) —
+  :meth:`repro.graph.highlevel.TaskGraph.fingerprint` of the
+  out-of-core chunk/factor/fold layers compiled by
+  :func:`repro.streaming.graphs.emit_streaming_layers` for the
+  reference chunk height (4096 rows).  A moved pin means the chunk row
+  deal or the fold chain changed — which silently changes which R the
+  streamed-equals-one-shot contract pins.
 * **Static order** (``caqr_order``) —
   :func:`repro.graph.order.order_fingerprint` of the CAQR task graph:
   the deterministic critical-path-aware total order every consumer
@@ -87,6 +94,8 @@ RSVD_GRAPH_PATHS = {"rsvd_graph": (8, 8, 1)}
 # name -> (shards, fanin); the sharded-reduction layer pin (same
 # reference configuration as the schedule pin above, hashed as layers).
 SHARDED_GRAPH_PATHS = {"sharded_graph": (4, 2)}
+# name -> chunk_rows; the streaming chunk-pipeline layer pin.
+STREAMING_PATHS = {"streaming": 4096}
 # name -> lookahead edge; the CAQR static-order pin.
 CAQR_ORDER_PATHS = {"caqr_order": True}
 
@@ -110,6 +119,13 @@ def _sharded_graph_fingerprint(m: int, n: int, shards: int, fanin: int) -> str:
     from repro.distributed.sharded import build_shard_schedule, emit_sharded_layers
 
     return emit_sharded_layers(build_shard_schedule(m, n, shards, fanin)).fingerprint()
+
+
+def _streaming_fingerprint(m: int, n: int, chunk_rows: int) -> str:
+    """SHA-256 of the streaming chunk/factor/fold pipeline layers."""
+    from repro.streaming.graphs import emit_streaming_layers
+
+    return emit_streaming_layers(m, n, chunk_rows).fingerprint()
 
 
 def _caqr_order_fingerprint(m: int, n: int, cfg, lookahead: bool) -> str:
@@ -189,6 +205,11 @@ def compute_fingerprints() -> dict:
     for path, (shards, fanin) in SHARDED_GRAPH_PATHS.items():
         out[path] = {
             f"{m}x{n}": _sharded_graph_fingerprint(m, n, shards, fanin)
+            for m, n in SHAPES
+        }
+    for path, chunk_rows in STREAMING_PATHS.items():
+        out[path] = {
+            f"{m}x{n}": _streaming_fingerprint(m, n, chunk_rows)
             for m, n in SHAPES
         }
     for path, lookahead in CAQR_ORDER_PATHS.items():

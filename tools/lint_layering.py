@@ -39,6 +39,16 @@ fingerprint is a CI-pinned artifact, so every layer emission must go
 through a producer the registry (and the fingerprint gate) knows about.
 Consumers receive a built ``TaskGraph``; they never assemble one.
 
+The streaming subsystem gets the same treatment: constructing
+:class:`repro.streaming.qr.StreamingQR` or
+:class:`repro.streaming.ingest.ChunkBuffer` anywhere outside
+``repro.streaming`` is a violation — chunk geometry rides on
+``ExecutionPolicy(path="streaming", chunk_rows=...)`` and the bounded
+in-flight window plus the deterministic memory accounting live in the
+streaming package, so a privately built engine would produce rows no
+soak gate ever accounts for.  External code calls ``stream_qr`` /
+``stream_chunks`` or the policy-routed entry points.
+
 AST-based, not regex: a call like ``caqr_qr(A, batched=False)`` is
 flagged wherever the callee name matches a policy-accepting entry point,
 while unrelated keywords named ``workers`` on non-entry-point calls
@@ -104,6 +114,15 @@ COMM_CONSTRUCTORS = {"FakeComm"}
 # layers are emitted only by code the PRODUCERS registry names.
 GRAPH_CONSTRUCTORS = {"TaskGraph", "Layer"}
 
+# Classes whose construction is reserved to repro.streaming: chunk
+# geometry and the bounded in-flight window are *streaming policy*
+# (ExecutionPolicy.chunk_rows), and a privately built engine or buffer
+# would bypass the per-chunk obs spans and the deterministic memory
+# accounting the soak gate pins.  External code streams via
+# repro.streaming.stream_qr / stream_chunks or
+# ExecutionPolicy(path="streaming", chunk_rows=...).
+STREAM_CONSTRUCTORS = {"StreamingQR", "ChunkBuffer"}
+
 SCAN_ROOTS = ("src/repro", "benchmarks", "examples")
 EXEMPT = ("src/repro/runtime/",)
 # Per-rule exemption: only the serving package may construct the queue.
@@ -118,7 +137,11 @@ GRAPH_EXEMPT = (
     "src/repro/core/randomized_svd.py",
     "src/repro/rpca/graphs.py",
     "src/repro/distributed/sharded.py",
+    "src/repro/streaming/graphs.py",
 )
+# Per-rule exemption: only the streaming package may construct the
+# engine and the chunk buffer.
+STREAM_EXEMPT = ("src/repro/streaming/",)
 
 
 def _callee_name(call: ast.Call) -> str | None:
@@ -153,6 +176,9 @@ def scan_file(path: Path) -> list[tuple[int, str, str]]:
             continue
         if name in GRAPH_CONSTRUCTORS:
             hits.append((node.lineno, name, "graph construction"))
+            continue
+        if name in STREAM_CONSTRUCTORS:
+            hits.append((node.lineno, name, "stream construction"))
             continue
         if name not in ENTRY_POINTS:
             continue
@@ -233,6 +259,15 @@ def main() -> int:
                         f"{rel}:{lineno}: {name}(...) — task-graph layers "
                         f"constructed outside repro.graph / registered "
                         f"producers (emit via repro.graph.highlevel.PRODUCERS)"
+                    )
+                elif kwargs == "stream construction":
+                    if any(rel.startswith(pref) for pref in STREAM_EXEMPT):
+                        continue  # the streaming package owns the engine
+                    violations.append(
+                        f"{rel}:{lineno}: {name}(...) — streaming engine/"
+                        f"chunk buffer constructed outside repro.streaming "
+                        f"(use stream_qr / stream_chunks, or "
+                        f"ExecutionPolicy(path='streaming', chunk_rows=...))"
                     )
                 else:
                     violations.append(f"{rel}:{lineno}: {name}(..., {kwargs}=...)")
